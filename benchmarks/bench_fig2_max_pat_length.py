@@ -1,0 +1,120 @@
+"""Figure 2 — runtime vs. MAX-PAT-LENGTH, Apriori vs. max-subpattern hit-set.
+
+The paper's headline performance result: with period 50 and ``|F1| = 12``,
+the hit-set miner's runtime stays almost constant as the maximal frequent
+pattern length grows from 2 to 10, while Apriori's grows roughly linearly,
+reaching about a 2x gap at MAX-PAT-LENGTH 10 — at both series lengths
+(100k and 500k in the paper; scaled by default, see conftest).
+
+``pytest benchmarks/bench_fig2_max_pat_length.py --benchmark-only`` runs the
+timed pairs; the summary test prints the full curve as one table.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from benchmarks.conftest import LENGTH_LONG, LENGTH_SHORT, MAX_PAT_LENGTHS
+from repro.core.apriori import mine_single_period_apriori
+from repro.core.hitset import mine_single_period_hitset
+from repro.synth.workloads import (
+    FIGURE2_MIN_CONF,
+    FIGURE2_PERIOD,
+    figure2_series,
+)
+
+#: (MAX-PAT-LENGTH, length) grid benchmarked individually.
+GRID = [(mpl, LENGTH_SHORT) for mpl in (2, 6, 10)]
+
+_series_cache: dict[tuple[int, int], object] = {}
+
+
+def _series(max_pat_length: int, length: int):
+    key = (max_pat_length, length)
+    if key not in _series_cache:
+        _series_cache[key] = figure2_series(
+            max_pat_length, length=length, seed=0
+        ).series
+    return _series_cache[key]
+
+
+@pytest.mark.parametrize("max_pat_length,length", GRID)
+def test_hitset_runtime(benchmark, max_pat_length, length):
+    series = _series(max_pat_length, length)
+    result = benchmark(
+        mine_single_period_hitset, series, FIGURE2_PERIOD, FIGURE2_MIN_CONF
+    )
+    assert result.max_l_length == max_pat_length
+
+
+@pytest.mark.parametrize("max_pat_length,length", GRID)
+def test_apriori_runtime(benchmark, max_pat_length, length):
+    series = _series(max_pat_length, length)
+    result = benchmark(
+        mine_single_period_apriori, series, FIGURE2_PERIOD, FIGURE2_MIN_CONF
+    )
+    assert result.max_l_length == max_pat_length
+
+
+def test_figure2_curve(report):
+    """Regenerate the whole Figure 2 curve and check its shape.
+
+    Shape assertions (the paper's qualitative claims):
+    * hit-set is near-flat in MAX-PAT-LENGTH;
+    * Apriori grows with MAX-PAT-LENGTH;
+    * at MAX-PAT-LENGTH 10 Apriori is at least ~2x slower than hit-set.
+    """
+    rows = []
+    curves: dict[int, dict[str, list[float]]] = {}
+    for length in (LENGTH_SHORT, LENGTH_LONG):
+        curves[length] = {"apriori": [], "hitset": []}
+        for mpl in MAX_PAT_LENGTHS:
+            series = figure2_series(mpl, length=length, seed=0).series
+            started = time.perf_counter()
+            apriori = mine_single_period_apriori(
+                series, FIGURE2_PERIOD, FIGURE2_MIN_CONF
+            )
+            apriori_s = time.perf_counter() - started
+            started = time.perf_counter()
+            hitset = mine_single_period_hitset(
+                series, FIGURE2_PERIOD, FIGURE2_MIN_CONF
+            )
+            hitset_s = time.perf_counter() - started
+            assert dict(apriori.items()) == dict(hitset.items())
+            curves[length]["apriori"].append(apriori_s)
+            curves[length]["hitset"].append(hitset_s)
+            rows.append(
+                (
+                    length,
+                    mpl,
+                    f"{apriori_s:.3f}s",
+                    f"{hitset_s:.3f}s",
+                    f"{apriori_s / hitset_s:.2f}x",
+                    len(apriori),
+                )
+            )
+    report(
+        "Figure 2: time vs MAX-PAT-LENGTH "
+        f"(p={FIGURE2_PERIOD}, |F1|=12, min_conf={FIGURE2_MIN_CONF})",
+        ["LENGTH", "MAX-PAT-LEN", "apriori", "hit-set", "gain", "#frequent"],
+        rows,
+    )
+
+    for length, curve in curves.items():
+        apriori_curve = curve["apriori"]
+        hitset_curve = curve["hitset"]
+        # Apriori grows from MPL=2 to MPL=10.
+        assert apriori_curve[-1] > apriori_curve[0] * 1.5, (
+            length,
+            apriori_curve,
+        )
+        # Hit-set stays within a small factor of its own minimum.
+        assert max(hitset_curve) < 6 * min(hitset_curve), (length, hitset_curve)
+        # The paper's ~2x gain at the longest patterns.
+        assert apriori_curve[-1] > 1.8 * hitset_curve[-1], (
+            length,
+            apriori_curve[-1],
+            hitset_curve[-1],
+        )

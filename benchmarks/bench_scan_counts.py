@@ -1,0 +1,83 @@
+"""Experiment A1 — scan counts and the disk-resident cost argument.
+
+Sections 3.1.1/3.1.2 and the Section 5.2 discussion: Apriori scans the
+series once per candidate level (up to the period in the worst case), while
+the hit-set method needs exactly two scans.  On a disk-resident series the
+scan count dominates: charging a per-slot read cost makes the gap explicit.
+
+The summary test regenerates the table: scans and simulated I/O cost per
+algorithm as MAX-PAT-LENGTH grows.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import LENGTH_SHORT
+from repro.analysis.bounds import ScanBudget
+from repro.core.apriori import mine_single_period_apriori
+from repro.core.hitset import mine_single_period_hitset
+from repro.synth.workloads import (
+    FIGURE2_MIN_CONF,
+    FIGURE2_PERIOD,
+    figure2_series,
+)
+from repro.timeseries.scan import ScanCountingSeries
+
+#: Simulated per-slot read cost (arbitrary units; only ratios matter).
+SLOT_COST = 1.0
+
+
+@pytest.mark.parametrize("max_pat_length", [4, 8])
+def test_hitset_scan_overhead(benchmark, max_pat_length):
+    series = figure2_series(max_pat_length, length=LENGTH_SHORT, seed=0).series
+
+    def run():
+        scan = ScanCountingSeries(series, slot_cost=SLOT_COST)
+        mine_single_period_hitset(scan, FIGURE2_PERIOD, FIGURE2_MIN_CONF)
+        return scan.scans
+
+    assert benchmark(run) == 2
+
+
+def test_scan_count_table(report):
+    rows = []
+    for mpl in (2, 4, 6, 8, 10):
+        series = figure2_series(mpl, length=LENGTH_SHORT, seed=0).series
+        scan = ScanCountingSeries(series, slot_cost=SLOT_COST)
+        apriori = mine_single_period_apriori(
+            scan, FIGURE2_PERIOD, FIGURE2_MIN_CONF
+        )
+        apriori_scans, apriori_cost = scan.scans, scan.simulated_cost
+        scan.reset()
+        hitset = mine_single_period_hitset(
+            scan, FIGURE2_PERIOD, FIGURE2_MIN_CONF
+        )
+        hitset_scans, hitset_cost = scan.scans, scan.simulated_cost
+        assert dict(apriori.items()) == dict(hitset.items())
+
+        # The paper's analyses:
+        assert hitset_scans == ScanBudget().hitset_single == 2
+        longest = apriori.max_letter_count
+        assert apriori_scans <= ScanBudget.apriori_single(longest)
+        assert apriori_scans >= longest  # one scan per non-empty level
+        assert apriori_scans <= FIGURE2_PERIOD  # ... and at most p
+
+        rows.append(
+            (
+                mpl,
+                apriori_scans,
+                hitset_scans,
+                f"{apriori_cost / hitset_cost:.1f}x",
+            )
+        )
+    report(
+        "A1: scans over the series (simulated disk cost ratio) "
+        f"vs MAX-PAT-LENGTH, p={FIGURE2_PERIOD}",
+        ["MAX-PAT-LEN", "apriori scans", "hit-set scans", "I/O cost ratio"],
+        rows,
+    )
+    # Apriori's scan count grows with pattern length; hit-set's never does.
+    apriori_scans_curve = [row[1] for row in rows]
+    assert apriori_scans_curve == sorted(apriori_scans_curve)
+    assert apriori_scans_curve[-1] > apriori_scans_curve[0]

@@ -1,0 +1,146 @@
+"""Table 1 — sensitivity to the synthetic-series parameters.
+
+Table 1 lists the generator's knobs: LENGTH, period ``p``, MAX-PAT-LENGTH
+and ``|F1|``.  Section 5.1 then claims that runtime is driven by
+MAX-PAT-LENGTH and ``|F1|`` "for a fixed p", while "other parameters, such
+as the number of features occurring at a fixed position and the number of
+features in the time series, do not have much impact".
+
+This bench sweeps each parameter with the others held at the Figure 2
+defaults and prints one table per parameter; the summary test asserts the
+paper's sensitivity claims:
+
+* runtime is ~linear in LENGTH for both algorithms (scan-bound);
+* hit-set runtime is insensitive to alphabet size (the noise features);
+* Apriori's candidate count grows with |F1| and MAX-PAT-LENGTH.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from benchmarks.conftest import LENGTH_SHORT
+from repro.core.apriori import mine_single_period_apriori
+from repro.core.hitset import mine_single_period_hitset
+from repro.synth.generator import SyntheticSpec
+from repro.synth.workloads import FIGURE2_MIN_CONF, FIGURE2_PERIOD
+
+
+def _spec(**overrides) -> SyntheticSpec:
+    defaults = dict(
+        length=LENGTH_SHORT,
+        period=FIGURE2_PERIOD,
+        max_pat_length=6,
+        f1_size=12,
+        alphabet_size=100,
+        seed=0,
+    )
+    defaults.update(overrides)
+    return SyntheticSpec(**defaults)
+
+
+def _time_both(spec: SyntheticSpec) -> tuple[float, float, int, int]:
+    series = spec.generate().series
+    started = time.perf_counter()
+    apriori = mine_single_period_apriori(
+        series, spec.period, FIGURE2_MIN_CONF
+    )
+    apriori_s = time.perf_counter() - started
+    started = time.perf_counter()
+    hitset = mine_single_period_hitset(series, spec.period, FIGURE2_MIN_CONF)
+    hitset_s = time.perf_counter() - started
+    assert dict(apriori.items()) == dict(hitset.items())
+    return apriori_s, hitset_s, apriori.stats.total_candidates, len(hitset)
+
+
+@pytest.mark.parametrize("f1_size", [8, 12, 16])
+def test_f1_size_benchmark(benchmark, f1_size):
+    series = _spec(f1_size=f1_size).generate().series
+    benchmark(
+        mine_single_period_hitset, series, FIGURE2_PERIOD, FIGURE2_MIN_CONF
+    )
+
+
+def test_length_sweep(report):
+    rows = []
+    times = []
+    for scale in (1, 2, 4):
+        spec = _spec(length=LENGTH_SHORT * scale // 2)
+        apriori_s, hitset_s, candidates, frequent = _time_both(spec)
+        times.append((spec.length, apriori_s, hitset_s))
+        rows.append(
+            (spec.length, f"{apriori_s:.3f}s", f"{hitset_s:.3f}s", frequent)
+        )
+    report(
+        "Table 1 sweep: LENGTH (others fixed)",
+        ["LENGTH", "apriori", "hit-set", "#frequent"],
+        rows,
+    )
+    # ~linear in LENGTH: 4x data should cost < ~10x time for both.
+    assert times[-1][1] < 10 * max(times[0][1], 1e-3)
+    assert times[-1][2] < 10 * max(times[0][2], 1e-3)
+
+
+def test_f1_sweep(report):
+    rows = []
+    candidate_counts = []
+    for f1_size in (8, 12, 16):
+        apriori_s, hitset_s, candidates, frequent = _time_both(
+            _spec(f1_size=f1_size)
+        )
+        candidate_counts.append(candidates)
+        rows.append(
+            (
+                f1_size,
+                f"{apriori_s:.3f}s",
+                f"{hitset_s:.3f}s",
+                candidates,
+                frequent,
+            )
+        )
+    report(
+        "Table 1 sweep: |F1| (others fixed)",
+        ["|F1|", "apriori", "hit-set", "apriori candidates", "#frequent"],
+        rows,
+    )
+    # Apriori's candidate space grows with |F1|.
+    assert candidate_counts[0] < candidate_counts[-1]
+
+
+def test_max_pat_length_sweep(report):
+    rows = []
+    candidate_counts = []
+    for mpl in (3, 6, 9):
+        apriori_s, hitset_s, candidates, frequent = _time_both(
+            _spec(max_pat_length=mpl)
+        )
+        candidate_counts.append(candidates)
+        rows.append(
+            (mpl, f"{apriori_s:.3f}s", f"{hitset_s:.3f}s", candidates, frequent)
+        )
+    report(
+        "Table 1 sweep: MAX-PAT-LENGTH (others fixed)",
+        ["MPL", "apriori", "hit-set", "apriori candidates", "#frequent"],
+        rows,
+    )
+    assert candidate_counts[0] < candidate_counts[-1]
+
+
+def test_alphabet_insensitivity(report):
+    # "the number of features in the time series does not have much
+    # impact": noise features outside F1 barely move hit-set runtime.
+    rows = []
+    hitset_times = []
+    for alphabet in (50, 200, 800):
+        spec = _spec(alphabet_size=alphabet)
+        _, hitset_s, _, frequent = _time_both(spec)
+        hitset_times.append(hitset_s)
+        rows.append((alphabet, f"{hitset_s:.3f}s", frequent))
+    report(
+        "Table 1 sweep: alphabet size (hit-set runtime)",
+        ["alphabet", "hit-set", "#frequent"],
+        rows,
+    )
+    assert max(hitset_times) < 4 * min(hitset_times)

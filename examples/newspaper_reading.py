@@ -1,0 +1,69 @@
+#!/usr/bin/env python3
+"""The paper's motivating example: Jim's weekday newspaper habit.
+
+Section 1: "Jim reads the Vancouver Sun newspaper from 7:00 to 7:30 every
+weekday morning but his activities at other times do not have much
+regularity."  Full-periodicity methods cannot express this; partial
+periodicity catches exactly the weekday slots.
+
+This example:
+
+1. simulates three years of Jim's daily activity log (imperfect — he skips
+   the paper ~8% of days);
+2. shows that the *perfect* cyclic-pattern baseline (Ozden et al.) finds
+   nothing, because a single missed day kills a perfect cycle;
+3. mines partial periodicity at the weekly period and prints the weekday
+   pattern with calendar labels;
+4. derives periodic association rules between the days.
+
+Run:  python examples/newspaper_reading.py
+"""
+
+from repro import PartialPeriodicMiner
+from repro.rules.cyclic import find_perfect_cycles
+from repro.rules.periodic_rules import derive_rules
+from repro.synth.workloads import newspaper_week
+from repro.timeseries.calendar import describe_pattern, natural_period
+
+
+def main() -> None:
+    weeks = 156  # three years
+    series = newspaper_week(weeks=weeks, reliability=0.92, seed=7)
+    period = natural_period("day", "week")
+    print(f"{weeks} weeks of daily activity, period = {period} days")
+    print(f"first two weeks: {series.to_text(limit=14)}")
+    print()
+
+    # --- the perfect-periodicity baseline finds nothing -----------------
+    cycles, stats = find_perfect_cycles(series, max_period=period)
+    paper_cycles = [cycle for cycle in cycles if cycle.feature == "paper"]
+    print(
+        f"perfect cycles mentioning 'paper': {len(paper_cycles)} "
+        f"(cycle elimination killed {stats.eliminated} candidates)"
+    )
+    print("-> one missed morning destroys a perfect cycle; partial")
+    print("   periodicity is needed for real-life regularity.")
+    print()
+
+    # --- partial periodicity at min_conf = 0.85 ------------------------
+    miner = PartialPeriodicMiner(series, min_conf=0.85)
+    result = miner.mine(period)
+    print(result.summary())
+    print()
+    print("maximal frequent patterns:")
+    maximal = result.maximal_patterns()
+    for pattern in sorted(maximal, key=lambda p: -p.letter_count):
+        conf = maximal[pattern] / result.num_periods
+        print(f"  {str(pattern):<42} conf={conf:.2f}")
+        print(f"    i.e. {describe_pattern(pattern)}")
+    print()
+
+    # --- periodic association rules -------------------------------------
+    rules = derive_rules(result, min_rule_conf=0.9, max_pattern_letters=5)
+    print(f"periodic rules at rule-confidence >= 0.90 (top 5 of {len(rules)}):")
+    for rule in rules[:5]:
+        print(f"  {rule}")
+
+
+if __name__ == "__main__":
+    main()

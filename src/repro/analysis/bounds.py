@@ -1,0 +1,101 @@
+"""Analytical space and scan bounds from the paper.
+
+Implements the closed-form cost model stated in Sections 3 and 4 so that the
+benchmarks can compare *measured* structure sizes against the paper's
+*predicted* bounds:
+
+* **Property 3.2** — the hit set is bounded by ``min(m, 2^|F1| - 1)``;
+* the Apriori candidate-space bound ``sum_k C(|F1|, k)`` (Section 3.1.1);
+* scan counts: 2 for hit-set (any number of periods when shared),
+  ``1 + rounds`` for Apriori.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from math import comb
+
+from repro.core.errors import MiningError
+
+
+def hit_set_bound(num_periods: int, f1_size: int) -> int:
+    """Property 3.2: ``|HitSet| <= min(m, 2^|F1| - 1)``.
+
+    >>> hit_set_bound(100, 500) == 100    # the paper's yearly example
+    True
+    >>> hit_set_bound(100, 8)             # the paper's weekly example
+    100
+    >>> hit_set_bound(5200, 8) == 2**8 - 1
+    True
+    """
+    if num_periods < 0:
+        raise MiningError(f"num_periods must be >= 0, got {num_periods}")
+    if f1_size < 0:
+        raise MiningError(f"f1_size must be >= 0, got {f1_size}")
+    if f1_size >= num_periods.bit_length() + 64:
+        # 2^f1 would be astronomically larger than m; avoid the bigint.
+        return num_periods
+    return min(num_periods, (1 << f1_size) - 1)
+
+
+def hit_set_buffer_bound(num_periods: int, f1_size: int) -> int:
+    """Maximal additional buffer (in count slots) for the hit-set method.
+
+    The paper's phrasing after Property 3.2: ``min(m, 2^|F1| - 1)`` units on
+    top of the ``|F1|`` units kept from Step 1.
+    """
+    return hit_set_bound(num_periods, f1_size) + f1_size
+
+
+def apriori_candidate_bound(f1_size: int, max_level: int | None = None) -> int:
+    """Worst-case total Apriori candidates: ``sum_{k>=2} C(|F1|, k)``.
+
+    Level-1 candidates are the F1 letters themselves and are excluded, as
+    in the paper's Step-2 space analysis.
+    """
+    if f1_size < 0:
+        raise MiningError(f"f1_size must be >= 0, got {f1_size}")
+    top = f1_size if max_level is None else min(max_level, f1_size)
+    return sum(comb(f1_size, level) for level in range(2, top + 1))
+
+
+def tree_node_bound(hit_set_size: int, cmax_letters: int) -> int:
+    """Section 4 analysis: tree nodes are fewer than ``n_max * |HitSet|``.
+
+    Every insertion creates at most ``n_max`` nodes (the missing-letter
+    path), so the node count is bounded by the hit-set size times the
+    letter count of ``C_max``.
+    """
+    if hit_set_size < 0 or cmax_letters < 0:
+        raise MiningError("hit_set_size and cmax_letters must be >= 0")
+    return hit_set_size * cmax_letters
+
+
+@dataclass(frozen=True, slots=True)
+class ScanBudget:
+    """Predicted scan counts for one mining task (Sections 3.1-3.2)."""
+
+    #: Single-period hit-set: scan for F1 + scan for hits.
+    hitset_single: int = 2
+    #: Shared multi-period hit-set: still two scans, for any period count.
+    hitset_shared: int = 2
+
+    @staticmethod
+    def apriori_single(longest_pattern_letters: int) -> int:
+        """Apriori scans: one for F1 plus one per further level reached.
+
+        With the longest frequent pattern holding ``L`` letters, Apriori
+        runs levels ``1..L`` plus one empty level-(L+1) probe when
+        candidates exist — we report the paper's upper bound ``L + 1``
+        capped below by 1.
+        """
+        if longest_pattern_letters < 0:
+            raise MiningError("longest_pattern_letters must be >= 0")
+        return max(1, longest_pattern_letters + 1)
+
+    @staticmethod
+    def looping_multi(period_count: int, per_period_scans: int = 2) -> int:
+        """Algorithm 3.3 scans: per-period scans times the period count."""
+        if period_count < 1:
+            raise MiningError("period_count must be >= 1")
+        return period_count * per_period_scans

@@ -1,0 +1,188 @@
+"""Pattern evolution across time windows.
+
+Section 6 closes with "mining partial periodicity with perturbation and
+*evolution*": real periodic behaviour drifts — patterns emerge, strengthen,
+weaken and vanish over the lifetime of a series.  This module mines a
+sliding window of whole periods and diffs the per-window frequent sets, so
+a long series becomes a trajectory of pattern confidences instead of one
+global average that smears the drift away.
+
+All windows share one period and threshold; each window run is the
+ordinary two-scan hit-set miner on the window slice.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator, Sequence
+from dataclasses import dataclass, field
+
+from repro.core.counting import check_min_conf
+from repro.core.errors import MiningError
+from repro.core.hitset import mine_single_period_hitset
+from repro.core.pattern import Pattern
+from repro.core.result import MiningResult
+from repro.timeseries.feature_series import FeatureSeries
+
+
+@dataclass(slots=True)
+class Window:
+    """One mined window of the series."""
+
+    #: Index of the window in the sweep (0-based).
+    index: int
+    #: First slot (inclusive) and last slot (exclusive) of the window.
+    start_slot: int
+    end_slot: int
+    result: MiningResult
+
+    def confidence(self, pattern: Pattern) -> float:
+        """Confidence of a pattern in this window (0.0 if not frequent)."""
+        count = self.result.get(pattern)
+        return count / self.result.num_periods if count else 0.0
+
+
+@dataclass(frozen=True, slots=True)
+class PatternChange:
+    """One pattern's confidence move between two windows."""
+
+    pattern: Pattern
+    before: float
+    after: float
+
+    @property
+    def delta(self) -> float:
+        """Signed confidence change."""
+        return self.after - self.before
+
+
+@dataclass(slots=True)
+class WindowDiff:
+    """The difference between two windows' frequent sets."""
+
+    #: Frequent now but not before.
+    emerged: list[Pattern] = field(default_factory=list)
+    #: Frequent before but not now.
+    vanished: list[Pattern] = field(default_factory=list)
+    #: Frequent in both, confidence moved by more than the tolerance.
+    strengthened: list[PatternChange] = field(default_factory=list)
+    weakened: list[PatternChange] = field(default_factory=list)
+
+    @property
+    def is_stable(self) -> bool:
+        """True when nothing emerged, vanished or moved."""
+        return not (
+            self.emerged or self.vanished or self.strengthened or self.weakened
+        )
+
+
+def mine_windows(
+    series: FeatureSeries,
+    period: int,
+    min_conf: float,
+    window_periods: int,
+    step_periods: int | None = None,
+    max_letters: int | None = None,
+) -> list[Window]:
+    """Mine a sliding window of ``window_periods`` whole periods.
+
+    Parameters
+    ----------
+    window_periods:
+        Window width in whole periods (the per-window ``m``).
+    step_periods:
+        Stride between window starts, in periods; defaults to the window
+        width (tumbling windows).
+    max_letters:
+        Optional derivation cap forwarded to the per-window miner.
+
+    Returns
+    -------
+    list[Window]
+        One entry per window position, in time order.  The trailing
+        partial window (fewer than ``window_periods`` periods) is dropped,
+        mirroring the whole-period counting rule.
+    """
+    check_min_conf(min_conf)
+    if window_periods < 1:
+        raise MiningError(
+            f"window_periods must be >= 1, got {window_periods}"
+        )
+    if step_periods is None:
+        step_periods = window_periods
+    if step_periods < 1:
+        raise MiningError(f"step_periods must be >= 1, got {step_periods}")
+    total_periods = series.num_periods(period)
+    if total_periods < window_periods:
+        raise MiningError(
+            f"series holds {total_periods} periods of {period}; "
+            f"window of {window_periods} does not fit"
+        )
+    windows = []
+    index = 0
+    start_period = 0
+    while start_period + window_periods <= total_periods:
+        start_slot = start_period * period
+        end_slot = (start_period + window_periods) * period
+        result = mine_single_period_hitset(
+            series[start_slot:end_slot], period, min_conf,
+            max_letters=max_letters,
+        )
+        windows.append(
+            Window(
+                index=index,
+                start_slot=start_slot,
+                end_slot=end_slot,
+                result=result,
+            )
+        )
+        index += 1
+        start_period += step_periods
+    return windows
+
+
+def diff_windows(
+    before: Window, after: Window, tolerance: float = 0.05
+) -> WindowDiff:
+    """Diff two windows' frequent sets.
+
+    ``tolerance`` is the minimum confidence move for a shared pattern to be
+    reported as strengthened/weakened.
+    """
+    if tolerance < 0:
+        raise MiningError(f"tolerance must be >= 0, got {tolerance}")
+    diff = WindowDiff()
+    before_set = set(before.result)
+    after_set = set(after.result)
+    diff.emerged = sorted(after_set - before_set)
+    diff.vanished = sorted(before_set - after_set)
+    for pattern in sorted(before_set & after_set):
+        change = PatternChange(
+            pattern=pattern,
+            before=before.confidence(pattern),
+            after=after.confidence(pattern),
+        )
+        if change.delta > tolerance:
+            diff.strengthened.append(change)
+        elif change.delta < -tolerance:
+            diff.weakened.append(change)
+    return diff
+
+
+def track_pattern(
+    windows: Sequence[Window], pattern: Pattern
+) -> list[float]:
+    """A pattern's confidence trajectory across the window sweep.
+
+    Windows where the pattern is not frequent contribute 0.0 — by the
+    threshold's design, "not frequent" and "confidence below min_conf" are
+    the same statement.
+    """
+    return [window.confidence(pattern) for window in windows]
+
+
+def evolution_report(
+    windows: Sequence[Window], tolerance: float = 0.05
+) -> Iterator[tuple[int, WindowDiff]]:
+    """Yield ``(window_index, diff-vs-previous)`` for consecutive windows."""
+    for previous, current in zip(windows, windows[1:]):
+        yield current.index, diff_windows(previous, current, tolerance)

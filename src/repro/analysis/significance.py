@@ -1,0 +1,162 @@
+"""Statistical significance of partial periodic patterns.
+
+A frequent pattern is only interesting if its confidence exceeds what the
+feature base rates would produce by chance: a feature present in 80% of all
+slots is "frequent" at almost any offset of almost any period.  This module
+scores mined patterns against the independence null model:
+
+* the **expected confidence** of a pattern is the product of its letters'
+  feature base rates (features independent across slots and of the period
+  phase);
+* **lift** is observed confidence over expected confidence;
+* a one-degree-of-freedom **chi-square** statistic on the match/no-match
+  segment counts gives a p-value (via the exact ``erfc`` form — no SciPy
+  needed).
+
+These checks complement the confidence threshold: the paper's min_conf
+bounds absolute regularity, lift bounds regularity *relative to chance*.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.core.errors import MiningError
+from repro.core.pattern import Pattern
+from repro.core.result import MiningResult
+from repro.timeseries.feature_series import FeatureSeries
+
+
+def feature_base_rates(series: FeatureSeries) -> dict[str, float]:
+    """Fraction of slots containing each feature (one pass)."""
+    length = len(series)
+    if length == 0:
+        raise MiningError("cannot compute base rates of an empty series")
+    counts: dict[str, int] = {}
+    for slot in series.iter_slots():
+        for feature in slot:
+            counts[feature] = counts.get(feature, 0) + 1
+    return {feature: count / length for feature, count in counts.items()}
+
+
+def expected_confidence(
+    pattern: Pattern, base_rates: dict[str, float]
+) -> float:
+    """Pattern confidence under the independence null model.
+
+    Letters of features never seen in the series have base rate 0, making
+    the expectation 0 (any observation is then infinitely surprising).
+    """
+    expectation = 1.0
+    for _, feature in pattern.letters:
+        expectation *= base_rates.get(feature, 0.0)
+    return expectation
+
+
+def chi_square_statistic(
+    observed_count: int, expected_conf: float, num_periods: int
+) -> float:
+    """One-df chi-square of observed vs expected match counts.
+
+    Compares the (match, no-match) split of the ``num_periods`` segments
+    against the null expectation.  Degenerate expectations (0 or 1) return
+    ``inf`` when the observation disagrees and 0 when it agrees.
+    """
+    if num_periods <= 0:
+        raise MiningError(f"num_periods must be >= 1, got {num_periods}")
+    if not 0 <= observed_count <= num_periods:
+        raise MiningError(
+            f"observed_count {observed_count} outside [0, {num_periods}]"
+        )
+    expected = expected_conf * num_periods
+    if expected <= 0.0 or expected >= num_periods:
+        return 0.0 if observed_count == round(expected) else math.inf
+    missed = num_periods - observed_count
+    expected_missed = num_periods - expected
+    return (observed_count - expected) ** 2 / expected + (
+        missed - expected_missed
+    ) ** 2 / expected_missed
+
+
+def chi_square_p_value(statistic: float) -> float:
+    """p-value of a one-df chi-square statistic: ``erfc(sqrt(x/2))``."""
+    if statistic < 0:
+        raise MiningError(f"chi-square statistic must be >= 0, got {statistic}")
+    if math.isinf(statistic):
+        return 0.0
+    return math.erfc(math.sqrt(statistic / 2.0))
+
+
+@dataclass(frozen=True, slots=True)
+class PatternSignificance:
+    """Significance scores of one mined pattern."""
+
+    pattern: Pattern
+    confidence: float
+    expected: float
+    chi_square: float
+    p_value: float
+
+    @property
+    def lift(self) -> float:
+        """Observed over expected confidence (``inf`` for expected 0)."""
+        if self.expected == 0.0:
+            return math.inf if self.confidence > 0 else 0.0
+        return self.confidence / self.expected
+
+
+def score_result(
+    series: FeatureSeries, result: MiningResult
+) -> list[PatternSignificance]:
+    """Score every frequent pattern of a mining result against the null.
+
+    Sorted by ascending p-value (most significant first), ties broken by
+    descending lift.
+    """
+    base_rates = feature_base_rates(series)
+    scores = []
+    for pattern, count in result.items():
+        expected = expected_confidence(pattern, base_rates)
+        statistic = chi_square_statistic(count, expected, result.num_periods)
+        scores.append(
+            PatternSignificance(
+                pattern=pattern,
+                confidence=count / result.num_periods,
+                expected=expected,
+                chi_square=statistic,
+                p_value=chi_square_p_value(statistic),
+            )
+        )
+    scores.sort(
+        key=lambda item: (
+            item.p_value,
+            -(item.lift if math.isfinite(item.lift) else 1e18),
+            str(item.pattern),
+        )
+    )
+    return scores
+
+
+def significant_patterns(
+    series: FeatureSeries,
+    result: MiningResult,
+    max_p_value: float = 0.01,
+    min_lift: float = 1.0,
+) -> list[PatternSignificance]:
+    """Frequent patterns that also beat the independence null.
+
+    A pattern survives when its p-value is at most ``max_p_value`` AND its
+    lift is at least ``min_lift`` — i.e. it is both statistically solid and
+    actually *above* chance (a chi-square can also fire on patterns far
+    below expectation).
+    """
+    if not 0.0 < max_p_value <= 1.0:
+        raise MiningError(f"max_p_value must be in (0, 1], got {max_p_value}")
+    if min_lift < 0:
+        raise MiningError(f"min_lift must be >= 0, got {min_lift}")
+    return [
+        item
+        for item in score_result(series, result)
+        if item.p_value <= max_p_value and item.lift >= min_lift
+    ]

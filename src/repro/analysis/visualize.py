@@ -1,0 +1,124 @@
+"""Terminal-friendly visualizations of series and mining results.
+
+Plain-text renderings for exploratory sessions and CLI output:
+
+* :func:`confidence_heatmap` — offsets x features grid of 1-pattern
+  confidences (the F1 landscape a period induces);
+* :func:`pattern_timeline` — per-segment match string of one pattern, the
+  quickest way to *see* partial periodicity and its misses;
+* :func:`render_result` — aligned table of a mining result with confidence
+  bars.
+
+Everything returns strings; nothing prints.
+"""
+
+from __future__ import annotations
+
+from repro.core.counting import letter_counts_for_segments
+from repro.core.errors import MiningError
+from repro.core.pattern import Pattern
+from repro.core.result import MiningResult
+from repro.timeseries.feature_series import FeatureSeries
+
+#: Ten shade characters for confidence 0.0 .. 1.0.
+_SHADES = " .:-=+*#%@"
+
+
+def _shade(confidence: float) -> str:
+    index = min(int(confidence * len(_SHADES)), len(_SHADES) - 1)
+    return _SHADES[index]
+
+
+def confidence_heatmap(
+    series: FeatureSeries,
+    period: int,
+    features: list[str] | None = None,
+    max_features: int = 20,
+) -> str:
+    """An offsets-by-features grid of 1-pattern confidences.
+
+    Each cell shades ``confidence((offset, feature))`` from blank (0) to
+    ``@`` (1).  Features default to the alphabet sorted by total
+    occurrence, capped at ``max_features``.
+    """
+    num_periods = series.num_periods(period)
+    if num_periods == 0:
+        raise MiningError(
+            f"series of length {len(series)} has no whole period of {period}"
+        )
+    counts = letter_counts_for_segments(series.segments(period))
+    if features is None:
+        totals: dict[str, int] = {}
+        for (offset, feature), count in counts.items():
+            totals[feature] = totals.get(feature, 0) + count
+        features = sorted(totals, key=lambda f: (-totals[f], f))[:max_features]
+    width = max((len(feature) for feature in features), default=7)
+    header = " " * width + " |" + "".join(
+        str(offset % 10) for offset in range(period)
+    )
+    lines = [header, "-" * len(header)]
+    for feature in features:
+        cells = "".join(
+            _shade(counts.get((offset, feature), 0) / num_periods)
+            for offset in range(period)
+        )
+        lines.append(f"{feature:>{width}} |{cells}")
+    legend = f"shade scale: '{_SHADES}' = 0.0 .. 1.0"
+    lines.append(legend)
+    return "\n".join(lines)
+
+
+def pattern_timeline(
+    series: FeatureSeries,
+    pattern: Pattern,
+    per_line: int = 60,
+) -> str:
+    """One character per segment: ``#`` = pattern true, ``.`` = miss.
+
+    Makes the paper's "partial" visible at a glance: a mostly-# line with
+    scattered dots is exactly a high-confidence partial periodic pattern.
+    """
+    if per_line < 1:
+        raise MiningError(f"per_line must be >= 1, got {per_line}")
+    marks = "".join(
+        "#" if pattern.matches(segment) else "."
+        for segment in series.segments(pattern.period)
+    )
+    if not marks:
+        raise MiningError(
+            f"series of length {len(series)} has no whole period of "
+            f"{pattern.period}"
+        )
+    lines = [
+        marks[start : start + per_line]
+        for start in range(0, len(marks), per_line)
+    ]
+    hits = marks.count("#")
+    footer = (
+        f"{pattern}: {hits}/{len(marks)} segments "
+        f"(confidence {hits / len(marks):.3f})"
+    )
+    return "\n".join(lines + [footer])
+
+
+def render_result(
+    result: MiningResult,
+    limit: int = 20,
+    bar_width: int = 24,
+) -> str:
+    """A mining result as an aligned table with confidence bars."""
+    if bar_width < 1:
+        raise MiningError(f"bar_width must be >= 1, got {bar_width}")
+    rows = result.to_rows()[:limit]
+    if not rows:
+        return f"(no frequent patterns; {result.summary()})"
+    name_width = max(len(text) for text, _, _ in rows)
+    lines = [result.summary()]
+    for text, count, conf in rows:
+        bar = "#" * round(conf * bar_width)
+        lines.append(
+            f"  {text:<{name_width}}  {count:>6}  {conf:6.3f}  |{bar:<{bar_width}}|"
+        )
+    if len(result) > limit:
+        lines.append(f"  ... and {len(result) - limit} more")
+    return "\n".join(lines)

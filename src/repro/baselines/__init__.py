@@ -1,0 +1,35 @@
+"""Baselines the paper positions itself against (Section 1).
+
+* :mod:`repro.baselines.specified` — the specified-pattern verification
+  primitive and its naive enumeration adaptation;
+* :mod:`repro.baselines.fft` — FFT full-periodicity detection on feature
+  indicator vectors.
+"""
+
+from repro.baselines.fft import (
+    FFTPeriodScore,
+    detect_dominant_period,
+    fft_period_scores,
+    indicator_vector,
+)
+from repro.baselines.specified import (
+    SpecifiedCheck,
+    enumerate_hypotheses,
+    log10_hypothesis_count,
+    mine_by_enumeration,
+    naive_hypothesis_count,
+    verify_specified,
+)
+
+__all__ = [
+    "FFTPeriodScore",
+    "SpecifiedCheck",
+    "detect_dominant_period",
+    "enumerate_hypotheses",
+    "fft_period_scores",
+    "indicator_vector",
+    "log10_hypothesis_count",
+    "mine_by_enumeration",
+    "naive_hypothesis_count",
+    "verify_specified",
+]

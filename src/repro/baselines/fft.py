@@ -1,0 +1,103 @@
+"""FFT full-periodicity detection — the method the paper rules out.
+
+Section 1: "FFT (Fast Fourier Transformation) cannot be applied to mining
+partial periodicity because it treats the time-series as an inseparable
+flow of values."  To make that argument concrete (and testable) we
+implement the FFT approach honestly:
+
+* each feature becomes a 0/1 indicator vector over the slots;
+* the power spectrum of the indicator ranks candidate periods
+  (:func:`fft_period_scores`, :func:`detect_dominant_period`).
+
+What the FFT *can* do: point at a dominant period when a feature's
+occurrences carry strong spectral mass.  What it structurally cannot do —
+and what the benchmarks demonstrate — is return offset-level patterns with
+confidences, distinguish which offsets participate, or handle patterns
+spread across several features; those need the mining algorithms.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.errors import MiningError
+from repro.timeseries.feature_series import FeatureSeries
+
+
+def indicator_vector(series: FeatureSeries, feature: str) -> np.ndarray:
+    """The 0/1 per-slot occurrence vector of one feature."""
+    return np.fromiter(
+        (1.0 if feature in slot else 0.0 for slot in series.iter_slots()),
+        dtype=np.float64,
+        count=len(series),
+    )
+
+
+@dataclass(frozen=True, slots=True)
+class FFTPeriodScore:
+    """Spectral evidence for one integer period."""
+
+    period: int
+    power: float
+
+
+def fft_period_scores(
+    series: FeatureSeries,
+    feature: str,
+    min_period: int = 2,
+    max_period: int | None = None,
+) -> list[FFTPeriodScore]:
+    """Rank integer periods by spectral power at their fundamental bin.
+
+    The mean is removed first (the DC component is occupancy, not
+    periodicity).  A candidate period ``p`` is scored by the power at its
+    fundamental frequency bin ``k = round(N/p)``, provided the bin
+    actually resolves the period (``|N/k - p| <= 0.5``) — the honest form
+    of the FFT approach: a pulse train of period ``p`` concentrates its
+    power at the multiples of that bin, and scoring the fundamental avoids
+    crediting short periods with the true period's harmonics.
+
+    Periods near ``N`` share bins (finite spectral resolution) and periods
+    the bin grid cannot resolve are skipped — limitations inherent to the
+    method, which the mining algorithms do not share.  Sorted by
+    descending power.
+    """
+    length = len(series)
+    if length < 4:
+        raise MiningError("need at least 4 slots for spectral analysis")
+    if max_period is None:
+        max_period = length // 2
+    if not 2 <= min_period <= max_period:
+        raise MiningError(
+            f"period range [{min_period}, {max_period}] is invalid"
+        )
+    signal = indicator_vector(series, feature)
+    signal = signal - signal.mean()
+    spectrum = np.abs(np.fft.rfft(signal)) ** 2
+    scores = []
+    for period in range(min_period, max_period + 1):
+        bin_index = round(length / period)
+        if not 1 <= bin_index < len(spectrum):
+            continue
+        if abs(length / bin_index - period) > 0.5:
+            continue  # the bin grid cannot resolve this period
+        scores.append(
+            FFTPeriodScore(period=period, power=float(spectrum[bin_index]))
+        )
+    scores.sort(key=lambda item: (-item.power, item.period))
+    return scores
+
+
+def detect_dominant_period(
+    series: FeatureSeries,
+    feature: str,
+    min_period: int = 2,
+    max_period: int | None = None,
+) -> int:
+    """The single strongest integer period of one feature's indicator."""
+    scores = fft_period_scores(series, feature, min_period, max_period)
+    if not scores:
+        raise MiningError("no period in range received any spectral mass")
+    return scores[0].period

@@ -1,0 +1,331 @@
+"""Command-line interface: ``ppm`` (or ``python -m repro``).
+
+Subcommands
+-----------
+``generate``
+    Produce a synthetic series (Section 5.1 generator) and save it.
+``mine``
+    Mine a series file for one period or a period range and print the
+    frequent patterns.
+``suggest``
+    Score a period range and print the most promising periods.
+``rules``
+    Derive periodic association rules from one period's frequent patterns.
+``cycles``
+    Find perfect (confidence-1) cycles — the cyclic-association baseline.
+``heatmap``
+    Render the offsets-by-features confidence heatmap of one period.
+``windows``
+    Mine a sliding window and report pattern evolution between windows.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from collections.abc import Sequence
+
+from repro.analysis.periodogram import suggest_periods
+from repro.core.errors import ReproError
+from repro.core.miner import PartialPeriodicMiner
+from repro.synth.generator import SyntheticSpec
+from repro.timeseries.io import load_series, save_series
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="ppm",
+        description=(
+            "Partial periodic pattern mining "
+            "(Han, Dong & Yin, ICDE 1999 reproduction)"
+        ),
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    generate = commands.add_parser(
+        "generate", help="generate a synthetic feature series"
+    )
+    generate.add_argument("output", help="path of the series file to write")
+    generate.add_argument("--length", type=int, default=100_000)
+    generate.add_argument("--period", type=int, default=50)
+    generate.add_argument("--max-pat-length", type=int, default=6)
+    generate.add_argument("--f1-size", type=int, default=12)
+    generate.add_argument("--seed", type=int, default=0)
+
+    mine = commands.add_parser("mine", help="mine a series file")
+    mine.add_argument("input", help="series file (see repro.timeseries.io)")
+    mine.add_argument("--period", type=int, help="single period to mine")
+    mine.add_argument(
+        "--period-range",
+        type=int,
+        nargs=2,
+        metavar=("LOW", "HIGH"),
+        help="inclusive period range (shared two-scan mining)",
+    )
+    mine.add_argument("--min-conf", type=float, default=0.5)
+    mine.add_argument(
+        "--algorithm", choices=("hitset", "apriori"), default="hitset"
+    )
+    mine.add_argument(
+        "--maximal", action="store_true", help="print only maximal patterns"
+    )
+    mine.add_argument("--limit", type=int, default=25)
+    mine.add_argument(
+        "--json",
+        metavar="PATH",
+        help="also write the result as JSON (single-period mining only)",
+    )
+
+    suggest = commands.add_parser(
+        "suggest", help="rank promising periods in a range"
+    )
+    suggest.add_argument("input")
+    suggest.add_argument(
+        "--period-range",
+        type=int,
+        nargs=2,
+        metavar=("LOW", "HIGH"),
+        required=True,
+    )
+    suggest.add_argument("--min-conf", type=float, default=0.5)
+    suggest.add_argument("--limit", type=int, default=5)
+
+    rules = commands.add_parser(
+        "rules", help="derive periodic association rules for one period"
+    )
+    rules.add_argument("input")
+    rules.add_argument("--period", type=int, required=True)
+    rules.add_argument("--min-conf", type=float, default=0.5)
+    rules.add_argument("--min-rule-conf", type=float, default=0.7)
+    rules.add_argument("--limit", type=int, default=15)
+    rules.add_argument(
+        "--about", help="only rules whose consequent mentions this feature"
+    )
+
+    cycles = commands.add_parser(
+        "cycles", help="find perfect (confidence-1) cycles in a period range"
+    )
+    cycles.add_argument("input")
+    cycles.add_argument(
+        "--period-range",
+        type=int,
+        nargs=2,
+        metavar=("LOW", "HIGH"),
+        required=True,
+    )
+
+    heatmap = commands.add_parser(
+        "heatmap", help="render the 1-pattern confidence heatmap of a period"
+    )
+    heatmap.add_argument("input")
+    heatmap.add_argument("--period", type=int, required=True)
+    heatmap.add_argument("--max-features", type=int, default=15)
+
+    windows = commands.add_parser(
+        "windows", help="mine a sliding window and report pattern evolution"
+    )
+    windows.add_argument("input")
+    windows.add_argument("--period", type=int, required=True)
+    windows.add_argument("--min-conf", type=float, default=0.5)
+    windows.add_argument("--window-periods", type=int, required=True)
+    windows.add_argument("--step-periods", type=int)
+    windows.add_argument("--tolerance", type=float, default=0.05)
+    return parser
+
+
+def _run_generate(args: argparse.Namespace) -> int:
+    spec = SyntheticSpec(
+        length=args.length,
+        period=args.period,
+        max_pat_length=args.max_pat_length,
+        f1_size=args.f1_size,
+        seed=args.seed,
+    )
+    generated = spec.generate()
+    save_series(generated.series, args.output)
+    print(f"wrote {args.length} slots to {args.output}")
+    print(f"planted pattern: {generated.planted_pattern}")
+    print(f"recommended --min-conf: {generated.recommended_min_conf:.2f}")
+    return 0
+
+
+def _print_result(result, limit: int, maximal: bool) -> None:
+    counts = result.maximal_patterns() if maximal else dict(result.items())
+    rows = sorted(
+        counts.items(), key=lambda item: (-item[1], str(item[0]))
+    )[:limit]
+    kind = "maximal frequent" if maximal else "frequent"
+    print(
+        f"period {result.period}: {len(counts)} {kind} patterns "
+        f"(m={result.num_periods}, scans={result.stats.scans})"
+    )
+    for pattern, count in rows:
+        confidence = count / result.num_periods
+        print(f"  {str(pattern):<40} count={count:<8} conf={confidence:.3f}")
+
+
+def _run_mine(args: argparse.Namespace) -> int:
+    if (args.period is None) == (args.period_range is None):
+        print("specify exactly one of --period or --period-range", file=sys.stderr)
+        return 2
+    series = load_series(args.input)
+    miner = PartialPeriodicMiner(
+        series, min_conf=args.min_conf, algorithm=args.algorithm
+    )
+    started = time.perf_counter()
+    if args.period is not None:
+        if args.maximal:
+            result = miner.mine_maximal(args.period)
+        else:
+            result = miner.mine(args.period)
+        _print_result(result, args.limit, args.maximal)
+        if args.json:
+            from repro.core.serialize import save_result
+
+            save_result(result, args.json)
+            print(f"result written to {args.json}")
+    else:
+        if args.json:
+            print("--json requires --period", file=sys.stderr)
+            return 2
+        low, high = args.period_range
+        outcome = miner.mine_range(low, high)
+        print(outcome.summary())
+        for period, pattern, confidence in outcome.best_patterns(args.limit):
+            print(
+                f"  period={period:<4} {str(pattern):<40} conf={confidence:.3f}"
+            )
+    elapsed = time.perf_counter() - started
+    print(f"({elapsed:.2f}s)")
+    return 0
+
+
+def _run_suggest(args: argparse.Namespace) -> int:
+    series = load_series(args.input)
+    low, high = args.period_range
+    scores = suggest_periods(
+        series, low, high, min_conf=args.min_conf, limit=args.limit
+    )
+    print(f"top periods in [{low}, {high}]:")
+    for item in scores:
+        print(
+            f"  period={item.period:<5} score={item.score:8.3f} "
+            f"frequent_letters={item.frequent_letters:<4} "
+            f"best_conf={item.best_confidence:.3f}"
+        )
+    return 0
+
+
+def _run_rules(args: argparse.Namespace) -> int:
+    from repro.rules.periodic_rules import derive_rules, rules_about
+
+    series = load_series(args.input)
+    result = PartialPeriodicMiner(series, min_conf=args.min_conf).mine(
+        args.period
+    )
+    rules = derive_rules(result, min_rule_conf=args.min_rule_conf)
+    if args.about:
+        rules = rules_about(rules, args.about)
+    print(
+        f"{len(rules)} periodic rules at period {args.period} "
+        f"(pattern conf >= {args.min_conf}, rule conf >= {args.min_rule_conf})"
+    )
+    for rule in rules[: args.limit]:
+        print(f"  {rule}")
+    return 0
+
+
+def _run_cycles(args: argparse.Namespace) -> int:
+    from repro.rules.cyclic import find_perfect_cycles, perfect_patterns
+
+    series = load_series(args.input)
+    low, high = args.period_range
+    cycles, stats = find_perfect_cycles(series, max_period=high, min_period=low)
+    print(
+        f"{len(cycles)} perfect cycles in periods [{low}, {high}] "
+        f"({stats.eliminated} candidates eliminated)"
+    )
+    for period, pattern in perfect_patterns(cycles).items():
+        print(f"  period={period:<4} {pattern}")
+    return 0
+
+
+def _run_heatmap(args: argparse.Namespace) -> int:
+    from repro.analysis.visualize import confidence_heatmap
+
+    series = load_series(args.input)
+    print(
+        confidence_heatmap(
+            series, args.period, max_features=args.max_features
+        )
+    )
+    return 0
+
+
+def _run_windows(args: argparse.Namespace) -> int:
+    from repro.analysis.evolution import evolution_report, mine_windows
+
+    series = load_series(args.input)
+    windows = mine_windows(
+        series,
+        args.period,
+        args.min_conf,
+        window_periods=args.window_periods,
+        step_periods=args.step_periods,
+    )
+    print(
+        f"{len(windows)} windows of {args.window_periods} periods "
+        f"(period {args.period}, min_conf {args.min_conf})"
+    )
+    for window in windows:
+        print(
+            f"  window {window.index}: slots "
+            f"[{window.start_slot}, {window.end_slot}) "
+            f"frequent={len(window.result)}"
+        )
+    for index, diff in evolution_report(windows, tolerance=args.tolerance):
+        if diff.is_stable:
+            continue
+        print(f"  window {index - 1} -> {index}:")
+        for pattern in diff.emerged[:5]:
+            print(f"    emerged   {pattern}")
+        for pattern in diff.vanished[:5]:
+            print(f"    vanished  {pattern}")
+        for change in (diff.strengthened + diff.weakened)[:5]:
+            print(
+                f"    moved     {change.pattern} "
+                f"{change.before:.2f} -> {change.after:.2f}"
+            )
+    return 0
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = _build_parser()
+    args = parser.parse_args(argv)
+    handlers = {
+        "generate": _run_generate,
+        "mine": _run_mine,
+        "suggest": _run_suggest,
+        "rules": _run_rules,
+        "cycles": _run_cycles,
+        "heatmap": _run_heatmap,
+        "windows": _run_windows,
+    }
+    try:
+        return handlers[args.command](args)
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+    except BrokenPipeError:
+        # Output piped into a pager/head that closed early; not an error.
+        try:
+            sys.stdout.close()
+        except OSError:
+            pass
+        return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

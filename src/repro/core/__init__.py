@@ -1,0 +1,9 @@
+"""The paper's primary contribution: the mining algorithms.
+
+* :mod:`repro.core.pattern` — pattern algebra;
+* :mod:`repro.core.apriori` — Algorithm 3.1 (single-period Apriori);
+* :mod:`repro.core.hitset` — Algorithm 3.2 (max-subpattern hit set);
+* :mod:`repro.core.multiperiod` — Algorithms 3.3 and 3.4;
+* :mod:`repro.core.maximal` — maximal patterns (hit-set x MaxMiner hybrid);
+* :mod:`repro.core.miner` — the high-level facade.
+"""

@@ -1,0 +1,77 @@
+"""Apriori candidate generation over pattern letter sets.
+
+A pattern of a fixed period is, internally, a set of ``(offset, feature)``
+letters (see :mod:`repro.core.pattern`).  Candidate generation is therefore
+the classic apriori-gen of Agrawal & Srikant [2], applied to letter sets:
+join two frequent k-letter sets sharing a (k-1)-prefix, then prune any
+candidate with an infrequent k-subset (Property 3.1, the Apriori property on
+periodicity).
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from collections.abc import Collection, Iterable
+
+from repro.core.errors import MiningError
+from repro.core.pattern import Letter
+
+
+def apriori_join(
+    frequent: Collection[frozenset[Letter]],
+) -> set[frozenset[Letter]]:
+    """Join step only: all (k+1)-sets whose two generating k-sets share a
+    (k-1)-prefix in canonical letter order.  Exposed separately for tests."""
+    sizes = {len(itemset) for itemset in frequent}
+    if len(sizes) > 1:
+        raise MiningError(f"apriori join needs uniform sizes, got {sorted(sizes)}")
+    joined: set[frozenset[Letter]] = set()
+    by_prefix: dict[tuple[Letter, ...], list[Letter]] = defaultdict(list)
+    for itemset in frequent:
+        ordered = tuple(sorted(itemset))
+        by_prefix[ordered[:-1]].append(ordered[-1])
+    for prefix, lasts in by_prefix.items():
+        lasts.sort()
+        for index, first in enumerate(lasts):
+            for second in lasts[index + 1 :]:
+                joined.add(frozenset(prefix + (first, second)))
+    return joined
+
+
+def apriori_prune(
+    candidates: Iterable[frozenset[Letter]],
+    frequent: Collection[frozenset[Letter]],
+) -> set[frozenset[Letter]]:
+    """Prune step: keep candidates all of whose one-smaller subsets are
+    frequent (Property 3.1)."""
+    frequent_set = set(frequent)
+    survivors: set[frozenset[Letter]] = set()
+    for candidate in candidates:
+        if all(candidate - {letter} in frequent_set for letter in candidate):
+            survivors.add(candidate)
+    return survivors
+
+
+def generate_candidates(
+    frequent: Collection[frozenset[Letter]],
+) -> set[frozenset[Letter]]:
+    """Full apriori-gen: join then prune.
+
+    Given the frequent k-letter sets, returns the candidate (k+1)-letter
+    sets.  Returns an empty set when fewer than two frequent sets exist.
+
+    Examples
+    --------
+    >>> a, b, c = (0, "a"), (1, "b"), (2, "c")
+    >>> frequent = [frozenset([a, b]), frozenset([a, c]), frozenset([b, c])]
+    >>> generate_candidates(frequent) == {frozenset([a, b, c])}
+    True
+    """
+    if len(frequent) < 2:
+        return set()
+    return apriori_prune(apriori_join(frequent), frequent)
+
+
+def singleton_candidates(letters: Iterable[Letter]) -> set[frozenset[Letter]]:
+    """Wrap individual letters as 1-letter candidate sets."""
+    return {frozenset((letter,)) for letter in letters}

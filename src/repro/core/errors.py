@@ -1,0 +1,32 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+All library-raised errors derive from :class:`ReproError` so callers can
+catch everything the package produces with a single ``except`` clause while
+still being able to distinguish the failing subsystem.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the :mod:`repro` package."""
+
+
+class PatternError(ReproError):
+    """Raised for malformed patterns or invalid pattern operations."""
+
+
+class SeriesError(ReproError):
+    """Raised for invalid feature series or segmentations."""
+
+
+class MiningError(ReproError):
+    """Raised for invalid mining parameters (period, confidence, ranges)."""
+
+
+class TaxonomyError(ReproError):
+    """Raised for malformed feature taxonomies in multi-level mining."""
+
+
+class GeneratorError(ReproError):
+    """Raised for invalid synthetic-workload parameters."""

@@ -1,0 +1,105 @@
+"""Algorithm 3.2 — the max-subpattern hit-set method.
+
+The paper's main contribution: mine all frequent partial periodic patterns
+of one period in exactly **two scans** of the series.
+
+Scan 1 finds the frequent 1-patterns ``F1`` and assembles the candidate
+max-pattern ``C_max``.  Scan 2 registers, for every period segment, its hit
+(the maximal subpattern of ``C_max`` true in the segment) in a
+max-subpattern tree.  The frequency count of every pattern is then derived
+from the tree alone (Algorithm 4.2) — no further passes over the data.
+"""
+
+from __future__ import annotations
+
+from repro.core.errors import MiningError
+from repro.core.maxpattern import find_frequent_one_patterns
+from repro.core.pattern import Pattern
+from repro.core.result import MiningResult, MiningStats
+from repro.tree.max_subpattern_tree import MaxSubpatternTree
+from repro.timeseries.feature_series import FeatureSeries
+
+
+def mine_single_period_hitset(
+    series: FeatureSeries,
+    period: int,
+    min_conf: float,
+    max_letters: int | None = None,
+) -> MiningResult:
+    """Find all frequent partial periodic patterns of one period (Alg. 3.2).
+
+    Parameters
+    ----------
+    series:
+        The feature series (or a scan-counting wrapper).
+    period:
+        The period to mine.
+    min_conf:
+        Confidence threshold in ``(0, 1]``.
+    max_letters:
+        Optional cap on derived pattern letter count.  The complete
+        frequent set is exponential on degenerate inputs; cap it when only
+        short patterns are needed.  ``None`` derives everything.
+
+    Returns
+    -------
+    MiningResult
+        Identical frequent set and counts to Algorithm 3.1 (a tested
+        invariant), obtained with exactly two scans.
+    """
+    if max_letters is not None and max_letters < 1:
+        raise MiningError(f"max_letters must be >= 1, got {max_letters}")
+    stats = MiningStats()
+    one_patterns = find_frequent_one_patterns(series, period, min_conf)
+    stats.scans = 1
+    if one_patterns.is_empty:
+        return MiningResult(
+            algorithm="hitset",
+            period=period,
+            min_conf=min_conf,
+            num_periods=one_patterns.num_periods,
+            counts={},
+            stats=stats,
+        )
+
+    tree = MaxSubpatternTree(one_patterns.max_pattern)
+    tree.insert_all_segments(series)
+    stats.scans = 2
+    stats.tree_nodes = tree.node_count
+    stats.hit_set_size = tree.hit_set_size
+
+    letter_counts, candidate_counts = tree.derive_frequent(
+        one_patterns.threshold, one_patterns.letters, max_letters=max_letters
+    )
+    stats.candidate_counts = candidate_counts
+    patterns = {
+        Pattern.from_letters(period, letters): count
+        for letters, count in letter_counts.items()
+    }
+    return MiningResult(
+        algorithm="hitset",
+        period=period,
+        min_conf=min_conf,
+        num_periods=one_patterns.num_periods,
+        counts=patterns,
+        stats=stats,
+    )
+
+
+def build_hit_tree(
+    series: FeatureSeries,
+    period: int,
+    min_conf: float,
+) -> tuple[MaxSubpatternTree, "object"]:
+    """Run only the two scans and return the populated tree plus F1.
+
+    Useful when the caller wants to perform a custom derivation — e.g. the
+    MaxMiner-style maximal-pattern search in :mod:`repro.core.maximal`.
+    Returns ``(tree, one_patterns)``; raises via
+    :func:`~repro.core.maxpattern.find_frequent_one_patterns` on an invalid
+    period and :class:`~repro.core.errors.MiningError` when F1 is empty.
+    """
+    one_patterns = find_frequent_one_patterns(series, period, min_conf)
+    tree = MaxSubpatternTree(one_patterns.max_pattern)
+    tree.insert_all_segments(series)
+    return tree, one_patterns

@@ -1,0 +1,136 @@
+"""JSON serialization of patterns and mining results.
+
+Mining is often one stage of a pipeline; these helpers persist results in
+a stable, human-auditable JSON shape so downstream stages (dashboards,
+diffing across runs, the CLI's ``--json`` mode) need no Python objects.
+
+Format (version 1):
+
+```json
+{
+  "format": "repro.mining_result/1",
+  "algorithm": "hitset",
+  "period": 7,
+  "min_conf": 0.85,
+  "num_periods": 156,
+  "patterns": [{"pattern": "a**c***", "count": 140}, ...],
+  "stats": {"scans": 2, "tree_nodes": 10, "hit_set_size": 4,
+             "candidate_counts": {"1": 6, "2": 9}}
+}
+```
+
+Patterns use the canonical string notation of
+:meth:`repro.core.pattern.Pattern.from_string`, which round-trips exactly.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.core.errors import MiningError
+from repro.core.pattern import Pattern
+from repro.core.result import MiningResult, MiningStats
+
+#: Format tag written into every document.
+FORMAT_TAG = "repro.mining_result/1"
+
+
+def result_to_dict(result: MiningResult) -> dict:
+    """The JSON-ready dictionary form of a mining result."""
+    return {
+        "format": FORMAT_TAG,
+        "algorithm": result.algorithm,
+        "period": result.period,
+        "min_conf": result.min_conf,
+        "num_periods": result.num_periods,
+        "patterns": [
+            {"pattern": str(pattern), "count": count}
+            for pattern, count in sorted(
+                result.items(), key=lambda item: (-item[1], str(item[0]))
+            )
+        ],
+        "stats": {
+            "scans": result.stats.scans,
+            "tree_nodes": result.stats.tree_nodes,
+            "hit_set_size": result.stats.hit_set_size,
+            "candidate_counts": {
+                str(level): count
+                for level, count in sorted(
+                    result.stats.candidate_counts.items()
+                )
+            },
+        },
+    }
+
+
+def result_from_dict(payload: dict) -> MiningResult:
+    """Rebuild a :class:`MiningResult` from its dictionary form."""
+    if not isinstance(payload, dict):
+        raise MiningError("mining-result payload must be a JSON object")
+    tag = payload.get("format")
+    if tag != FORMAT_TAG:
+        raise MiningError(
+            f"unsupported mining-result format {tag!r}; expected {FORMAT_TAG!r}"
+        )
+    try:
+        period = int(payload["period"])
+        counts = {
+            Pattern.from_string(entry["pattern"]): int(entry["count"])
+            for entry in payload["patterns"]
+        }
+        stats_payload = payload.get("stats", {})
+        stats = MiningStats(
+            scans=int(stats_payload.get("scans", 0)),
+            tree_nodes=int(stats_payload.get("tree_nodes", 0)),
+            hit_set_size=int(stats_payload.get("hit_set_size", 0)),
+            candidate_counts={
+                int(level): int(count)
+                for level, count in stats_payload.get(
+                    "candidate_counts", {}
+                ).items()
+            },
+        )
+        result = MiningResult(
+            algorithm=str(payload["algorithm"]),
+            period=period,
+            min_conf=float(payload["min_conf"]),
+            num_periods=int(payload["num_periods"]),
+            counts=counts,
+            stats=stats,
+        )
+    except (KeyError, TypeError, ValueError) as error:
+        raise MiningError(f"malformed mining-result payload: {error}") from error
+    for pattern in result:
+        if pattern.period != period:
+            raise MiningError(
+                f"pattern {pattern} does not match period {period}"
+            )
+    return result
+
+
+def dumps_result(result: MiningResult, indent: int | None = 2) -> str:
+    """Serialize a result to a JSON string."""
+    return json.dumps(result_to_dict(result), indent=indent)
+
+
+def loads_result(text: str) -> MiningResult:
+    """Parse a result from a JSON string."""
+    try:
+        payload = json.loads(text)
+    except json.JSONDecodeError as error:
+        raise MiningError(f"invalid JSON: {error}") from error
+    return result_from_dict(payload)
+
+
+def save_result(result: MiningResult, path: str | Path) -> None:
+    """Write a result as JSON to a file."""
+    Path(path).write_text(dumps_result(result) + "\n", encoding="utf-8")
+
+
+def load_result(path: str | Path) -> MiningResult:
+    """Read a result previously written by :func:`save_result`."""
+    source = Path(path)
+    if not source.exists():
+        raise MiningError(f"result file not found: {source}")
+    return loads_result(source.read_text(encoding="utf-8"))

@@ -1,0 +1,15 @@
+"""Multi-level partial periodicity mining (paper Section 6 extension)."""
+
+from repro.multilevel.miner import (
+    MultiLevelResult,
+    generalize_series,
+    mine_multilevel,
+)
+from repro.multilevel.taxonomy import Taxonomy
+
+__all__ = [
+    "MultiLevelResult",
+    "Taxonomy",
+    "generalize_series",
+    "mine_multilevel",
+]

@@ -1,0 +1,162 @@
+"""Multi-level partial periodicity mining (Section 6 extension).
+
+Strategy, following the paper's sketch and the multiple-level association
+framework of Han & Fu [6]: mine the series generalized to the top taxonomy
+level first; then drill down level by level, keeping at level ``l`` only the
+features whose level-``l-1`` ancestor was frequent at the same offset —
+a high-level letter that is not frequent cannot have a frequent
+specialization, so whole sub-hierarchies are pruned before the deeper scan.
+
+Each level runs the two-scan hit-set miner on its (filtered) generalized
+series, so a full drill-down over ``d`` levels costs ``2d`` scans.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping
+from dataclasses import dataclass, field
+
+from repro.core.counting import check_min_conf
+from repro.core.errors import MiningError
+from repro.core.hitset import mine_single_period_hitset
+from repro.core.pattern import Letter
+from repro.core.result import MiningResult
+from repro.multilevel.taxonomy import Taxonomy
+from repro.timeseries.feature_series import FeatureSeries
+
+
+def generalize_series(
+    series: FeatureSeries, taxonomy: Taxonomy, level: int
+) -> FeatureSeries:
+    """Map every feature to its ancestor-or-self at ``level``.
+
+    Features living above the level (more general than requested) are
+    dropped — they belong to shallower mining rounds.
+    """
+    slots = []
+    for slot in series.iter_slots():
+        mapped = set()
+        for feature in slot:
+            ancestor = taxonomy.ancestor_at_level(feature, level)
+            if ancestor is not None:
+                mapped.add(ancestor)
+        slots.append(mapped)
+    return FeatureSeries(slots)
+
+
+def _filter_by_frequent_parents(
+    series: FeatureSeries,
+    taxonomy: Taxonomy,
+    level: int,
+    period: int,
+    frequent_parent_letters: set[Letter],
+) -> FeatureSeries:
+    """Keep a level-``level`` feature only under a frequent parent letter."""
+    slots = []
+    for index, slot in enumerate(series.iter_slots()):
+        offset = index % period
+        kept = set()
+        for feature in slot:
+            parent = taxonomy.ancestor_at_level(feature, level - 1)
+            if parent is not None and (offset, parent) in frequent_parent_letters:
+                kept.add(feature)
+        slots.append(kept)
+    return FeatureSeries(slots)
+
+
+@dataclass(slots=True)
+class MultiLevelResult:
+    """Per-level mining results of one drill-down run."""
+
+    period: int
+    results: dict[int, MiningResult] = field(default_factory=dict)
+
+    def __getitem__(self, level: int) -> MiningResult:
+        return self.results[level]
+
+    def __len__(self) -> int:
+        return len(self.results)
+
+    @property
+    def levels(self) -> list[int]:
+        """Mined levels, shallow to deep."""
+        return sorted(self.results)
+
+    @property
+    def total_frequent(self) -> int:
+        """Frequent patterns summed over all levels."""
+        return sum(len(result) for result in self.results.values())
+
+    def summary(self) -> str:
+        """One-line human summary."""
+        parts = ", ".join(
+            f"L{level}:{len(self.results[level])}" for level in self.levels
+        )
+        return f"multilevel period={self.period} frequent per level: {parts}"
+
+
+def mine_multilevel(
+    series: FeatureSeries,
+    period: int,
+    taxonomy: Taxonomy,
+    min_conf: float = 0.5,
+    level_confs: Mapping[int, float] | None = None,
+    max_level: int | None = None,
+) -> MultiLevelResult:
+    """Drill-down mining across taxonomy levels.
+
+    Parameters
+    ----------
+    series:
+        The leaf-level feature series.
+    period:
+        The period to mine at every level.
+    taxonomy:
+        The feature taxonomy; features absent from it count as level-1.
+    min_conf:
+        Default confidence threshold.  Deeper levels are commonly mined
+        with lower thresholds — pass ``level_confs`` overrides per level
+        (e.g. ``{1: 0.6, 2: 0.4}``).
+    max_level:
+        Deepest level to mine; defaults to the deepest level among the
+        series' features.
+
+    Returns
+    -------
+    MultiLevelResult
+        One :class:`~repro.core.result.MiningResult` per level; levels
+        whose parents yielded nothing frequent terminate the drill-down.
+    """
+    check_min_conf(min_conf)
+    level_confs = dict(level_confs or {})
+    for level, conf in level_confs.items():
+        check_min_conf(conf)
+        if level < 1:
+            raise MiningError(f"levels start at 1, got override for {level}")
+
+    alphabet = series.alphabet
+    deepest = max((taxonomy.level(feature) for feature in alphabet), default=1)
+    if max_level is not None:
+        if max_level < 1:
+            raise MiningError(f"max_level must be >= 1, got {max_level}")
+        deepest = min(deepest, max_level)
+
+    outcome = MultiLevelResult(period=period)
+    frequent_parent_letters: set[Letter] = set()
+    for level in range(1, deepest + 1):
+        conf = level_confs.get(level, min_conf)
+        generalized = generalize_series(series, taxonomy, level)
+        if level > 1:
+            if not frequent_parent_letters:
+                break  # nothing frequent above: drill-down is over
+            generalized = _filter_by_frequent_parents(
+                generalized, taxonomy, level, period, frequent_parent_letters
+            )
+        result = mine_single_period_hitset(generalized, period, conf)
+        outcome.results[level] = result
+        frequent_parent_letters = {
+            letter
+            for pattern in result
+            for letter in pattern.letters
+        }
+    return outcome

@@ -1,0 +1,145 @@
+"""Feature taxonomies for multi-level partial periodicity mining.
+
+Section 6: "For mining multiple-level partial periodicity, one can explore
+level-shared mining by first mining the periodicity at a high level, and
+then progressively drilling-down with the discovered periodic patterns."
+
+A :class:`Taxonomy` is a forest over feature names: each feature has at most
+one parent, roots are the most general concepts, and levels are counted from
+the roots (level 1) downward.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from collections.abc import Iterable
+
+from repro.core.errors import TaxonomyError
+
+
+class Taxonomy:
+    """An is-a forest over feature names.
+
+    Parameters
+    ----------
+    edges:
+        ``(child, parent)`` pairs.  Every child has exactly one parent;
+    cycles and reparenting raise :class:`TaxonomyError`.
+
+    Examples
+    --------
+    >>> tax = Taxonomy([("latte", "coffee"), ("espresso", "coffee"),
+    ...                 ("coffee", "beverage")])
+    >>> tax.level("latte"), tax.level("beverage")
+    (3, 1)
+    >>> tax.ancestor_at_level("latte", 1)
+    'beverage'
+    """
+
+    def __init__(self, edges: Iterable[tuple[str, str]]):
+        self._parent: dict[str, str] = {}
+        self._children: dict[str, list[str]] = defaultdict(list)
+        for child, parent in edges:
+            if not child or not parent:
+                raise TaxonomyError("taxonomy nodes must be non-empty strings")
+            if child == parent:
+                raise TaxonomyError(f"self-loop on {child!r}")
+            existing = self._parent.get(child)
+            if existing is not None and existing != parent:
+                raise TaxonomyError(
+                    f"{child!r} cannot have two parents "
+                    f"({existing!r} and {parent!r})"
+                )
+            self._parent[child] = parent
+            self._children[parent].append(child)
+        self._check_acyclic()
+        self._levels: dict[str, int] = {}
+        for node in self.nodes():
+            self._levels[node] = len(self._path_to_root(node))
+
+    # ------------------------------------------------------------------
+
+    def nodes(self) -> set[str]:
+        """Every feature name mentioned in the taxonomy."""
+        return set(self._parent) | set(self._children)
+
+    @property
+    def roots(self) -> set[str]:
+        """Nodes with no parent (the most general concepts)."""
+        return {node for node in self.nodes() if node not in self._parent}
+
+    @property
+    def depth(self) -> int:
+        """The deepest level present."""
+        return max(self._levels.values(), default=0)
+
+    def parent(self, feature: str) -> str | None:
+        """The immediate parent, or ``None`` for roots and unknown names."""
+        return self._parent.get(feature)
+
+    def children(self, feature: str) -> list[str]:
+        """Immediate children (empty for leaves and unknown names)."""
+        return list(self._children.get(feature, ()))
+
+    def ancestors(self, feature: str) -> list[str]:
+        """All proper ancestors, nearest first."""
+        chain = []
+        current = self._parent.get(feature)
+        while current is not None:
+            chain.append(current)
+            current = self._parent.get(current)
+        return chain
+
+    def level(self, feature: str) -> int:
+        """Depth from the root, roots at level 1.
+
+        Unknown features are treated as standalone roots (level 1), so a
+        taxonomy can cover only part of the alphabet.
+        """
+        return self._levels.get(feature, 1)
+
+    def ancestor_at_level(self, feature: str, level: int) -> str | None:
+        """The ancestor-or-self of a feature at an exact level.
+
+        ``None`` when the feature lives above the requested level.
+        """
+        if level < 1:
+            raise TaxonomyError(f"level must be >= 1, got {level}")
+        own = self.level(feature)
+        if own < level:
+            return None
+        if own == level:
+            return feature
+        chain = self.ancestors(feature)
+        # ancestors() is nearest-first; ancestor k steps up is level own-k.
+        return chain[own - level - 1]
+
+    def generalize(self, feature: str, level: int) -> str | None:
+        """Alias of :meth:`ancestor_at_level` matching mining terminology."""
+        return self.ancestor_at_level(feature, level)
+
+    # ------------------------------------------------------------------
+
+    def _path_to_root(self, node: str) -> list[str]:
+        path = [node]
+        current = self._parent.get(node)
+        while current is not None:
+            path.append(current)
+            current = self._parent.get(current)
+        return path
+
+    def _check_acyclic(self) -> None:
+        for start in self._parent:
+            seen = {start}
+            current = self._parent.get(start)
+            while current is not None:
+                if current in seen:
+                    raise TaxonomyError(f"cycle through {current!r}")
+                seen.add(current)
+                current = self._parent.get(current)
+
+    def __repr__(self) -> str:
+        return (
+            f"Taxonomy(nodes={len(self.nodes())}, roots={len(self.roots)}, "
+            f"depth={self.depth})"
+        )

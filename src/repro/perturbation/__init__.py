@@ -1,0 +1,9 @@
+"""Perturbation-tolerant mining transforms (paper Section 6 extension)."""
+
+from repro.perturbation.slots import (
+    enlarge_slots,
+    mine_with_tolerance,
+    neighborhood_union,
+)
+
+__all__ = ["enlarge_slots", "mine_with_tolerance", "neighborhood_union"]

@@ -1,0 +1,70 @@
+"""Perturbation-tolerant mining transforms (Section 6).
+
+"Perturbation may happen from period to period ...  For mining partial
+periodicity with perturbation, one method is to slightly enlarge the time
+slot to be examined ...  Another method is to include the features happening
+in the time slots surrounding the one being analyzed."
+
+Both methods are series-to-series transforms: mine the transformed series
+with any of the standard algorithms and patterns whose timing wobbles by up
+to the window radius are caught at their anchor slot.
+"""
+
+from __future__ import annotations
+
+from repro.core.errors import SeriesError
+from repro.core.hitset import mine_single_period_hitset
+from repro.core.result import MiningResult
+from repro.timeseries.feature_series import FeatureSeries
+
+
+def enlarge_slots(
+    series: FeatureSeries, before: int = 0, after: int = 1
+) -> FeatureSeries:
+    """Slot enlargement: slot ``i`` becomes the union of ``[i-before, i+after]``.
+
+    The paper's first perturbation method — a generalized time slot.  The
+    window is clipped at the series boundaries.  ``before=0, after=0``
+    returns an identical series.
+    """
+    if before < 0 or after < 0:
+        raise SeriesError(
+            f"window extents must be >= 0, got before={before} after={after}"
+        )
+    slots = series.slots
+    length = len(slots)
+    enlarged = []
+    for index in range(length):
+        low = max(0, index - before)
+        high = min(length, index + after + 1)
+        merged: set[str] = set()
+        for neighbour in range(low, high):
+            merged |= slots[neighbour]
+        enlarged.append(merged)
+    return FeatureSeries(enlarged)
+
+
+def neighborhood_union(series: FeatureSeries, radius: int = 1) -> FeatureSeries:
+    """The paper's second method: symmetric surrounding-slot inclusion.
+
+    Equivalent to :func:`enlarge_slots` with ``before = after = radius``.
+    """
+    if radius < 0:
+        raise SeriesError(f"radius must be >= 0, got {radius}")
+    return enlarge_slots(series, before=radius, after=radius)
+
+
+def mine_with_tolerance(
+    series: FeatureSeries,
+    period: int,
+    min_conf: float,
+    radius: int = 1,
+) -> MiningResult:
+    """Hit-set mining on the neighbourhood-union transform.
+
+    Patterns found this way assert "the feature occurs within ``radius``
+    slots of the anchor offset, in most periods" — the perturbation-robust
+    reading of partial periodicity.
+    """
+    tolerant = neighborhood_union(series, radius=radius)
+    return mine_single_period_hitset(tolerant, period, min_conf)

@@ -1,0 +1,13 @@
+"""Rule mining on top of partial periodic patterns."""
+
+from repro.rules.cyclic import Cycle, find_perfect_cycles, perfect_patterns
+from repro.rules.periodic_rules import PeriodicRule, derive_rules, rules_about
+
+__all__ = [
+    "Cycle",
+    "PeriodicRule",
+    "derive_rules",
+    "find_perfect_cycles",
+    "perfect_patterns",
+    "rules_about",
+]

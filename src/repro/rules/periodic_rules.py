@@ -1,0 +1,107 @@
+"""Periodic association rules derived from frequent partial patterns.
+
+Section 6 lists "mining periodic association rules based on partial
+periodicity" among the natural extensions.  A periodic rule
+``X => Y  [support, confidence]`` relates two letter-disjoint subpatterns of
+the same period: whenever the antecedent ``X`` is true in a period segment,
+the consequent ``Y`` tends to be true too.  Rule confidence is
+``count(X ∪ Y) / count(X)``; support is the confidence of ``X ∪ Y`` itself.
+
+Both counts are read off a completed :class:`~repro.core.result.MiningResult`
+— no extra scans — because the Apriori property guarantees that ``X`` is
+frequent whenever ``X ∪ Y`` is.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.errors import MiningError
+from repro.core.pattern import Pattern
+from repro.core.result import MiningResult
+
+
+@dataclass(frozen=True, slots=True)
+class PeriodicRule:
+    """One periodic association rule between subpatterns of a period."""
+
+    antecedent: Pattern
+    consequent: Pattern
+    #: Frequency count of ``antecedent ∪ consequent``.
+    joint_count: int
+    #: ``joint_count / count(antecedent)``.
+    confidence: float
+    #: ``joint_count / num_periods`` — the joint pattern's confidence.
+    support: float
+
+    def __str__(self) -> str:
+        return (
+            f"{self.antecedent} => {self.consequent} "
+            f"[support={self.support:.3f}, confidence={self.confidence:.3f}]"
+        )
+
+
+def derive_rules(
+    result: MiningResult,
+    min_rule_conf: float = 0.7,
+    max_pattern_letters: int = 8,
+) -> list[PeriodicRule]:
+    """All periodic rules meeting a rule-confidence threshold.
+
+    For every frequent pattern with at least two letters, every split of
+    its letters into a non-empty antecedent and consequent is examined.
+    ``max_pattern_letters`` bounds the per-pattern split enumeration
+    (``2**letters`` splits); raise it knowingly for long patterns.
+
+    Rules are returned sorted by descending confidence, then support.
+    """
+    if not 0.0 < min_rule_conf <= 1.0:
+        raise MiningError(
+            f"min_rule_conf must be in (0, 1], got {min_rule_conf}"
+        )
+    rules: list[PeriodicRule] = []
+    period = result.period
+    for pattern, joint_count in result.items():
+        letters = pattern.sorted_letters()
+        size = len(letters)
+        if size < 2 or size > max_pattern_letters:
+            continue
+        support = joint_count / result.num_periods
+        for mask in range(1, (1 << size) - 1):
+            antecedent_letters = [
+                letters[index] for index in range(size) if mask >> index & 1
+            ]
+            antecedent = Pattern.from_letters(period, antecedent_letters)
+            antecedent_count = result.get(antecedent)
+            if antecedent_count <= 0:
+                # Cannot happen for a correctly mined result (Apriori
+                # property), but guard against hand-built results.
+                continue
+            confidence = joint_count / antecedent_count
+            if confidence >= min_rule_conf:
+                consequent = Pattern.from_letters(
+                    period,
+                    [letters[i] for i in range(size) if not mask >> i & 1],
+                )
+                rules.append(
+                    PeriodicRule(
+                        antecedent=antecedent,
+                        consequent=consequent,
+                        joint_count=joint_count,
+                        confidence=confidence,
+                        support=support,
+                    )
+                )
+    rules.sort(key=lambda rule: (-rule.confidence, -rule.support, str(rule)))
+    return rules
+
+
+def rules_about(
+    rules: list[PeriodicRule], feature: str
+) -> list[PeriodicRule]:
+    """Filter rules whose consequent mentions a feature."""
+    return [
+        rule
+        for rule in rules
+        if any(feature in slot for slot in rule.consequent.positions)
+    ]

@@ -1,0 +1,5 @@
+"""Synthetic workloads (paper Section 5.1 generator and canned scenarios)."""
+
+from repro.synth.generator import SyntheticSeries, SyntheticSpec, generate_series
+
+__all__ = ["SyntheticSeries", "SyntheticSpec", "generate_series"]

@@ -1,0 +1,277 @@
+"""Synthetic time-series generator reproducing Section 5.1 of the paper.
+
+The paper's test databases are "synthetic time-series databases generated
+using a randomized periodicity data generation algorithm.  From a set of
+features, potentially frequent 1-patterns are composed.  The size of the
+potentially frequent 1-patterns is determined based on a Poisson
+distribution.  These patterns are generated and put into the time-series
+according to an exponential distribution."
+
+Our generator follows that recipe with the four Table 1 knobs:
+
+``LENGTH``
+    the series length ``N``;
+``period``
+    the period ``p``;
+``MAX-PAT-LENGTH``
+    the maximal L-length of the *planted* frequent pattern: that many
+    letters are planted on distinct offsets and always occur together, so
+    every subpattern of the planted pattern — up to L-length
+    MAX-PAT-LENGTH — is frequent, and nothing longer is;
+``|F1|``
+    the number of frequent 1-patterns: on top of the planted letters,
+    ``f1_size - max_pat_length`` additional letters are planted with a
+    confidence above ``min_conf`` individually but whose pairwise products
+    fall below it, so F1 has exactly the requested size without stretching
+    the maximal pattern length.
+
+Occurrences are placed with exponential inter-arrival gaps of the form
+``1 + Exp((1-q)/q)`` segments, whose mean is ``1/q``: the occupied fraction
+of segments converges to the target confidence ``q`` with no
+double-planting.  Noise events arrive along the slot axis with exponential
+gaps of mean ``1/noise_rate`` and draw uniformly from the non-frequent part
+of the alphabet.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.errors import GeneratorError
+from repro.core.pattern import Letter, Pattern
+from repro.timeseries.feature_series import FeatureSeries
+
+
+@dataclass(frozen=True, slots=True)
+class SyntheticSpec:
+    """Parameters of one synthetic series (the paper's Table 1).
+
+    Attributes
+    ----------
+    length:
+        ``LENGTH`` — number of slots.
+    period:
+        The period ``p`` the structure is planted at.
+    max_pat_length:
+        ``MAX-PAT-LENGTH`` — L-length of the planted always-together
+        pattern.
+    f1_size:
+        ``|F1|`` — total frequent letters (planted + independents).
+    alphabet_size:
+        Total distinct features; the surplus beyond ``f1_size`` feeds noise.
+    planted_confidence:
+        Target confidence of the planted max pattern (and all of its
+        subpatterns).
+    extra_confidence:
+        Target confidence of each additional F1 letter.  Choose
+        ``min_conf <= extra_confidence`` and
+        ``extra_confidence**2 < min_conf`` so the extras are frequent alone
+        but not in combination.
+    noise_rate:
+        Expected noise events per slot.
+    poisson_f1:
+        When true, draw the *potentially frequent* letter-pool size from a
+        Poisson distribution with mean ``f1_size`` (the paper's wording)
+        instead of using ``f1_size`` exactly.
+    seed:
+        Seed of the deterministic :class:`numpy.random.Generator`.
+    """
+
+    length: int
+    period: int
+    max_pat_length: int
+    f1_size: int = 12
+    alphabet_size: int = 100
+    planted_confidence: float = 0.8
+    extra_confidence: float = 0.7
+    noise_rate: float = 0.2
+    poisson_f1: bool = False
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.length < 1:
+            raise GeneratorError(f"length must be >= 1, got {self.length}")
+        if not 1 <= self.period <= self.length:
+            raise GeneratorError(
+                f"period must be in [1, length], got {self.period}"
+            )
+        if not 1 <= self.max_pat_length <= self.period:
+            raise GeneratorError(
+                "max_pat_length must be in [1, period], "
+                f"got {self.max_pat_length}"
+            )
+        if self.f1_size < self.max_pat_length:
+            raise GeneratorError(
+                f"f1_size ({self.f1_size}) must be >= max_pat_length "
+                f"({self.max_pat_length})"
+            )
+        if self.alphabet_size < self.f1_size:
+            raise GeneratorError(
+                f"alphabet_size ({self.alphabet_size}) must be >= f1_size "
+                f"({self.f1_size})"
+            )
+        for name in ("planted_confidence", "extra_confidence"):
+            value = getattr(self, name)
+            if not 0.0 < value <= 1.0:
+                raise GeneratorError(f"{name} must be in (0, 1], got {value}")
+        if self.noise_rate < 0:
+            raise GeneratorError(
+                f"noise_rate must be >= 0, got {self.noise_rate}"
+            )
+
+    @property
+    def num_periods(self) -> int:
+        """``m = floor(LENGTH / p)``."""
+        return self.length // self.period
+
+    def generate(self) -> "SyntheticSeries":
+        """Materialize the series (deterministic for a fixed spec)."""
+        return _generate(self)
+
+
+@dataclass(slots=True)
+class SyntheticSeries:
+    """A generated series together with its ground truth."""
+
+    spec: SyntheticSpec
+    series: FeatureSeries
+    #: The planted always-together pattern of L-length ``max_pat_length``.
+    planted_pattern: Pattern
+    #: All letters planted with confidence >= their target (planted +
+    #: extras); the expected F1 at ``min_conf`` just below the targets.
+    planted_letters: list[Letter] = field(default_factory=list)
+
+    @property
+    def recommended_min_conf(self) -> float:
+        """A threshold that separates planted structure from combinations.
+
+        Slightly below ``extra_confidence`` (every planted letter is
+        frequent) yet above ``extra_confidence**2`` (independent extras do
+        not combine), so the maximal frequent L-length equals
+        ``max_pat_length``.
+        """
+        spec = self.spec
+        floor = spec.extra_confidence * spec.extra_confidence
+        ceiling = min(spec.extra_confidence, spec.planted_confidence)
+        return max(floor + 0.75 * (ceiling - floor), 0.01)
+
+
+def _occurrence_segments(
+    rng: np.random.Generator, num_segments: int, target_confidence: float
+) -> np.ndarray:
+    """Segment indices occupied by one planted structure.
+
+    Gaps between consecutive occurrences are ``1 + Exp((1-q)/q)`` segments,
+    giving mean gap ``1/q`` and hence an occupied fraction of ``q`` without
+    ever planting twice in one segment.
+    """
+    if target_confidence >= 1.0:
+        return np.arange(num_segments)
+    scale = (1.0 - target_confidence) / target_confidence
+    # Draw enough gaps to cover the segment axis with slack.
+    expected = int(num_segments * target_confidence) + 16
+    positions: list[int] = []
+    cursor = rng.exponential(scale)
+    while True:
+        gaps = 1.0 + rng.exponential(scale, size=expected)
+        for gap in gaps:
+            index = int(cursor)
+            if index >= num_segments:
+                return np.array(positions, dtype=np.int64)
+            positions.append(index)
+            cursor += gap
+
+
+def _generate(spec: SyntheticSpec) -> SyntheticSeries:
+    rng = np.random.default_rng(spec.seed)
+    num_segments = spec.num_periods
+    if num_segments < 1:
+        raise GeneratorError(
+            f"length {spec.length} holds no whole period of {spec.period}"
+        )
+
+    pool_size = spec.f1_size
+    if spec.poisson_f1:
+        pool_size = int(rng.poisson(spec.f1_size))
+        pool_size = min(max(pool_size, spec.max_pat_length), spec.alphabet_size)
+
+    features = [f"f{index}" for index in range(spec.alphabet_size)]
+
+    # Planted max pattern: distinct offsets, distinct features.
+    planted_offsets = rng.choice(
+        spec.period, size=spec.max_pat_length, replace=False
+    )
+    planted = [
+        (int(offset), features[index])
+        for index, offset in enumerate(sorted(planted_offsets))
+    ]
+
+    # Extra F1 letters: any offsets (collisions with planted offsets are
+    # fine and exercise multi-letter positions), fresh features.
+    extra_count = pool_size - spec.max_pat_length
+    extras = [
+        (int(rng.integers(spec.period)), features[spec.max_pat_length + index])
+        for index in range(extra_count)
+    ]
+
+    slots: list[set[str]] = [set() for _ in range(spec.length)]
+
+    # Plant the max pattern: all of its letters together per occurrence.
+    for segment in _occurrence_segments(
+        rng, num_segments, spec.planted_confidence
+    ):
+        base = int(segment) * spec.period
+        for offset, feature in planted:
+            slots[base + offset].add(feature)
+
+    # Plant each extra letter independently.
+    for offset, feature in extras:
+        for segment in _occurrence_segments(
+            rng, num_segments, spec.extra_confidence
+        ):
+            slots[int(segment) * spec.period + offset].add(feature)
+
+    # Noise: exponential arrivals along the slot axis, features drawn from
+    # the non-frequent part of the alphabet (falls back to the whole
+    # alphabet if it was fully consumed by F1).
+    noise_features = features[pool_size:] or features
+    if spec.noise_rate > 0:
+        scale = 1.0 / spec.noise_rate
+        cursor = 0.0
+        while cursor < spec.length:
+            batch = int(spec.noise_rate * (spec.length - cursor)) + 64
+            arrivals = cursor + np.cumsum(rng.exponential(scale, size=batch))
+            in_range = arrivals[arrivals < spec.length]
+            choices = rng.integers(len(noise_features), size=len(in_range))
+            for position, choice in zip(in_range, choices):
+                slots[int(position)].add(noise_features[int(choice)])
+            cursor = float(arrivals[-1]) if len(arrivals) else float(spec.length)
+
+    return SyntheticSeries(
+        spec=spec,
+        series=FeatureSeries(slots),
+        planted_pattern=Pattern.from_letters(spec.period, planted),
+        planted_letters=planted + extras,
+    )
+
+
+def generate_series(
+    length: int,
+    period: int,
+    max_pat_length: int,
+    f1_size: int = 12,
+    seed: int = 0,
+    **overrides,
+) -> SyntheticSeries:
+    """One-call convenience wrapper around :class:`SyntheticSpec`."""
+    spec = SyntheticSpec(
+        length=length,
+        period=period,
+        max_pat_length=max_pat_length,
+        f1_size=f1_size,
+        seed=seed,
+        **overrides,
+    )
+    return spec.generate()

@@ -1,0 +1,187 @@
+"""Canned, reproducible workloads for examples, tests and benchmarks.
+
+Each builder returns fully deterministic data for a given seed.  The
+Figure 2 builders mirror the paper's performance-study configuration
+(``p = 50``, ``|F1| = 12``, MAX-PAT-LENGTH swept 2..10, LENGTH 100k/500k).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.synth.generator import SyntheticSeries, SyntheticSpec
+from repro.timeseries.events import EventDatabase
+from repro.timeseries.feature_series import FeatureSeries
+
+#: The confidence threshold used with the Figure 2 workloads: below every
+#: planted letter's confidence, above any independent combination's.
+FIGURE2_MIN_CONF = 0.64
+
+#: The paper's Figure 2 constants.
+FIGURE2_PERIOD = 50
+FIGURE2_F1_SIZE = 12
+
+
+def figure2_spec(
+    max_pat_length: int,
+    length: int = 100_000,
+    seed: int = 0,
+) -> SyntheticSpec:
+    """The Figure 2 workload at one MAX-PAT-LENGTH setting."""
+    return SyntheticSpec(
+        length=length,
+        period=FIGURE2_PERIOD,
+        max_pat_length=max_pat_length,
+        f1_size=FIGURE2_F1_SIZE,
+        seed=seed,
+    )
+
+
+def figure2_series(
+    max_pat_length: int,
+    length: int = 100_000,
+    seed: int = 0,
+) -> SyntheticSeries:
+    """Generated Figure 2 series (see :func:`figure2_spec`)."""
+    return figure2_spec(max_pat_length, length=length, seed=seed).generate()
+
+
+def newspaper_week(
+    weeks: int = 156,
+    reliability: float = 0.9,
+    seed: int = 0,
+) -> FeatureSeries:
+    """The paper's motivating example as a daily-slot series.
+
+    Jim reads the Vancouver Sun every weekday morning (with the given
+    reliability), jogs most Saturdays, shops many Sundays, and does a
+    handful of irregular activities.  Mining at period 7 with a confidence
+    threshold below ``reliability`` recovers the weekday reading pattern.
+    """
+    rng = np.random.default_rng(seed)
+    other_activities = ["movies", "dining", "soccer", "visit", "concert"]
+    slots: list[set[str]] = []
+    for _ in range(weeks):
+        for day in range(7):
+            slot: set[str] = set()
+            if day < 5 and rng.random() < reliability:
+                slot.add("paper")
+            if day == 5 and rng.random() < 0.8:
+                slot.add("jog")
+            if day == 6 and rng.random() < 0.7:
+                slot.add("shop")
+            if rng.random() < 0.15:
+                slot.add(str(rng.choice(other_activities)))
+            slots.append(slot)
+    return FeatureSeries(slots)
+
+
+def power_consumption(
+    days: int = 120,
+    seed: int = 0,
+) -> np.ndarray:
+    """Hourly power-consumption readings with a strong daily shape.
+
+    A smooth base load plus a morning and an evening peak on most days,
+    with Gaussian noise — the Section 6 numeric-data scenario.  Returns the
+    raw numeric array; discretize it with
+    :mod:`repro.timeseries.discretize` before mining.
+    """
+    rng = np.random.default_rng(seed)
+    hours = np.arange(days * 24)
+    hour_of_day = hours % 24
+    base = 40.0 + 8.0 * np.sin(2.0 * np.pi * hour_of_day / 24.0)
+    morning = 25.0 * np.exp(-0.5 * ((hour_of_day - 8.0) / 1.5) ** 2)
+    evening = 35.0 * np.exp(-0.5 * ((hour_of_day - 19.0) / 2.0) ** 2)
+    # Some days skip the evening peak (weekends away, say).
+    day_index = hours // 24
+    evening_on = rng.random(days) < 0.85
+    evening = evening * evening_on[day_index]
+    noise = rng.normal(0.0, 3.0, size=len(hours))
+    return base + morning + evening + noise
+
+
+def retail_transactions(
+    weeks: int = 104,
+    seed: int = 0,
+) -> EventDatabase:
+    """A timestamped retail event database with weekly structure.
+
+    Times are in days.  Saturdays see promotions and high traffic, Mondays
+    see restocking; scattered one-off events add noise.  Bucket with
+    ``slot_width=1`` (daily slots) and mine at period 7.
+    """
+    rng = np.random.default_rng(seed)
+    database = EventDatabase()
+    for week in range(weeks):
+        base = week * 7.0
+        if rng.random() < 0.9:
+            database.add(base + 0.3, "restock")
+        if rng.random() < 0.85:
+            database.add(base + 5.2, "promotion")
+        if rng.random() < 0.8:
+            database.add(base + 5.6, "high_traffic")
+        if rng.random() < 0.6:
+            database.add(base + 6.4, "high_traffic")
+        for _ in range(int(rng.poisson(1.2))):
+            database.add(
+                base + float(rng.uniform(0.0, 7.0)),
+                str(rng.choice(["audit", "delivery", "return_spike"])),
+            )
+    return database
+
+
+def unexpected_period_series(
+    period: int = 11,
+    repetitions: int = 400,
+    seed: int = 0,
+) -> FeatureSeries:
+    """A series periodic at a non-calendar period (default 11).
+
+    Section 3.2's motivation for range mining: "certain patterns may appear
+    at some unexpected periods, such as every 11 years, or every 14 hours".
+    """
+    rng = np.random.default_rng(seed)
+    slots: list[set[str]] = []
+    for _ in range(repetitions):
+        for offset in range(period):
+            slot: set[str] = set()
+            if offset == 2 and rng.random() < 0.9:
+                slot.add("burst")
+            if offset == 7 and rng.random() < 0.85:
+                slot.add("dip")
+            if rng.random() < 0.1:
+                slot.add(str(rng.choice(["x", "y", "z"])))
+            slots.append(slot)
+    return FeatureSeries(slots)
+
+
+def perturbed_series(
+    period: int = 10,
+    repetitions: int = 300,
+    jitter_prob: float = 0.5,
+    seed: int = 0,
+) -> FeatureSeries:
+    """A periodic event whose timing wobbles by one slot.
+
+    With probability ``jitter_prob`` the periodic feature lands one slot
+    early or late, defeating exact-slot mining; the Section 6 perturbation
+    transforms (:mod:`repro.perturbation`) recover it.
+    """
+    rng = np.random.default_rng(seed)
+    length = period * repetitions
+    slots: list[set[str]] = [set() for _ in range(length)]
+    anchor = period // 2
+    for segment in range(repetitions):
+        if rng.random() < 0.1:
+            continue  # occasional true miss
+        shift = 0
+        if rng.random() < jitter_prob:
+            shift = int(rng.choice([-1, 1]))
+        position = segment * period + anchor + shift
+        if 0 <= position < length:
+            slots[position].add("pulse")
+    for index in range(length):
+        if rng.random() < 0.05:
+            slots[index].add("noise")
+    return FeatureSeries(slots)

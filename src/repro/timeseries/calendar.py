@@ -1,0 +1,104 @@
+"""Natural-period helpers for calendar-aligned time series.
+
+The paper (Section 3.2): "people often like to mine periodic patterns for
+natural periods, such as annually, quarterly, monthly, weekly, daily, or
+hourly".  These helpers translate between slot granularities and the natural
+periods expressed in those slots, and label pattern offsets for reports
+(e.g. offset 2 of a daily-slot weekly pattern is "Wednesday").
+"""
+
+from __future__ import annotations
+
+from repro.core.errors import SeriesError
+from repro.core.pattern import Pattern
+
+#: Natural periods, expressed as number-of-slots per cycle, keyed by
+#: (slot granularity, cycle name).
+NATURAL_PERIODS: dict[str, dict[str, int]] = {
+    "hour": {"day": 24, "week": 24 * 7},
+    "day": {"week": 7, "month": 30, "quarter": 91, "year": 365},
+    "week": {"year": 52},
+    "month": {"quarter": 3, "year": 12},
+    "quarter": {"year": 4},
+}
+
+WEEKDAY_NAMES = (
+    "Monday",
+    "Tuesday",
+    "Wednesday",
+    "Thursday",
+    "Friday",
+    "Saturday",
+    "Sunday",
+)
+
+MONTH_NAMES = (
+    "January",
+    "February",
+    "March",
+    "April",
+    "May",
+    "June",
+    "July",
+    "August",
+    "September",
+    "October",
+    "November",
+    "December",
+)
+
+
+def natural_period(slot: str, cycle: str) -> int:
+    """The period (in slots) of a natural cycle at a slot granularity.
+
+    >>> natural_period("day", "week")
+    7
+    >>> natural_period("hour", "day")
+    24
+    """
+    by_cycle = NATURAL_PERIODS.get(slot)
+    if by_cycle is None:
+        raise SeriesError(
+            f"unknown slot granularity {slot!r}; "
+            f"known: {sorted(NATURAL_PERIODS)}"
+        )
+    period = by_cycle.get(cycle)
+    if period is None:
+        raise SeriesError(
+            f"no natural cycle {cycle!r} at granularity {slot!r}; "
+            f"known: {sorted(by_cycle)}"
+        )
+    return period
+
+
+def offset_label(period: int, offset: int) -> str:
+    """A human label for one offset of a natural period.
+
+    Weekly patterns get weekday names, daily (hourly-slot) patterns get
+    clock hours, yearly (monthly-slot) patterns get month names; anything
+    else falls back to ``t+<offset>``.
+    """
+    if not 0 <= offset < period:
+        raise SeriesError(f"offset {offset} out of range for period {period}")
+    if period == 7:
+        return WEEKDAY_NAMES[offset]
+    if period == 24:
+        return f"{offset:02d}:00"
+    if period == 12:
+        return MONTH_NAMES[offset]
+    return f"t+{offset}"
+
+
+def describe_pattern(pattern: Pattern) -> str:
+    """Render a pattern as labelled clauses, e.g. ``Monday=coffee``.
+
+    >>> describe_pattern(Pattern.from_string("a**c***"))
+    'Monday=a, Thursday=c'
+    """
+    clauses = []
+    for offset, features in enumerate(pattern.positions):
+        if not features:
+            continue
+        label = offset_label(pattern.period, offset)
+        clauses.append(f"{label}={','.join(sorted(features))}")
+    return ", ".join(clauses) if clauses else "(matches everything)"

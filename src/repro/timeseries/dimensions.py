@@ -1,0 +1,98 @@
+"""Multi-dimensional feature series.
+
+Section 6: the method "can be extended for mining multiple-level,
+multiple-dimensional partial periodicity".  Multi-dimensional data — one
+record per time instant with several attributes — maps onto the feature
+framework by tagging each value with its dimension: record
+``{"weather": "rain", "traffic": "heavy"}`` becomes the feature set
+``{"weather=rain", "traffic=heavy"}``.  Patterns then freely mix
+dimensions (``weather=rain`` at Monday with ``traffic=heavy`` at Monday),
+and per-dimension views project them back apart.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping, Sequence
+
+from repro.core.errors import SeriesError
+from repro.core.pattern import Pattern
+from repro.timeseries.feature_series import FeatureSeries
+
+#: Separator between dimension name and value in composite features.
+DIMENSION_SEPARATOR = "="
+
+
+def dimension_feature(dimension: str, value: object) -> str:
+    """The composite feature for one dimension's value."""
+    if not dimension:
+        raise SeriesError("dimension name must be non-empty")
+    if DIMENSION_SEPARATOR in dimension:
+        raise SeriesError(
+            f"dimension name may not contain {DIMENSION_SEPARATOR!r}: "
+            f"{dimension!r}"
+        )
+    return f"{dimension}{DIMENSION_SEPARATOR}{value}"
+
+
+def split_feature(feature: str) -> tuple[str, str]:
+    """Invert :func:`dimension_feature`; raises on untagged features."""
+    dimension, separator, value = feature.partition(DIMENSION_SEPARATOR)
+    if not separator or not dimension:
+        raise SeriesError(f"feature {feature!r} carries no dimension tag")
+    return dimension, value
+
+
+def records_to_series(
+    records: Sequence[Mapping[str, object]],
+    dimensions: Sequence[str] | None = None,
+) -> FeatureSeries:
+    """One slot per record; each kept attribute becomes a tagged feature.
+
+    Parameters
+    ----------
+    records:
+        One mapping per time instant.
+    dimensions:
+        Attributes to keep; defaults to every key present.  Missing or
+        ``None`` values contribute nothing to the slot.
+    """
+    slots = []
+    for record in records:
+        keys = dimensions if dimensions is not None else record.keys()
+        slot = set()
+        for key in keys:
+            value = record.get(key)
+            if value is None:
+                continue
+            slot.add(dimension_feature(key, value))
+        slots.append(slot)
+    return FeatureSeries(slots)
+
+
+def project_pattern(pattern: Pattern, dimension: str) -> Pattern:
+    """Keep only the letters of one dimension (others become ``*``).
+
+    The projection of a frequent multi-dimensional pattern is itself
+    frequent (it is a subpattern), so per-dimension reports stay sound.
+    """
+    prefix = dimension + DIMENSION_SEPARATOR
+    kept = [
+        (offset, feature)
+        for offset, feature in pattern.letters
+        if feature.startswith(prefix)
+    ]
+    return Pattern.from_letters(pattern.period, kept)
+
+
+def pattern_dimensions(pattern: Pattern) -> set[str]:
+    """The dimensions a pattern's letters mention."""
+    return {
+        split_feature(feature)[0]
+        for _, feature in pattern.letters
+    }
+
+
+def cross_dimensional(pattern: Pattern) -> bool:
+    """True when a pattern links two or more dimensions — the payoff of
+    mining the dimensions jointly rather than one series at a time."""
+    return len(pattern_dimensions(pattern)) >= 2

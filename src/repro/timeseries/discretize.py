@@ -1,0 +1,213 @@
+"""Discretization of numeric time series into categorical feature series.
+
+Section 6 of the paper: "For mining numerical data, such as stock or power
+consumption fluctuation, one can examine the distribution of numerical
+values in the time-series data and discretize them into single- or
+multiple-level categorical data."  This module implements that step with
+equal-width, equal-frequency and explicit-breakpoint binning, plus a
+two-level (coarse + fine) discretizer feeding multi-level mining.
+"""
+
+from __future__ import annotations
+
+import bisect
+from collections.abc import Sequence
+
+from repro.core.errors import SeriesError
+from repro.timeseries.feature_series import FeatureSeries
+
+
+def equal_width_breakpoints(
+    values: Sequence[float], bins: int
+) -> list[float]:
+    """Interior breakpoints splitting ``[min, max]`` into ``bins`` equal bins."""
+    _check_binning(values, bins)
+    low, high = min(values), max(values)
+    if low == high:
+        # Degenerate constant series: all values land in the first bin.
+        return [low] * (bins - 1)
+    width = (high - low) / bins
+    return [low + width * index for index in range(1, bins)]
+
+
+def equal_frequency_breakpoints(
+    values: Sequence[float], bins: int
+) -> list[float]:
+    """Interior breakpoints putting (approximately) equal counts per bin."""
+    _check_binning(values, bins)
+    ordered = sorted(values)
+    count = len(ordered)
+    return [
+        ordered[min(count - 1, (count * index) // bins)]
+        for index in range(1, bins)
+    ]
+
+
+def _check_binning(values: Sequence[float], bins: int) -> None:
+    if bins < 2:
+        raise SeriesError(f"need at least 2 bins, got {bins}")
+    if not values:
+        raise SeriesError("cannot compute breakpoints of an empty sequence")
+
+
+class Discretizer:
+    """Map numeric values to categorical level features via breakpoints.
+
+    Parameters
+    ----------
+    breakpoints:
+        Ascending interior breakpoints; ``len(breakpoints) + 1`` bins.  A
+        value ``v`` lands in bin ``i`` iff
+        ``breakpoints[i-1] <= v < breakpoints[i]`` (right-open bins, final
+        bin closed above by +inf).
+    labels:
+        Optional bin names; defaults to ``lvl0 .. lvlK``.
+
+    Examples
+    --------
+    >>> disc = Discretizer([10.0, 20.0], labels=["low", "mid", "high"])
+    >>> disc.label(5.0), disc.label(10.0), disc.label(25.0)
+    ('low', 'mid', 'high')
+    """
+
+    __slots__ = ("_breakpoints", "_labels")
+
+    def __init__(
+        self,
+        breakpoints: Sequence[float],
+        labels: Sequence[str] | None = None,
+    ):
+        ordered = list(breakpoints)
+        if sorted(ordered) != ordered:
+            raise SeriesError(f"breakpoints must be ascending, got {ordered}")
+        bins = len(ordered) + 1
+        if labels is None:
+            labels = [f"lvl{index}" for index in range(bins)]
+        if len(labels) != bins:
+            raise SeriesError(
+                f"{bins} bins need {bins} labels, got {len(labels)}"
+            )
+        self._breakpoints = ordered
+        self._labels = list(labels)
+
+    @classmethod
+    def equal_width(
+        cls,
+        values: Sequence[float],
+        bins: int,
+        labels: Sequence[str] | None = None,
+    ) -> "Discretizer":
+        """Fit equal-width bins to the observed value range."""
+        return cls(equal_width_breakpoints(values, bins), labels)
+
+    @classmethod
+    def equal_frequency(
+        cls,
+        values: Sequence[float],
+        bins: int,
+        labels: Sequence[str] | None = None,
+    ) -> "Discretizer":
+        """Fit equal-frequency (quantile) bins to the observed values."""
+        return cls(equal_frequency_breakpoints(values, bins), labels)
+
+    @property
+    def labels(self) -> list[str]:
+        """The bin labels, in ascending value order."""
+        return list(self._labels)
+
+    def label(self, value: float) -> str:
+        """The bin label for one numeric value."""
+        return self._labels[bisect.bisect_right(self._breakpoints, value)]
+
+    def transform(self, values: Sequence[float]) -> FeatureSeries:
+        """Discretize a numeric sequence into a single-feature-per-slot series."""
+        return FeatureSeries(self.label(value) for value in values)
+
+
+class MultiLevelDiscretizer:
+    """Two-level discretization: every slot carries a coarse and a fine label.
+
+    The coarse level uses ``coarse_bins`` equal-frequency bins; each coarse
+    bin is subdivided into ``fine_per_coarse`` equal-width sub-bins.  Slot
+    features are ``{coarse, coarse.fine}``, which is exactly the shape the
+    multi-level miner (:mod:`repro.multilevel`) drills down through.
+
+    Examples
+    --------
+    >>> values = list(range(100))
+    >>> multi = MultiLevelDiscretizer.fit(values, coarse_bins=2,
+    ...                                   fine_per_coarse=2,
+    ...                                   coarse_labels=["low", "high"])
+    >>> sorted(multi.features(10.0))
+    ['low', 'low.0']
+    """
+
+    __slots__ = ("_coarse", "_fine_breakpoints", "_fine_per_coarse")
+
+    def __init__(
+        self,
+        coarse: Discretizer,
+        fine_breakpoints: Sequence[Sequence[float]],
+        fine_per_coarse: int,
+    ):
+        if len(fine_breakpoints) != len(coarse.labels):
+            raise SeriesError(
+                "need one fine-breakpoint list per coarse bin "
+                f"({len(coarse.labels)}), got {len(fine_breakpoints)}"
+            )
+        self._coarse = coarse
+        self._fine_breakpoints = [list(points) for points in fine_breakpoints]
+        self._fine_per_coarse = fine_per_coarse
+
+    @classmethod
+    def fit(
+        cls,
+        values: Sequence[float],
+        coarse_bins: int = 3,
+        fine_per_coarse: int = 2,
+        coarse_labels: Sequence[str] | None = None,
+    ) -> "MultiLevelDiscretizer":
+        """Fit both levels to the observed values."""
+        coarse = Discretizer.equal_frequency(values, coarse_bins, coarse_labels)
+        per_bin: dict[str, list[float]] = {label: [] for label in coarse.labels}
+        for value in values:
+            per_bin[coarse.label(value)].append(value)
+        fine_breakpoints = []
+        for label in coarse.labels:
+            members = per_bin[label]
+            if len(members) >= 2 and fine_per_coarse >= 2:
+                fine_breakpoints.append(
+                    equal_width_breakpoints(members, fine_per_coarse)
+                )
+            else:
+                fine_breakpoints.append([])
+        return cls(coarse, fine_breakpoints, fine_per_coarse)
+
+    @property
+    def coarse_labels(self) -> list[str]:
+        """The coarse bin labels."""
+        return self._coarse.labels
+
+    def features(self, value: float) -> frozenset[str]:
+        """Both features (coarse and ``coarse.fine``) for one value."""
+        coarse_labels = self._coarse.labels
+        coarse = self._coarse.label(value)
+        points = self._fine_breakpoints[coarse_labels.index(coarse)]
+        fine = bisect.bisect_right(points, value)
+        return frozenset((coarse, f"{coarse}.{fine}"))
+
+    def transform(self, values: Sequence[float]) -> FeatureSeries:
+        """Discretize a numeric sequence into a two-feature-per-slot series."""
+        return FeatureSeries(self.features(value) for value in values)
+
+    def taxonomy_edges(self) -> list[tuple[str, str]]:
+        """``(child, parent)`` pairs linking fine labels under coarse labels.
+
+        Feed these to :class:`repro.multilevel.taxonomy.Taxonomy`.
+        """
+        edges = []
+        for index, coarse in enumerate(self._coarse.labels):
+            fine_count = len(self._fine_breakpoints[index]) + 1
+            for fine in range(fine_count):
+                edges.append((f"{coarse}.{fine}", coarse))
+        return edges

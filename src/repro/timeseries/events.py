@@ -1,0 +1,136 @@
+"""Derivation of feature series from timestamped event databases.
+
+Section 2 of the paper assumes "a sequence of N timestamped datasets have
+been collected in a database" and that a set of features is derived per time
+instant.  This module provides that substrate: an :class:`EventDatabase` of
+``(timestamp, feature)`` records and the bucketing/derivation step that turns
+it into a :class:`~repro.timeseries.feature_series.FeatureSeries`.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Callable, Iterable, Sequence
+from dataclasses import dataclass, field
+
+from repro.core.errors import SeriesError
+from repro.timeseries.feature_series import FeatureSeries
+
+
+@dataclass(frozen=True, slots=True)
+class Event:
+    """One timestamped observation.
+
+    ``time`` is any real-valued timestamp (seconds, minutes, trading days —
+    the unit only matters relative to the bucketing ``slot_width``).
+    """
+
+    time: float
+    feature: str
+
+    def __post_init__(self) -> None:
+        if not self.feature:
+            raise SeriesError("an event needs a non-empty feature name")
+
+
+@dataclass(slots=True)
+class EventDatabase:
+    """A collection of timestamped events convertible to a feature series."""
+
+    events: list[Event] = field(default_factory=list)
+
+    @classmethod
+    def from_pairs(cls, pairs: Iterable[tuple[float, str]]) -> "EventDatabase":
+        """Build from ``(time, feature)`` tuples."""
+        return cls([Event(time, feature) for time, feature in pairs])
+
+    def add(self, time: float, feature: str) -> None:
+        """Append one event."""
+        self.events.append(Event(time, feature))
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    @property
+    def time_span(self) -> tuple[float, float]:
+        """(earliest, latest) event time; raises on an empty database."""
+        if not self.events:
+            raise SeriesError("the event database is empty")
+        times = [event.time for event in self.events]
+        return min(times), max(times)
+
+    def to_feature_series(
+        self,
+        slot_width: float,
+        start: float | None = None,
+        end: float | None = None,
+    ) -> FeatureSeries:
+        """Bucket events into fixed-width time slots.
+
+        Parameters
+        ----------
+        slot_width:
+            Width of one time slot, in the same unit as the event times.
+        start, end:
+            Time range to cover.  Defaults to the database's span.  Events
+            outside ``[start, end)`` are ignored.
+
+        Returns
+        -------
+        FeatureSeries
+            One slot per bucket; slot ``i`` holds the features of all events
+            with ``start + i*slot_width <= time < start + (i+1)*slot_width``.
+        """
+        if slot_width <= 0:
+            raise SeriesError(f"slot_width must be positive, got {slot_width}")
+        if not self.events:
+            raise SeriesError("cannot derive a series from an empty database")
+        span_start, span_end = self.time_span
+        if start is None:
+            start = span_start
+        if end is None:
+            end = span_end + slot_width
+        if end <= start:
+            raise SeriesError(f"empty time range [{start}, {end})")
+        num_slots = math.ceil((end - start) / slot_width)
+        buckets: list[set[str]] = [set() for _ in range(num_slots)]
+        for event in self.events:
+            if not start <= event.time < end:
+                continue
+            index = int((event.time - start) // slot_width)
+            if index == num_slots:  # end-boundary float edge
+                index -= 1
+            buckets[index].add(event.feature)
+        return FeatureSeries(buckets)
+
+
+#: A feature extractor maps one raw record to zero or more feature strings.
+FeatureExtractor = Callable[[object], Iterable[str]]
+
+
+def derive_feature_series(
+    records: Sequence[object],
+    extractors: Sequence[FeatureExtractor],
+) -> FeatureSeries:
+    """Turn a sequence of raw per-instant records into a feature series.
+
+    This is the general form of the paper's "set of features derived from
+    the dataset collected at the instant": each record (one per time instant,
+    already aligned to slots) is passed through every extractor and the
+    resulting feature strings are unioned.
+
+    Examples
+    --------
+    >>> readings = [3.0, 9.5, 4.2]
+    >>> hot = lambda value: ["hot"] if value > 8 else []
+    >>> series = derive_feature_series(readings, [hot])
+    >>> [sorted(slot) for slot in series]
+    [[], ['hot'], []]
+    """
+    slots: list[set[str]] = []
+    for record in records:
+        features: set[str] = set()
+        for extractor in extractors:
+            features.update(extractor(record))
+        slots.append(features)
+    return FeatureSeries(slots)

@@ -1,0 +1,128 @@
+"""Plain-text persistence for feature series.
+
+Format: one slot per line, features separated by spaces; an empty line is an
+empty slot.  Lines starting with ``#`` are comments.  The format is
+line-oriented so a series can be streamed from disk, matching the paper's
+disk-resident-database setting.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator
+from pathlib import Path
+
+from repro.core.errors import SeriesError
+from repro.timeseries.feature_series import FeatureSeries
+
+
+def save_series(series: FeatureSeries, path: str | Path) -> None:
+    """Write a series to a text file (one slot per line)."""
+    target = Path(path)
+    with target.open("w", encoding="utf-8") as handle:
+        handle.write("# repro feature series v1\n")
+        for slot in series:
+            handle.write(" ".join(sorted(slot)))
+            handle.write("\n")
+
+
+def iter_slot_lines(path: str | Path) -> Iterator[frozenset[str]]:
+    """Stream slots from a series file without materializing the series."""
+    source = Path(path)
+    if not source.exists():
+        raise SeriesError(f"series file not found: {source}")
+    with source.open("r", encoding="utf-8") as handle:
+        for line in handle:
+            line = line.rstrip("\n")
+            if line.startswith("#"):
+                continue
+            if not line.strip():
+                yield frozenset()
+            else:
+                yield frozenset(line.split())
+
+
+def load_series(path: str | Path) -> FeatureSeries:
+    """Read a series previously written by :func:`save_series`."""
+    return FeatureSeries(iter_slot_lines(path))
+
+
+def load_numeric_csv(
+    path: str | Path,
+    column: str,
+    delimiter: str = ",",
+) -> list[float]:
+    """Read one numeric column from a headed CSV file.
+
+    A thin, dependency-free reader for the discretization pipeline: the
+    first row is the header, the named column is parsed as floats.
+    """
+    import csv
+
+    source = Path(path)
+    if not source.exists():
+        raise SeriesError(f"CSV file not found: {source}")
+    values = []
+    with source.open("r", encoding="utf-8", newline="") as handle:
+        reader = csv.DictReader(handle, delimiter=delimiter)
+        if reader.fieldnames is None or column not in reader.fieldnames:
+            raise SeriesError(
+                f"column {column!r} not in CSV header "
+                f"{reader.fieldnames}: {source}"
+            )
+        for row_number, row in enumerate(reader, start=2):
+            raw = row[column]
+            try:
+                values.append(float(raw))
+            except (TypeError, ValueError) as error:
+                raise SeriesError(
+                    f"{source}:{row_number}: {column}={raw!r} is not numeric"
+                ) from error
+    if not values:
+        raise SeriesError(f"CSV file has no data rows: {source}")
+    return values
+
+
+def load_events_csv(
+    path: str | Path,
+    time_column: str = "time",
+    feature_column: str = "feature",
+    delimiter: str = ",",
+):
+    """Read a timestamped event database from a headed CSV file.
+
+    Returns a :class:`~repro.timeseries.events.EventDatabase`; bucket it
+    with ``to_feature_series`` to obtain a mineable series.
+    """
+    import csv
+
+    from repro.timeseries.events import EventDatabase
+
+    source = Path(path)
+    if not source.exists():
+        raise SeriesError(f"CSV file not found: {source}")
+    database = EventDatabase()
+    with source.open("r", encoding="utf-8", newline="") as handle:
+        reader = csv.DictReader(handle, delimiter=delimiter)
+        missing = {time_column, feature_column} - set(reader.fieldnames or ())
+        if missing:
+            raise SeriesError(
+                f"columns {sorted(missing)} not in CSV header "
+                f"{reader.fieldnames}: {source}"
+            )
+        for row_number, row in enumerate(reader, start=2):
+            try:
+                time = float(row[time_column])
+            except (TypeError, ValueError) as error:
+                raise SeriesError(
+                    f"{source}:{row_number}: bad timestamp "
+                    f"{row[time_column]!r}"
+                ) from error
+            feature = row[feature_column]
+            if not feature:
+                raise SeriesError(
+                    f"{source}:{row_number}: empty feature name"
+                )
+            database.add(time, feature)
+    if not database.events:
+        raise SeriesError(f"CSV file has no data rows: {source}")
+    return database

@@ -1,0 +1,96 @@
+"""Numeric pre-processing for feature derivation.
+
+Section 6's numeric scenario ("stock or power consumption fluctuation")
+usually needs a transform *before* discretization: absolute prices carry a
+trend, it is the returns/deltas that are periodic.  This module provides
+the standard transforms plus a movement labeller that goes straight from a
+numeric sequence to a {down, flat, up}-style feature series.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from repro.core.errors import SeriesError
+from repro.timeseries.feature_series import FeatureSeries
+
+
+def deltas(values: Sequence[float]) -> list[float]:
+    """First differences; one element shorter than the input."""
+    if len(values) < 2:
+        raise SeriesError("need at least 2 values to difference")
+    return [
+        float(after) - float(before)
+        for before, after in zip(values, values[1:])
+    ]
+
+
+def percent_changes(values: Sequence[float]) -> list[float]:
+    """Relative first differences ``(x[i+1] - x[i]) / |x[i]|``.
+
+    Zero bases raise: a percent change from 0 is undefined, and silently
+    substituting a sentinel would poison the downstream discretization.
+    """
+    if len(values) < 2:
+        raise SeriesError("need at least 2 values for percent changes")
+    changes = []
+    for before, after in zip(values, values[1:]):
+        if before == 0:
+            raise SeriesError("percent change from a zero value is undefined")
+        changes.append((float(after) - float(before)) / abs(float(before)))
+    return changes
+
+
+def zscores(values: Sequence[float]) -> list[float]:
+    """Standard scores against the sequence's own mean and deviation."""
+    if not values:
+        raise SeriesError("cannot standardize an empty sequence")
+    floats = [float(value) for value in values]
+    mean = sum(floats) / len(floats)
+    variance = sum((value - mean) ** 2 for value in floats) / len(floats)
+    if variance == 0:
+        return [0.0] * len(floats)
+    deviation = variance**0.5
+    return [(value - mean) / deviation for value in floats]
+
+
+def movement_series(
+    values: Sequence[float],
+    flat_band: float = 0.5,
+    labels: tuple[str, str, str] = ("down", "flat", "up"),
+    relative: bool = False,
+) -> FeatureSeries:
+    """Label consecutive moves as down/flat/up.
+
+    Parameters
+    ----------
+    values:
+        The raw numeric sequence (e.g. closing prices).
+    flat_band:
+        Moves with absolute size (or absolute relative size when
+        ``relative``) below this are "flat".
+    labels:
+        The three labels, in (down, flat, up) order.
+    relative:
+        Use percent changes instead of absolute deltas.
+
+    Returns
+    -------
+    FeatureSeries
+        One slot per move — length ``len(values) - 1``.
+    """
+    if flat_band < 0:
+        raise SeriesError(f"flat_band must be >= 0, got {flat_band}")
+    if len(labels) != 3:
+        raise SeriesError(f"need exactly 3 labels, got {len(labels)}")
+    moves = percent_changes(values) if relative else deltas(values)
+    down, flat, up = labels
+    slots = []
+    for move in moves:
+        if move > flat_band:
+            slots.append(up)
+        elif move < -flat_band:
+            slots.append(down)
+        else:
+            slots.append(flat)
+    return FeatureSeries(slots)

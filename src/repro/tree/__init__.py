@@ -1,0 +1,6 @@
+"""The max-subpattern tree (paper Section 4)."""
+
+from repro.tree.max_subpattern_tree import MaxSubpatternTree, tree_from_hits
+from repro.tree.node import MaxSubpatternNode
+
+__all__ = ["MaxSubpatternNode", "MaxSubpatternTree", "tree_from_hits"]

@@ -1,0 +1,338 @@
+"""The max-subpattern tree (Section 4 of the paper).
+
+The tree registers, for each period segment scanned, its *hit* — the maximal
+subpattern of the candidate max-pattern ``C_max`` true in that segment
+(Algorithm 4.1) — and afterwards lets us derive the frequency count of
+*every* subpattern of ``C_max`` without touching the series again
+(Algorithm 4.2).
+
+Count semantics: a node's ``count`` is the number of segments whose hit is
+*exactly* that node's pattern.  The total frequency count of a pattern ``X``
+is the sum of counts over all nodes whose pattern is a superpattern of
+``X`` — the node itself plus its *reachable ancestors* in the paper's
+terminology.
+
+Following the paper, hits with fewer than two letters are not inserted: the
+counts of 1-letter patterns are already known exactly from the F1 scan, and
+a 1-letter node could never contribute to the count of any multi-letter
+pattern.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Iterator, Mapping
+
+from repro.core.candidates import generate_candidates
+from repro.core.counting import segment_letters
+from repro.core.errors import MiningError, PatternError
+from repro.core.pattern import Letter, Pattern
+from repro.tree.node import MaxSubpatternNode
+from repro.timeseries.feature_series import FeatureSeries, Segment
+
+
+class MaxSubpatternTree:
+    """Hit registration and frequent-pattern derivation for one ``C_max``.
+
+    Parameters
+    ----------
+    max_pattern:
+        The candidate max-pattern built from the frequent 1-patterns
+        (see :mod:`repro.core.maxpattern`).
+
+    Examples
+    --------
+    >>> cmax = Pattern.from_string("a{b1,b2}*d*")
+    >>> tree = MaxSubpatternTree(cmax)
+    >>> _ = tree.insert(Pattern.from_string("a{b2}*d*"))
+    >>> _ = tree.insert(Pattern.from_string("a{b1,b2}*d*"))
+    >>> tree.count_of(Pattern.from_string("a**d*"))
+    2
+    """
+
+    def __init__(self, max_pattern: Pattern):
+        if max_pattern.is_trivial:
+            raise MiningError("C_max must contain at least one letter")
+        self._max_pattern = max_pattern
+        self._letters = max_pattern.letters
+        self._root = MaxSubpatternNode(())
+        #: Index of every existing node by its missing-letter frozenset.
+        self._index: dict[frozenset[Letter], MaxSubpatternNode] = {
+            frozenset(): self._root
+        }
+        self._total_hits = 0
+
+    # ------------------------------------------------------------------
+    # Structure accessors
+    # ------------------------------------------------------------------
+
+    @property
+    def max_pattern(self) -> Pattern:
+        """The candidate max-pattern at the root."""
+        return self._max_pattern
+
+    @property
+    def root(self) -> MaxSubpatternNode:
+        """The root node (pattern ``C_max``)."""
+        return self._root
+
+    @property
+    def node_count(self) -> int:
+        """Total nodes in the tree, including zero-count path nodes."""
+        return len(self._index)
+
+    @property
+    def hit_set_size(self) -> int:
+        """Nodes with a non-zero count — the size of the hit set."""
+        return sum(1 for node in self._index.values() if node.count)
+
+    @property
+    def total_hits(self) -> int:
+        """Total segments registered (sum of all node counts)."""
+        return self._total_hits
+
+    def nodes(self) -> Iterator[MaxSubpatternNode]:
+        """Iterate all nodes (arbitrary order)."""
+        return iter(self._index.values())
+
+    def pattern_of(self, node: MaxSubpatternNode) -> Pattern:
+        """The pattern a node stands for: ``C_max`` minus its missing letters."""
+        return Pattern.from_letters(
+            self._max_pattern.period, self._letters - set(node.missing)
+        )
+
+    def find_node(self, pattern: Pattern) -> MaxSubpatternNode | None:
+        """The node holding exactly this subpattern of ``C_max``, if present."""
+        missing = self._missing_of(pattern)
+        return self._index.get(frozenset(missing))
+
+    # ------------------------------------------------------------------
+    # Insertion — Algorithm 4.1
+    # ------------------------------------------------------------------
+
+    def insert(self, pattern: Pattern, count: int = 1) -> MaxSubpatternNode:
+        """Register a hit max-subpattern (Algorithm 4.1).
+
+        Walks from the root following the missing letters in canonical
+        order, creating any absent nodes on the path with count 0, then
+        bumps the target node's count.
+        """
+        if count < 1:
+            raise MiningError(f"insert count must be >= 1, got {count}")
+        missing = self._missing_of(pattern)
+        if len(self._letters) - len(missing) < 1:
+            raise MiningError("cannot insert the empty (all-*) pattern")
+        node = self._root
+        for letter in missing:
+            existing = node.child(letter)
+            if existing is None:
+                existing = node.add_child(letter)
+                self._index[frozenset(existing.missing)] = existing
+            node = existing
+        node.count += count
+        self._total_hits += count
+        return node
+
+    def hit_of_segment(self, segment: Segment) -> frozenset[Letter]:
+        """The hit of a segment: its letters intersected with ``C_max``'s."""
+        return segment_letters(segment) & self._letters
+
+    def insert_segment(self, segment: Segment) -> MaxSubpatternNode | None:
+        """Compute a segment's hit and register it if it has >= 2 letters.
+
+        Returns the updated node, or ``None`` when the hit was empty or a
+        single letter (1-letter counts live in the F1 scan, not the tree).
+        """
+        hit = self.hit_of_segment(segment)
+        if len(hit) < 2:
+            return None
+        return self.insert(
+            Pattern.from_letters(self._max_pattern.period, hit)
+        )
+
+    def insert_all_segments(self, series: FeatureSeries) -> int:
+        """Scan 2 of Algorithm 3.2: register the hit of every segment.
+
+        Returns the number of segments whose hit was stored.
+        """
+        stored = 0
+        for segment in series.segments(self._max_pattern.period):
+            if self.insert_segment(segment) is not None:
+                stored += 1
+        return stored
+
+    # ------------------------------------------------------------------
+    # Ancestors
+    # ------------------------------------------------------------------
+
+    def linked_ancestors(
+        self, node: MaxSubpatternNode
+    ) -> list[MaxSubpatternNode]:
+        """Ancestors on the physical path to the root (missing prefixes)."""
+        ancestors = []
+        current = node.parent
+        while current is not None:
+            ancestors.append(current)
+            current = current.parent
+        return ancestors
+
+    def reachable_ancestors(
+        self, node: MaxSubpatternNode
+    ) -> list[MaxSubpatternNode]:
+        """All existing nodes whose pattern properly contains the node's.
+
+        These are the nodes whose missing set is a proper subset of the
+        node's missing set — including the not-physically-linked ones the
+        paper's Example 4.2 walks through.
+        """
+        missing = frozenset(node.missing)
+        if len(missing) <= 20:
+            found = []
+            ordered = sorted(missing)
+            for mask in range(1 << len(ordered)):
+                if mask == (1 << len(ordered)) - 1:
+                    continue  # the node itself is not its own ancestor
+                subset = frozenset(
+                    ordered[i] for i in range(len(ordered)) if mask >> i & 1
+                )
+                candidate = self._index.get(subset)
+                if candidate is not None:
+                    found.append(candidate)
+            return found
+        return [
+            candidate
+            for key, candidate in self._index.items()
+            if key < missing
+        ]
+
+    # ------------------------------------------------------------------
+    # Counting and derivation — Algorithm 4.2
+    # ------------------------------------------------------------------
+
+    def count_of(self, pattern: Pattern) -> int:
+        """Frequency count of any subpattern of ``C_max`` (letters >= 2).
+
+        Sums the counts of the node itself and all its reachable
+        ancestors — equivalently, of every stored node whose missing set is
+        disjoint from the pattern's letters.
+
+        1-letter patterns are intentionally rejected: their exact counts
+        come from the F1 scan and are not represented in the tree.
+        """
+        letters = self._letters_of(pattern)
+        if len(letters) < 2:
+            raise MiningError(
+                "the tree only counts patterns with >= 2 letters; "
+                "1-pattern counts come from the F1 scan"
+            )
+        return self.count_of_letters(letters)
+
+    def count_of_letters(self, letters: frozenset[Letter]) -> int:
+        """Letter-set form of :meth:`count_of` (no validation, hot path)."""
+        total = 0
+        for node in self._index.values():
+            if node.count and not letters.intersection(node.missing):
+                total += node.count
+        return total
+
+    def derive_frequent(
+        self,
+        threshold: int,
+        f1_counts: Mapping[Letter, int],
+        max_letters: int | None = None,
+    ) -> tuple[dict[frozenset[Letter], int], dict[int, int]]:
+        """Algorithm 4.2: all frequent patterns from the hit counts.
+
+        Level-wise Apriori over the tree: level 1 is ``F1`` (counts from the
+        first scan), level k+1 candidates come from apriori-gen on level k
+        and are counted against the stored hits.
+
+        ``max_letters`` optionally caps the derived pattern size.  The
+        complete frequent set is exponential on degenerate inputs (e.g. a
+        feature present at every offset of every segment), so callers that
+        only need short patterns should cap the derivation.
+
+        Returns
+        -------
+        (counts, candidate_counts):
+            ``counts`` maps each frequent letter set to its frequency count;
+            ``candidate_counts`` records candidates examined per level for
+            the cost statistics.
+        """
+        counts: dict[frozenset[Letter], int] = {
+            frozenset((letter,)): count for letter, count in f1_counts.items()
+        }
+        candidate_counts = {1: len(f1_counts)}
+        frequent_level = set(counts)
+        level = 1
+        # Pre-extract the non-zero nodes once as integer bitmasks over the
+        # C_max letters; the superpattern test per (candidate, node) pair
+        # becomes a single `candidate_mask & missing_mask == 0`.
+        bit_of = {
+            letter: 1 << index
+            for index, letter in enumerate(sorted(self._letters))
+        }
+        stored = [
+            (
+                sum(bit_of[letter] for letter in node.missing),
+                node.count,
+            )
+            for node in self._index.values()
+            if node.count
+        ]
+        while frequent_level:
+            if max_letters is not None and level >= max_letters:
+                break
+            candidates = generate_candidates(frequent_level)
+            if not candidates:
+                break
+            level += 1
+            candidate_counts[level] = len(candidates)
+            frequent_level = set()
+            for candidate in candidates:
+                mask = 0
+                for letter in candidate:
+                    mask |= bit_of[letter]
+                total = 0
+                for missing_mask, count in stored:
+                    if not mask & missing_mask:
+                        total += count
+                if total >= threshold:
+                    counts[candidate] = total
+                    frequent_level.add(candidate)
+        return counts, candidate_counts
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+
+    def _letters_of(self, pattern: Pattern) -> frozenset[Letter]:
+        if pattern.period != self._max_pattern.period:
+            raise PatternError(
+                f"pattern period {pattern.period} != tree period "
+                f"{self._max_pattern.period}"
+            )
+        letters = pattern.letters
+        if not letters <= self._letters:
+            raise PatternError(f"{pattern} is not a subpattern of C_max")
+        return letters
+
+    def _missing_of(self, pattern: Pattern) -> list[Letter]:
+        letters = self._letters_of(pattern)
+        return sorted(self._letters - letters)
+
+    def __repr__(self) -> str:
+        return (
+            f"MaxSubpatternTree(C_max={self._max_pattern}, "
+            f"nodes={self.node_count}, hits={self.hit_set_size})"
+        )
+
+
+def tree_from_hits(
+    max_pattern: Pattern,
+    hits: Iterable[tuple[Pattern, int]],
+) -> MaxSubpatternTree:
+    """Build a tree directly from ``(pattern, count)`` pairs (test helper)."""
+    tree = MaxSubpatternTree(max_pattern)
+    for pattern, count in hits:
+        tree.insert(pattern, count)
+    return tree

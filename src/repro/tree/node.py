@@ -1,0 +1,79 @@
+"""Nodes of the max-subpattern tree.
+
+Each node represents one subpattern of the candidate max-pattern ``C_max``,
+identified by the set of ``C_max`` letters it is *missing*.  The root misses
+nothing; each edge removes exactly one more letter, and — following
+Algorithm 4.1 — edges are taken in canonical letter order, so the missing
+tuple along any root-to-node path is strictly increasing.
+"""
+
+from __future__ import annotations
+
+from repro.core.pattern import Letter
+
+
+class MaxSubpatternNode:
+    """One node of the max-subpattern tree.
+
+    Attributes
+    ----------
+    missing:
+        The sorted tuple of ``C_max`` letters absent from this node's
+        pattern.  ``()`` for the root.
+    count:
+        Number of period segments whose hit max-subpattern is exactly this
+        node's pattern.  Intermediate nodes created on the way to a deeper
+        insertion keep count 0, as in the paper.
+    parent:
+        The node one missing-letter shorter (``None`` for the root).
+    children:
+        Mapping from the additionally-missing letter to the child node.
+    """
+
+    __slots__ = ("missing", "count", "parent", "children")
+
+    def __init__(
+        self,
+        missing: tuple[Letter, ...],
+        parent: "MaxSubpatternNode | None" = None,
+    ):
+        self.missing = missing
+        self.count = 0
+        self.parent = parent
+        self.children: dict[Letter, MaxSubpatternNode] = {}
+
+    @property
+    def depth(self) -> int:
+        """Number of letters missing relative to ``C_max`` (root = 0)."""
+        return len(self.missing)
+
+    @property
+    def is_root(self) -> bool:
+        """True for the ``C_max`` node itself."""
+        return not self.missing
+
+    def child(self, letter: Letter) -> "MaxSubpatternNode | None":
+        """The child missing additionally ``letter``, or ``None``."""
+        return self.children.get(letter)
+
+    def add_child(self, letter: Letter) -> "MaxSubpatternNode":
+        """Create (or return) the child missing additionally ``letter``.
+
+        The letter must be greater than the node's last missing letter, so
+        that missing tuples stay sorted along every path.
+        """
+        existing = self.children.get(letter)
+        if existing is not None:
+            return existing
+        if self.missing and letter <= self.missing[-1]:
+            raise ValueError(
+                f"child letter {letter!r} must follow {self.missing[-1]!r} "
+                "in canonical order"
+            )
+        child = MaxSubpatternNode(self.missing + (letter,), parent=self)
+        self.children[letter] = child
+        return child
+
+    def __repr__(self) -> str:
+        missing = ",".join(f"~{feature}@{offset}" for offset, feature in self.missing)
+        return f"MaxSubpatternNode(missing=[{missing}], count={self.count})"

@@ -1,0 +1,94 @@
+"""Shared fixtures and hypothesis strategies for the test suite."""
+
+from __future__ import annotations
+
+import hypothesis.strategies as st
+import pytest
+
+from repro.core.pattern import Pattern
+from repro.synth.generator import generate_series
+from repro.timeseries.feature_series import FeatureSeries
+
+# ---------------------------------------------------------------------------
+# Deterministic fixtures
+# ---------------------------------------------------------------------------
+
+
+@pytest.fixture
+def paper_series() -> FeatureSeries:
+    """The paper's Section 3.2 counterexample series: abdabcabdabc."""
+    return FeatureSeries.from_symbols("abdabcabdabc")
+
+
+@pytest.fixture
+def example21_series() -> FeatureSeries:
+    """Example 2.1's feature series shape: a{b,c} a d a{b,e} a d ... .
+
+    Built so that ``a*`` has count 2-of-3 style confidences analogous to
+    the paper's walk-through.
+    """
+    return FeatureSeries(
+        [
+            {"a"},
+            {"b", "c"},
+            {"a"},
+            {"d"},
+            {"a"},
+            {"b", "e"},
+        ]
+    )
+
+
+@pytest.fixture
+def synthetic_small():
+    """A small synthetic series with known planted structure."""
+    return generate_series(3000, 10, 4, f1_size=6, seed=11)
+
+
+# ---------------------------------------------------------------------------
+# Hypothesis strategies
+# ---------------------------------------------------------------------------
+
+FEATURES = ["a", "b", "c", "d"]
+
+
+def slots_strategy(alphabet: list[str] | None = None) -> st.SearchStrategy:
+    """One slot: a (possibly empty) small subset of a small alphabet.
+
+    Slots are capped at 2 features so the exhaustive oracle (which
+    enumerates ``2**letters`` subsets per segment) stays fast.
+    """
+    alphabet = alphabet or FEATURES
+    return st.sets(st.sampled_from(alphabet), max_size=2)
+
+
+def series_strategy(
+    min_length: int = 4,
+    max_length: int = 40,
+    alphabet: list[str] | None = None,
+) -> st.SearchStrategy:
+    """A random small feature series."""
+    return st.lists(
+        slots_strategy(alphabet), min_size=min_length, max_size=max_length
+    ).map(FeatureSeries)
+
+
+def pattern_strategy(
+    period: int = 4, alphabet: list[str] | None = None
+) -> st.SearchStrategy:
+    """A random pattern of a fixed period (may be trivial)."""
+    alphabet = alphabet or FEATURES
+    return st.lists(
+        st.sets(st.sampled_from(alphabet), max_size=2),
+        min_size=period,
+        max_size=period,
+    ).map(Pattern)
+
+
+def nontrivial_pattern_strategy(
+    period: int = 4, alphabet: list[str] | None = None
+) -> st.SearchStrategy:
+    """A random pattern guaranteed to carry at least one letter."""
+    return pattern_strategy(period, alphabet).filter(
+        lambda pattern: not pattern.is_trivial
+    )

@@ -1,0 +1,98 @@
+"""Unit tests for Algorithm 3.1 (single-period Apriori)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.apriori import (
+    apriori_candidate_schedule,
+    mine_single_period_apriori,
+)
+from repro.core.counting import brute_force_frequent
+from repro.core.errors import MiningError
+from repro.core.pattern import Pattern
+from repro.timeseries.feature_series import FeatureSeries
+from repro.timeseries.scan import ScanCountingSeries
+
+
+class TestCorrectness:
+    def test_matches_oracle_on_paper_series(self, paper_series):
+        result = mine_single_period_apriori(paper_series, 3, 0.5)
+        oracle = brute_force_frequent(paper_series, 3, 0.5)
+        assert dict(result.items()) == oracle
+
+    def test_matches_oracle_multiple_thresholds(self, paper_series):
+        for min_conf in (0.25, 0.5, 0.75, 1.0):
+            result = mine_single_period_apriori(paper_series, 3, min_conf)
+            oracle = brute_force_frequent(paper_series, 3, min_conf)
+            assert dict(result.items()) == oracle, min_conf
+
+    def test_counts_are_exact(self, paper_series):
+        result = mine_single_period_apriori(paper_series, 3, 0.5)
+        assert result[Pattern.from_string("ab*")] == 4
+        assert result[Pattern.from_string("abd")] == 2
+        assert result[Pattern.from_string("abc")] == 2
+
+    def test_multi_letter_positions_found(self):
+        series = FeatureSeries([{"a", "b"}, {"x"}] * 5)
+        result = mine_single_period_apriori(series, 2, 0.9)
+        assert Pattern([["a", "b"], None]) in result
+
+    def test_empty_when_nothing_frequent(self):
+        series = FeatureSeries.from_symbols("abcdefgh")
+        result = mine_single_period_apriori(series, 2, 1.0)
+        assert len(result) == 0
+
+    def test_apriori_property_holds_in_output(self, synthetic_small):
+        result = mine_single_period_apriori(
+            synthetic_small.series, 10, synthetic_small.recommended_min_conf
+        )
+        for pattern in result:
+            for letter in pattern.sorted_letters():
+                sub = pattern.without_letter(*letter)
+                if not sub.is_trivial:
+                    assert sub in result
+                    assert result[sub] >= result[pattern]
+
+
+class TestCostAccounting:
+    def test_scan_count_tracks_levels(self, paper_series):
+        scan = ScanCountingSeries(paper_series)
+        result = mine_single_period_apriori(scan, 3, 0.5)
+        # Longest pattern has 3 letters (abd/abc at conf 1/2);
+        # scans = 1 (F1) + one per candidate level beyond 1.
+        assert scan.scans == result.stats.scans
+        assert scan.scans >= 3
+
+    def test_candidate_counts_recorded(self, paper_series):
+        result = mine_single_period_apriori(paper_series, 3, 0.5)
+        assert result.stats.candidate_counts[1] >= 1
+        assert result.stats.total_candidates >= len(result)
+
+    def test_max_letters_cap_limits_levels(self, paper_series):
+        capped = mine_single_period_apriori(paper_series, 3, 0.5, max_letters=1)
+        assert capped.max_letter_count == 1
+        assert capped.stats.scans == 1
+
+    def test_invalid_period_raises(self, paper_series):
+        with pytest.raises(MiningError):
+            mine_single_period_apriori(
+                FeatureSeries.from_symbols("a"), 1, 0.5, max_letters=0
+            )
+        from repro.core.errors import SeriesError
+
+        with pytest.raises(SeriesError):
+            mine_single_period_apriori(paper_series, 100, 0.5)
+
+    def test_invalid_conf_raises(self, paper_series):
+        with pytest.raises(MiningError):
+            mine_single_period_apriori(paper_series, 3, 0.0)
+
+
+class TestSchedule:
+    def test_worst_case_is_binomial(self):
+        schedule = apriori_candidate_schedule({(0, "a"), (1, "b"), (2, "c")})
+        assert schedule == {1: 3, 2: 3, 3: 1}
+
+    def test_empty_letters(self):
+        assert apriori_candidate_schedule(set()) == {}

@@ -1,0 +1,142 @@
+"""Unit tests for the Section 1 baselines (repro.baselines)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines.fft import (
+    detect_dominant_period,
+    fft_period_scores,
+    indicator_vector,
+)
+from repro.baselines.specified import (
+    enumerate_hypotheses,
+    log10_hypothesis_count,
+    mine_by_enumeration,
+    naive_hypothesis_count,
+    verify_specified,
+)
+from repro.core.errors import MiningError
+from repro.core.hitset import mine_single_period_hitset
+from repro.core.pattern import Pattern
+from repro.synth.workloads import unexpected_period_series
+from repro.timeseries.feature_series import FeatureSeries
+
+
+class TestVerifySpecified:
+    def test_confirms_a_true_hypothesis(self, paper_series):
+        outcome = verify_specified(paper_series, Pattern.from_string("ab*"))
+        assert outcome.count == 4
+        assert outcome.confidence == 1.0
+
+    def test_refutes_a_false_hypothesis(self, paper_series):
+        outcome = verify_specified(paper_series, Pattern.from_string("ba*"))
+        assert outcome.count == 0
+
+
+class TestEnumeration:
+    def test_enumerates_all_contiguous_assignments(self):
+        patterns = list(
+            enumerate_hypotheses(["a", "b"], [3], max_segment_length=2)
+        )
+        # p=3: length 1 -> 3 starts * 2 features = 6;
+        #      length 2 -> 2 starts * 4 assignments = 8.
+        assert len(patterns) == 14
+        assert len(set(patterns)) == 14
+        assert Pattern.from_string("ab*") in patterns
+        assert Pattern.from_string("*ba") in patterns
+
+    def test_count_matches_enumeration(self):
+        expected = naive_hypothesis_count(2, [3], 2)
+        actual = sum(1 for _ in enumerate_hypotheses(["a", "b"], [3], 2))
+        assert expected == actual == 14
+
+    def test_count_grows_explosively(self):
+        # The intro's point: sweeping periods 2..100 with segments up to 10
+        # over a 12-feature alphabet is astronomically large.
+        huge = naive_hypothesis_count(12, range(2, 101), 10)
+        assert huge > 10**12
+        assert log10_hypothesis_count(12, range(2, 101), 10) > 12
+
+    def test_validation(self):
+        with pytest.raises(MiningError):
+            list(enumerate_hypotheses([], [3], 2))
+        with pytest.raises(MiningError):
+            list(enumerate_hypotheses(["a"], [0], 2))
+        with pytest.raises(MiningError):
+            list(enumerate_hypotheses(["a"], [3], 0))
+        with pytest.raises(MiningError):
+            naive_hypothesis_count(0, [3], 2)
+
+
+class TestNaiveMining:
+    def test_finds_the_contiguous_frequent_patterns(self, paper_series):
+        frequent, checked = mine_by_enumeration(
+            paper_series, 3, 0.5, max_segment_length=3
+        )
+        full = mine_single_period_hitset(paper_series, 3, 0.5)
+        # The naive method can only see contiguous single-feature runs;
+        # whatever it finds must agree with full mining ...
+        for pattern, count in frequent.items():
+            assert full.get(pattern) == count
+        # ... and includes the contiguous members of the frequent set.
+        assert Pattern.from_string("ab*") in frequent
+        assert Pattern.from_string("abd") in frequent
+        assert checked == naive_hypothesis_count(
+            len(paper_series.alphabet), [3], 3
+        )
+
+    def test_misses_non_contiguous_patterns(self):
+        # a at offset 0 and c at offset 2 co-occur, but no contiguous
+        # window of length <= 2 covers both.
+        series = FeatureSeries.from_symbols("axcaxcaxc")
+        frequent, _ = mine_by_enumeration(series, 3, 0.9, max_segment_length=2)
+        full = mine_single_period_hitset(series, 3, 0.9)
+        assert Pattern.from_string("a*c") in full
+        assert Pattern.from_string("a*c") not in frequent
+
+    def test_hypothesis_guard(self):
+        series = FeatureSeries([{f"f{i}" for i in range(12)}] * 8)
+        with pytest.raises(MiningError):
+            mine_by_enumeration(
+                series, 4, 0.5, max_segment_length=4, max_hypotheses=100
+            )
+
+
+class TestFFT:
+    def test_indicator_vector(self):
+        series = FeatureSeries.from_symbols("aba*")
+        vector = indicator_vector(series, "a")
+        assert vector.tolist() == [1.0, 0.0, 1.0, 0.0]
+
+    def test_detects_strong_period(self):
+        series = unexpected_period_series(period=11, repetitions=60, seed=3)
+        dominant = detect_dominant_period(series, "burst", max_period=30)
+        assert dominant == 11
+
+    def test_scores_sorted_by_power(self):
+        series = unexpected_period_series(period=11, repetitions=60, seed=3)
+        scores = fft_period_scores(series, "burst", max_period=30)
+        powers = [item.power for item in scores]
+        assert powers == sorted(powers, reverse=True)
+
+    def test_cannot_express_offsets_or_confidence(self):
+        # Structural limitation, stated as a test: the FFT interface only
+        # yields (period, power); the mining result carries offset-level
+        # patterns with exact confidences for the same data.
+        series = unexpected_period_series(period=11, repetitions=60, seed=3)
+        scores = fft_period_scores(series, "burst", max_period=30)
+        assert {field for field in scores[0].__dataclass_fields__} == {
+            "period",
+            "power",
+        }
+        result = mine_single_period_hitset(series, 11, 0.6)
+        assert Pattern.from_letters(11, [(2, "burst")]) in result
+
+    def test_validation(self):
+        tiny = FeatureSeries.from_symbols("ab")
+        with pytest.raises(MiningError):
+            fft_period_scores(tiny, "a")
+        series = FeatureSeries.from_symbols("abababab")
+        with pytest.raises(MiningError):
+            fft_period_scores(series, "a", min_period=5, max_period=4)

@@ -1,0 +1,105 @@
+"""Unit tests for the analytical bounds (repro.analysis.bounds)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.bounds import (
+    ScanBudget,
+    apriori_candidate_bound,
+    hit_set_bound,
+    hit_set_buffer_bound,
+    tree_node_bound,
+)
+from repro.core.errors import MiningError
+
+
+class TestHitSetBound:
+    def test_paper_yearly_example(self):
+        # Property 3.2 example: 500 frequent 1-patterns, 100 years of
+        # yearly patterns -> buffer bounded by m = 100.
+        assert hit_set_bound(100, 500) == 100
+
+    def test_paper_weekly_example(self):
+        # 8 frequent 1-patterns, weekly patterns over 100 years: the
+        # 2^|F1| - 1 term (255) dominates only when m is larger.
+        weeks = 100 * 52
+        assert hit_set_bound(weeks, 8) == 2**8 - 1
+
+    def test_small_m_wins(self):
+        assert hit_set_bound(10, 8) == 10
+
+    def test_huge_f1_does_not_overflow(self):
+        assert hit_set_bound(1000, 10_000) == 1000
+
+    def test_zero_f1(self):
+        assert hit_set_bound(100, 0) == 0
+
+    def test_negative_inputs(self):
+        with pytest.raises(MiningError):
+            hit_set_bound(-1, 5)
+        with pytest.raises(MiningError):
+            hit_set_bound(5, -1)
+
+    def test_buffer_adds_f1_units(self):
+        assert hit_set_buffer_bound(100, 8) == hit_set_bound(100, 8) + 8
+
+
+class TestAprioriBound:
+    def test_sum_of_binomials(self):
+        # |F1| = 4: C(4,2) + C(4,3) + C(4,4) = 6 + 4 + 1 = 11.
+        assert apriori_candidate_bound(4) == 11
+
+    def test_level_cap(self):
+        assert apriori_candidate_bound(4, max_level=2) == 6
+
+    def test_zero(self):
+        assert apriori_candidate_bound(0) == 0
+        assert apriori_candidate_bound(1) == 0
+
+    def test_negative(self):
+        with pytest.raises(MiningError):
+            apriori_candidate_bound(-1)
+
+
+class TestTreeNodeBound:
+    def test_product(self):
+        assert tree_node_bound(10, 4) == 40
+
+    def test_negative(self):
+        with pytest.raises(MiningError):
+            tree_node_bound(-1, 4)
+
+    def test_bound_holds_in_practice(self, synthetic_small):
+        from repro.core.hitset import mine_single_period_hitset
+        from repro.core.maxpattern import find_frequent_one_patterns
+
+        min_conf = synthetic_small.recommended_min_conf
+        one = find_frequent_one_patterns(synthetic_small.series, 10, min_conf)
+        result = mine_single_period_hitset(synthetic_small.series, 10, min_conf)
+        assert result.stats.tree_nodes <= tree_node_bound(
+            result.stats.hit_set_size, len(one.letters)
+        ) + 1  # + root
+
+
+class TestScanBudget:
+    def test_constants(self):
+        budget = ScanBudget()
+        assert budget.hitset_single == 2
+        assert budget.hitset_shared == 2
+
+    def test_apriori_scans(self):
+        assert ScanBudget.apriori_single(0) == 1
+        assert ScanBudget.apriori_single(3) == 4
+
+    def test_apriori_negative(self):
+        with pytest.raises(MiningError):
+            ScanBudget.apriori_single(-1)
+
+    def test_looping_multi(self):
+        assert ScanBudget.looping_multi(5) == 10
+        assert ScanBudget.looping_multi(3, per_period_scans=4) == 12
+
+    def test_looping_invalid(self):
+        with pytest.raises(MiningError):
+            ScanBudget.looping_multi(0)

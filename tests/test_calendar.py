@@ -1,0 +1,65 @@
+"""Unit tests for calendar helpers (repro.timeseries.calendar)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.errors import SeriesError
+from repro.core.pattern import Pattern
+from repro.timeseries.calendar import (
+    describe_pattern,
+    natural_period,
+    offset_label,
+)
+
+
+class TestNaturalPeriods:
+    def test_known_cycles(self):
+        assert natural_period("day", "week") == 7
+        assert natural_period("hour", "day") == 24
+        assert natural_period("month", "year") == 12
+        assert natural_period("quarter", "year") == 4
+
+    def test_unknown_slot(self):
+        with pytest.raises(SeriesError):
+            natural_period("fortnight", "year")
+
+    def test_unknown_cycle(self):
+        with pytest.raises(SeriesError):
+            natural_period("day", "decade")
+
+
+class TestOffsetLabels:
+    def test_weekday_names(self):
+        assert offset_label(7, 0) == "Monday"
+        assert offset_label(7, 6) == "Sunday"
+
+    def test_hours(self):
+        assert offset_label(24, 0) == "00:00"
+        assert offset_label(24, 19) == "19:00"
+
+    def test_months(self):
+        assert offset_label(12, 0) == "January"
+        assert offset_label(12, 11) == "December"
+
+    def test_generic_fallback(self):
+        assert offset_label(11, 3) == "t+3"
+
+    def test_out_of_range(self):
+        with pytest.raises(SeriesError):
+            offset_label(7, 7)
+        with pytest.raises(SeriesError):
+            offset_label(7, -1)
+
+
+class TestDescribePattern:
+    def test_weekly_pattern(self):
+        pattern = Pattern.from_string("a**c***")
+        assert describe_pattern(pattern) == "Monday=a, Thursday=c"
+
+    def test_multi_feature_position(self):
+        pattern = Pattern([["x", "y"]] + [None] * 6)
+        assert describe_pattern(pattern) == "Monday=x,y"
+
+    def test_trivial_pattern(self):
+        assert describe_pattern(Pattern.dont_care(7)) == "(matches everything)"

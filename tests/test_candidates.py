@@ -1,0 +1,86 @@
+"""Unit tests for apriori-gen over letter sets (repro.core.candidates)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.candidates import (
+    apriori_join,
+    apriori_prune,
+    generate_candidates,
+    singleton_candidates,
+)
+from repro.core.errors import MiningError
+
+A, B, C, D = (0, "a"), (1, "b"), (2, "c"), (3, "d")
+
+
+class TestJoin:
+    def test_joins_shared_prefix(self):
+        frequent = [frozenset({A, B}), frozenset({A, C})]
+        assert apriori_join(frequent) == {frozenset({A, B, C})}
+
+    def test_no_shared_prefix_no_join(self):
+        frequent = [frozenset({A, B}), frozenset({C, D})]
+        assert apriori_join(frequent) == set()
+
+    def test_singletons_join_pairwise(self):
+        frequent = [frozenset({A}), frozenset({B}), frozenset({C})]
+        joined = apriori_join(frequent)
+        assert joined == {
+            frozenset({A, B}),
+            frozenset({A, C}),
+            frozenset({B, C}),
+        }
+
+    def test_mixed_sizes_rejected(self):
+        with pytest.raises(MiningError):
+            apriori_join([frozenset({A}), frozenset({A, B})])
+
+
+class TestPrune:
+    def test_prunes_candidate_with_infrequent_subset(self):
+        frequent = [frozenset({A, B}), frozenset({A, C})]  # {B, C} missing
+        candidate = frozenset({A, B, C})
+        assert apriori_prune([candidate], frequent) == set()
+
+    def test_keeps_fully_supported_candidate(self):
+        frequent = [
+            frozenset({A, B}),
+            frozenset({A, C}),
+            frozenset({B, C}),
+        ]
+        candidate = frozenset({A, B, C})
+        assert apriori_prune([candidate], frequent) == {candidate}
+
+
+class TestGenerate:
+    def test_join_plus_prune(self):
+        frequent = [
+            frozenset({A, B}),
+            frozenset({A, C}),
+            frozenset({B, C}),
+        ]
+        assert generate_candidates(frequent) == {frozenset({A, B, C})}
+
+    def test_fewer_than_two_inputs(self):
+        assert generate_candidates([]) == set()
+        assert generate_candidates([frozenset({A})]) == set()
+
+    def test_same_offset_letters_combine(self):
+        # Two features at the same offset form a legal candidate — the
+        # paper's multi-letter positions like {b1,b2}.
+        b1, b2 = (1, "b1"), (1, "b2")
+        frequent = [frozenset({b1}), frozenset({b2})]
+        assert generate_candidates(frequent) == {frozenset({b1, b2})}
+
+    def test_candidates_never_shrink_support_level(self):
+        frequent = [frozenset({A}), frozenset({B}), frozenset({C}), frozenset({D})]
+        candidates = generate_candidates(frequent)
+        assert all(len(candidate) == 2 for candidate in candidates)
+        assert len(candidates) == 6  # C(4, 2)
+
+
+class TestSingletons:
+    def test_wraps_letters(self):
+        assert singleton_candidates([A, B]) == {frozenset({A}), frozenset({B})}

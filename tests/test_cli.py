@@ -1,0 +1,232 @@
+"""End-to-end tests for the command-line interface (repro.cli)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import main
+from repro.timeseries.io import load_series, save_series
+from repro.synth.workloads import unexpected_period_series
+
+
+@pytest.fixture
+def series_file(tmp_path):
+    path = tmp_path / "series.txt"
+    save_series(unexpected_period_series(period=7, repetitions=80, seed=0), path)
+    return path
+
+
+class TestGenerate:
+    def test_writes_series_and_reports(self, tmp_path, capsys):
+        output = tmp_path / "generated.txt"
+        code = main(
+            [
+                "generate", str(output),
+                "--length", "2000", "--period", "10",
+                "--max-pat-length", "3", "--f1-size", "5", "--seed", "1",
+            ]
+        )
+        assert code == 0
+        assert output.exists()
+        assert len(load_series(output)) == 2000
+        printed = capsys.readouterr().out
+        assert "planted pattern" in printed
+        assert "recommended --min-conf" in printed
+
+    def test_invalid_spec_is_clean_error(self, tmp_path, capsys):
+        code = main(
+            [
+                "generate", str(tmp_path / "x.txt"),
+                "--length", "10", "--period", "50",
+            ]
+        )
+        assert code == 1
+        assert "error:" in capsys.readouterr().err
+
+
+class TestMine:
+    def test_single_period(self, series_file, capsys):
+        code = main(
+            ["mine", str(series_file), "--period", "7", "--min-conf", "0.6"]
+        )
+        assert code == 0
+        printed = capsys.readouterr().out
+        assert "period 7:" in printed
+        assert "burst" in printed
+
+    def test_maximal_flag(self, series_file, capsys):
+        code = main(
+            [
+                "mine", str(series_file),
+                "--period", "7", "--min-conf", "0.6", "--maximal",
+            ]
+        )
+        assert code == 0
+        assert "maximal frequent" in capsys.readouterr().out
+
+    def test_apriori_algorithm(self, series_file, capsys):
+        code = main(
+            [
+                "mine", str(series_file),
+                "--period", "7", "--algorithm", "apriori",
+            ]
+        )
+        assert code == 0
+
+    def test_period_range(self, series_file, capsys):
+        code = main(
+            [
+                "mine", str(series_file),
+                "--period-range", "5", "9", "--min-conf", "0.6",
+            ]
+        )
+        assert code == 0
+        assert "scans=2" in capsys.readouterr().out
+
+    def test_requires_exactly_one_period_option(self, series_file, capsys):
+        assert main(["mine", str(series_file)]) == 2
+        assert (
+            main(
+                [
+                    "mine", str(series_file),
+                    "--period", "7", "--period-range", "5", "9",
+                ]
+            )
+            == 2
+        )
+
+    def test_missing_file_is_clean_error(self, tmp_path, capsys):
+        code = main(["mine", str(tmp_path / "nope.txt"), "--period", "7"])
+        assert code == 1
+        assert "error:" in capsys.readouterr().err
+
+
+class TestSuggest:
+    def test_ranks_true_period_first(self, series_file, capsys):
+        code = main(
+            [
+                "suggest", str(series_file),
+                "--period-range", "4", "12", "--min-conf", "0.6",
+            ]
+        )
+        assert code == 0
+        printed = capsys.readouterr().out
+        first_line = [
+            line for line in printed.splitlines() if "period=" in line
+        ][0]
+        assert "period=7" in first_line
+
+
+class TestRules:
+    @pytest.fixture
+    def rich_series_file(self, tmp_path):
+        # Period 10 carries both planted letters (burst@2, dip@7), so
+        # two-letter patterns — and hence rules — exist.
+        path = tmp_path / "rich.txt"
+        save_series(
+            unexpected_period_series(period=10, repetitions=120, seed=1), path
+        )
+        return path
+
+    def test_prints_rules(self, rich_series_file, capsys):
+        code = main(
+            [
+                "rules", str(rich_series_file),
+                "--period", "10", "--min-conf", "0.6",
+                "--min-rule-conf", "0.6",
+            ]
+        )
+        assert code == 0
+        printed = capsys.readouterr().out
+        assert "periodic rules" in printed
+        assert "=>" in printed
+
+    def test_about_filter(self, rich_series_file, capsys):
+        code = main(
+            [
+                "rules", str(rich_series_file),
+                "--period", "10", "--min-conf", "0.6",
+                "--min-rule-conf", "0.5", "--about", "dip",
+            ]
+        )
+        assert code == 0
+        printed = capsys.readouterr().out
+        body = [line for line in printed.splitlines() if "=>" in line]
+        assert body
+        assert all("dip" in line.split("=>")[1] for line in body)
+
+
+class TestCycles:
+    def test_reports_cycles(self, tmp_path, capsys):
+        from repro.timeseries.feature_series import FeatureSeries
+
+        path = tmp_path / "cyclic.txt"
+        save_series(FeatureSeries.from_symbols("abcabcabcabc"), path)
+        code = main(["cycles", str(path), "--period-range", "2", "4"])
+        assert code == 0
+        printed = capsys.readouterr().out
+        assert "period=3" in printed
+        assert "abc" in printed
+
+
+class TestHeatmap:
+    def test_renders_grid(self, series_file, capsys):
+        code = main(["heatmap", str(series_file), "--period", "7"])
+        assert code == 0
+        printed = capsys.readouterr().out
+        assert "burst" in printed
+        assert "|" in printed
+
+
+class TestWindows:
+    def test_reports_windows(self, series_file, capsys):
+        code = main(
+            [
+                "windows", str(series_file),
+                "--period", "7", "--min-conf", "0.6",
+                "--window-periods", "20",
+            ]
+        )
+        assert code == 0
+        printed = capsys.readouterr().out
+        assert "windows of 20 periods" in printed
+        assert "window 0:" in printed
+
+    def test_invalid_window_is_clean_error(self, series_file, capsys):
+        code = main(
+            [
+                "windows", str(series_file),
+                "--period", "7", "--min-conf", "0.6",
+                "--window-periods", "100000",
+            ]
+        )
+        assert code == 1
+        assert "error:" in capsys.readouterr().err
+
+
+class TestJsonOutput:
+    def test_json_written_and_loadable(self, series_file, tmp_path, capsys):
+        out = tmp_path / "result.json"
+        code = main(
+            [
+                "mine", str(series_file),
+                "--period", "7", "--min-conf", "0.6",
+                "--json", str(out),
+            ]
+        )
+        assert code == 0
+        from repro.core.serialize import load_result
+
+        result = load_result(out)
+        assert result.period == 7
+        assert len(result) >= 1
+
+    def test_json_with_range_rejected(self, series_file, tmp_path, capsys):
+        code = main(
+            [
+                "mine", str(series_file),
+                "--period-range", "5", "9",
+                "--json", str(tmp_path / "x.json"),
+            ]
+        )
+        assert code == 2

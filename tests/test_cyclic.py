@@ -1,0 +1,105 @@
+"""Unit tests for the cyclic (perfect) periodicity baseline."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.errors import MiningError
+from repro.rules.cyclic import find_perfect_cycles, perfect_patterns
+from repro.timeseries.feature_series import FeatureSeries
+
+
+class TestPerfectCycles:
+    def test_perfect_cycle_found(self):
+        series = FeatureSeries.from_symbols("abcabcabc")
+        cycles, _ = find_perfect_cycles(series, max_period=4)
+        found = {(c.period, c.offset, c.feature) for c in cycles}
+        assert (3, 0, "a") in found
+        assert (3, 1, "b") in found
+        assert (3, 2, "c") in found
+
+    def test_one_miss_eliminates(self):
+        # 'a' misses one slot: no longer a perfect cycle at period 2,
+        # though its partial confidence is still 5/6.
+        series = FeatureSeries(
+            [{"a"}, {"x"}] * 5 + [set(), {"x"}]
+        )
+        cycles, stats = find_perfect_cycles(series, max_period=2)
+        assert not any(c.feature == "a" for c in cycles)
+        assert any(c.feature == "x" for c in cycles)
+        assert stats.eliminated >= 1
+
+    def test_partial_miner_catches_what_perfect_misses(self):
+        # The paper's motivation for partial periodicity: one imperfection
+        # kills the cyclic rule but not the partial pattern.
+        from repro.core.hitset import mine_single_period_hitset
+        from repro.core.pattern import Pattern
+
+        series = FeatureSeries([{"a"}, {"x"}] * 5 + [set(), {"x"}])
+        cycles, _ = find_perfect_cycles(series, max_period=2)
+        assert not any(c.feature == "a" for c in cycles)
+        partial = mine_single_period_hitset(series, 2, 0.8)
+        assert Pattern.from_letters(2, [(0, "a")]) in partial
+
+    def test_harmonic_periods_also_perfect(self):
+        series = FeatureSeries.from_symbols("ababababab")
+        cycles, _ = find_perfect_cycles(series, max_period=4)
+        periods = {c.period for c in cycles if c.feature == "a"}
+        assert periods == {2, 4}
+
+    def test_candidates_seeded_from_first_segment_only(self):
+        # A feature first appearing after slot `period` can never be a
+        # perfect cycle, so it never becomes a candidate.
+        series = FeatureSeries([set(), {"x"}, {"late"}, {"x"}])
+        cycles, stats = find_perfect_cycles(series, max_period=2)
+        assert not any(c.feature == "late" for c in cycles)
+
+    def test_single_occurrence_not_cycle(self):
+        series = FeatureSeries([{"a"}, set(), set(), set()])
+        cycles, _ = find_perfect_cycles(series, max_period=2)
+        assert cycles == []
+
+    def test_whole_periods_only(self):
+        # 'a' holds at every position 0 mod 3 within whole periods; the
+        # trailing partial period is ignored.
+        series = FeatureSeries.from_symbols("axxaxxa")  # length 7, m=2
+        cycles, _ = find_perfect_cycles(series, max_period=3)
+        assert any(
+            c.period == 3 and c.offset == 0 and c.feature == "a"
+            for c in cycles
+        )
+
+    def test_one_scan_only(self):
+        from repro.timeseries.scan import ScanCountingSeries
+
+        scan = ScanCountingSeries(FeatureSeries.from_symbols("abcabcabc"))
+        find_perfect_cycles(scan, max_period=4)
+        assert scan.scans == 1
+
+    def test_validation(self):
+        series = FeatureSeries.from_symbols("abab")
+        with pytest.raises(MiningError):
+            find_perfect_cycles(series, max_period=0)
+        with pytest.raises(MiningError):
+            find_perfect_cycles(series, max_period=2, min_period=3)
+        with pytest.raises(MiningError):
+            find_perfect_cycles(series, max_period=2, min_repetitions=1)
+        with pytest.raises(MiningError):
+            find_perfect_cycles(series, max_period=3, min_period=3)
+
+
+class TestPerfectPatterns:
+    def test_union_per_period(self):
+        series = FeatureSeries.from_symbols("abcabcabc")
+        cycles, _ = find_perfect_cycles(series, max_period=3)
+        patterns = perfect_patterns(cycles)
+        assert str(patterns[3]) == "abc"
+
+    def test_empty_input(self):
+        assert perfect_patterns([]) == {}
+
+    def test_cycle_as_pattern(self):
+        series = FeatureSeries.from_symbols("abab")
+        cycles, _ = find_perfect_cycles(series, max_period=2)
+        a_cycle = next(c for c in cycles if c.feature == "a")
+        assert str(a_cycle.as_pattern()) == "a*"

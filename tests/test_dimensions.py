@@ -1,0 +1,106 @@
+"""Unit tests for multi-dimensional series (repro.timeseries.dimensions)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.errors import SeriesError
+from repro.core.hitset import mine_single_period_hitset
+from repro.core.pattern import Pattern
+from repro.timeseries.dimensions import (
+    cross_dimensional,
+    dimension_feature,
+    pattern_dimensions,
+    project_pattern,
+    records_to_series,
+    split_feature,
+)
+
+
+class TestTagging:
+    def test_roundtrip(self):
+        feature = dimension_feature("weather", "rain")
+        assert feature == "weather=rain"
+        assert split_feature(feature) == ("weather", "rain")
+
+    def test_non_string_values_coerced(self):
+        assert dimension_feature("level", 3) == "level=3"
+
+    def test_bad_dimension_names(self):
+        with pytest.raises(SeriesError):
+            dimension_feature("", "x")
+        with pytest.raises(SeriesError):
+            dimension_feature("a=b", "x")
+
+    def test_split_untagged_rejected(self):
+        with pytest.raises(SeriesError):
+            split_feature("plain")
+        with pytest.raises(SeriesError):
+            split_feature("=value")
+
+
+class TestRecordsToSeries:
+    RECORDS = [
+        {"weather": "rain", "traffic": "heavy"},
+        {"weather": "sun", "traffic": "light"},
+        {"weather": "rain", "traffic": None},
+    ]
+
+    def test_all_dimensions_by_default(self):
+        series = records_to_series(self.RECORDS)
+        assert series[0] == frozenset({"weather=rain", "traffic=heavy"})
+        assert series[2] == frozenset({"weather=rain"})
+
+    def test_dimension_selection(self):
+        series = records_to_series(self.RECORDS, dimensions=["weather"])
+        assert series.alphabet == frozenset({"weather=rain", "weather=sun"})
+
+    def test_missing_keys_skipped(self):
+        series = records_to_series([{"a": 1}, {"b": 2}], dimensions=["a"])
+        assert series[1] == frozenset()
+
+
+class TestProjection:
+    def test_project_keeps_one_dimension(self):
+        pattern = Pattern.from_letters(
+            3, [(0, "weather=rain"), (1, "traffic=heavy")]
+        )
+        weather = project_pattern(pattern, "weather")
+        assert weather.letters == frozenset({(0, "weather=rain")})
+
+    def test_project_absent_dimension_is_trivial(self):
+        pattern = Pattern.from_letters(3, [(0, "weather=rain")])
+        assert project_pattern(pattern, "traffic").is_trivial
+
+    def test_pattern_dimensions_and_cross(self):
+        pattern = Pattern.from_letters(
+            3, [(0, "weather=rain"), (1, "traffic=heavy")]
+        )
+        assert pattern_dimensions(pattern) == {"weather", "traffic"}
+        assert cross_dimensional(pattern)
+        assert not cross_dimensional(project_pattern(pattern, "weather"))
+
+
+class TestEndToEnd:
+    def test_cross_dimensional_weekly_pattern(self):
+        # Monday: market=open + traffic=heavy, correlated across dims.
+        records = []
+        for week in range(40):
+            for day in range(7):
+                record = {}
+                if day == 0:
+                    record["market"] = "open"
+                    if week % 10:
+                        record["traffic"] = "heavy"
+                records.append(record)
+        series = records_to_series(records)
+        result = mine_single_period_hitset(series, 7, 0.8)
+        joint = Pattern.from_letters(
+            7, [(0, "market=open"), (0, "traffic=heavy")]
+        )
+        assert joint in result
+        assert cross_dimensional(joint)
+        # Projections are subpatterns, hence frequent with >= counts.
+        market_view = project_pattern(joint, "market")
+        assert market_view in result
+        assert result[market_view] >= result[joint]

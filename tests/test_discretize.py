@@ -1,0 +1,135 @@
+"""Unit tests for numeric discretization (repro.timeseries.discretize)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.errors import SeriesError
+from repro.timeseries.discretize import (
+    Discretizer,
+    MultiLevelDiscretizer,
+    equal_frequency_breakpoints,
+    equal_width_breakpoints,
+)
+
+
+class TestBreakpoints:
+    def test_equal_width(self):
+        points = equal_width_breakpoints([0.0, 10.0], 2)
+        assert points == [5.0]
+
+    def test_equal_width_many_bins(self):
+        points = equal_width_breakpoints([0.0, 100.0], 4)
+        assert points == [25.0, 50.0, 75.0]
+
+    def test_equal_width_constant_series(self):
+        points = equal_width_breakpoints([5.0, 5.0, 5.0], 3)
+        assert len(points) == 2
+
+    def test_equal_frequency(self):
+        values = list(range(100))
+        points = equal_frequency_breakpoints(values, 4)
+        assert len(points) == 3
+        assert points[0] == pytest.approx(25, abs=1)
+
+    def test_too_few_bins(self):
+        with pytest.raises(SeriesError):
+            equal_width_breakpoints([1.0], 1)
+
+    def test_empty_values(self):
+        with pytest.raises(SeriesError):
+            equal_frequency_breakpoints([], 2)
+
+
+class TestDiscretizer:
+    def test_labelling_with_custom_names(self):
+        disc = Discretizer([10.0, 20.0], labels=["low", "mid", "high"])
+        assert disc.label(5.0) == "low"
+        assert disc.label(10.0) == "mid"  # right-open bins
+        assert disc.label(19.9) == "mid"
+        assert disc.label(25.0) == "high"
+
+    def test_default_labels(self):
+        disc = Discretizer([1.0])
+        assert disc.labels == ["lvl0", "lvl1"]
+
+    def test_label_count_mismatch(self):
+        with pytest.raises(SeriesError):
+            Discretizer([1.0], labels=["only_one"])
+
+    def test_unsorted_breakpoints(self):
+        with pytest.raises(SeriesError):
+            Discretizer([5.0, 1.0])
+
+    def test_transform_produces_series(self):
+        disc = Discretizer.equal_width([0.0, 100.0], 2, labels=["lo", "hi"])
+        series = disc.transform([10.0, 90.0, 49.0, 51.0])
+        assert [sorted(slot) for slot in series] == [
+            ["lo"], ["hi"], ["lo"], ["hi"],
+        ]
+
+    def test_equal_frequency_constructor(self):
+        disc = Discretizer.equal_frequency(list(range(10)), 2)
+        assert disc.label(0) == "lvl0"
+        assert disc.label(9) == "lvl1"
+
+
+class TestMultiLevel:
+    def test_features_carry_both_levels(self):
+        multi = MultiLevelDiscretizer.fit(
+            list(range(100)),
+            coarse_bins=2,
+            fine_per_coarse=2,
+            coarse_labels=["low", "high"],
+        )
+        features = multi.features(10.0)
+        assert "low" in features
+        assert any(name.startswith("low.") for name in features)
+        assert len(features) == 2
+
+    def test_transform_series(self):
+        multi = MultiLevelDiscretizer.fit(list(range(50)), coarse_bins=2)
+        series = multi.transform([1.0, 48.0])
+        assert len(series) == 2
+        assert all(len(slot) == 2 for slot in series)
+
+    def test_taxonomy_edges_parent_child(self):
+        multi = MultiLevelDiscretizer.fit(
+            list(range(100)), coarse_bins=2, coarse_labels=["low", "high"]
+        )
+        edges = multi.taxonomy_edges()
+        parents = {parent for _, parent in edges}
+        assert parents == {"low", "high"}
+        assert all(child.split(".")[0] == parent for child, parent in edges)
+
+    def test_edges_feed_taxonomy(self):
+        from repro.multilevel.taxonomy import Taxonomy
+
+        multi = MultiLevelDiscretizer.fit(list(range(100)), coarse_bins=3)
+        taxonomy = Taxonomy(multi.taxonomy_edges())
+        assert taxonomy.depth == 2
+
+    def test_mismatched_fine_breakpoints(self):
+        coarse = Discretizer([10.0], labels=["a", "b"])
+        with pytest.raises(SeriesError):
+            MultiLevelDiscretizer(coarse, [[5.0]], fine_per_coarse=2)
+
+    def test_mining_discretized_daily_shape(self):
+        # End-to-end: a numeric daily spike survives discretization.  The
+        # off-peak hours fluctuate across both bins so only the spike hour
+        # is frequent (a constant background would make every offset
+        # frequent and the complete frequent set exponential).
+        import numpy as np
+
+        from repro.core.hitset import mine_single_period_hitset
+
+        rng = np.random.default_rng(0)
+        values = rng.uniform(0.0, 200.0, size=24 * 30)
+        values[8::24] = 260.0
+        disc = Discretizer([110.0], labels=["lo", "hi"])
+        series = disc.transform(list(values))
+        result = mine_single_period_hitset(series, 24, 0.95)
+        from repro.core.pattern import Pattern
+
+        assert Pattern.from_letters(24, [(8, "hi")]) in result
+        assert result.max_l_length == 1

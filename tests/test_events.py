@@ -1,0 +1,103 @@
+"""Unit tests for event databases and feature derivation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.errors import SeriesError
+from repro.timeseries.events import (
+    Event,
+    EventDatabase,
+    derive_feature_series,
+)
+
+
+class TestEvent:
+    def test_valid(self):
+        event = Event(1.5, "restock")
+        assert event.time == 1.5
+        assert event.feature == "restock"
+
+    def test_empty_feature_rejected(self):
+        with pytest.raises(SeriesError):
+            Event(0.0, "")
+
+
+class TestEventDatabase:
+    def test_from_pairs_and_add(self):
+        database = EventDatabase.from_pairs([(0.1, "a"), (1.2, "b")])
+        database.add(2.5, "c")
+        assert len(database) == 3
+
+    def test_time_span(self):
+        database = EventDatabase.from_pairs([(3.0, "a"), (1.0, "b"), (2.0, "c")])
+        assert database.time_span == (1.0, 3.0)
+
+    def test_time_span_empty_raises(self):
+        with pytest.raises(SeriesError):
+            EventDatabase().time_span
+
+
+class TestBucketing:
+    def test_basic_bucketing(self):
+        database = EventDatabase.from_pairs(
+            [(0.1, "a"), (0.9, "b"), (1.5, "c"), (2.0, "d")]
+        )
+        series = database.to_feature_series(slot_width=1.0, start=0.0, end=3.0)
+        assert len(series) == 3
+        assert series[0] == frozenset({"a", "b"})
+        assert series[1] == frozenset({"c"})
+        assert series[2] == frozenset({"d"})
+
+    def test_default_range_covers_all_events(self):
+        database = EventDatabase.from_pairs([(0.0, "a"), (4.7, "b")])
+        series = database.to_feature_series(slot_width=1.0)
+        assert "b" in series[4]
+
+    def test_events_outside_range_ignored(self):
+        database = EventDatabase.from_pairs([(0.5, "a"), (9.5, "late")])
+        series = database.to_feature_series(slot_width=1.0, start=0.0, end=2.0)
+        assert len(series) == 2
+        assert series.alphabet == frozenset({"a"})
+
+    def test_bad_slot_width(self):
+        database = EventDatabase.from_pairs([(0.0, "a")])
+        with pytest.raises(SeriesError):
+            database.to_feature_series(slot_width=0.0)
+
+    def test_empty_database(self):
+        with pytest.raises(SeriesError):
+            EventDatabase().to_feature_series(slot_width=1.0)
+
+    def test_empty_range(self):
+        database = EventDatabase.from_pairs([(0.0, "a")])
+        with pytest.raises(SeriesError):
+            database.to_feature_series(slot_width=1.0, start=5.0, end=5.0)
+
+    def test_weekly_mining_end_to_end(self):
+        # Saturday promos over 20 weeks, daily slots, period 7.
+        database = EventDatabase()
+        for week in range(20):
+            database.add(week * 7 + 5.5, "promo")
+        series = database.to_feature_series(
+            slot_width=1.0, start=0.0, end=140.0
+        )
+        from repro.core.hitset import mine_single_period_hitset
+        from repro.core.pattern import Pattern
+
+        result = mine_single_period_hitset(series, 7, 0.9)
+        assert Pattern.from_letters(7, [(5, "promo")]) in result
+
+
+class TestDeriveFeatureSeries:
+    def test_extractors_are_unioned(self):
+        readings = [3.0, 9.5, 12.0]
+        hot = lambda value: ["hot"] if value > 8 else []  # noqa: E731
+        very = lambda value: ["very_hot"] if value > 11 else []  # noqa: E731
+        series = derive_feature_series(readings, [hot, very])
+        assert series[0] == frozenset()
+        assert series[1] == frozenset({"hot"})
+        assert series[2] == frozenset({"hot", "very_hot"})
+
+    def test_empty_records(self):
+        assert len(derive_feature_series([], [lambda record: ["x"]])) == 0

@@ -1,0 +1,136 @@
+"""Unit tests for pattern evolution across windows (repro.analysis.evolution)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.evolution import (
+    PatternChange,
+    diff_windows,
+    evolution_report,
+    mine_windows,
+    track_pattern,
+)
+from repro.core.errors import MiningError
+from repro.core.pattern import Pattern
+from repro.timeseries.feature_series import FeatureSeries
+
+
+def shifting_series() -> FeatureSeries:
+    """Period 4; 'a'@0 holds in the first half, 'b'@2 in the second."""
+    slots = []
+    for index in range(40):
+        first_half = index < 20
+        slots.append({"a"} if first_half else set())
+        slots.append(set())
+        slots.append(set() if first_half else {"b"})
+        slots.append(set())
+    return FeatureSeries(slots)
+
+
+A_PATTERN = Pattern.from_string("a***")
+B_PATTERN = Pattern.from_string("**b*")
+
+
+class TestMineWindows:
+    def test_tumbling_windows(self):
+        windows = mine_windows(shifting_series(), 4, 0.8, window_periods=10)
+        assert len(windows) == 4
+        assert windows[0].start_slot == 0
+        assert windows[0].end_slot == 40
+        assert windows[-1].end_slot == 160
+
+    def test_sliding_windows_with_step(self):
+        windows = mine_windows(
+            shifting_series(), 4, 0.8, window_periods=10, step_periods=5
+        )
+        assert len(windows) == 7
+        assert [window.start_slot for window in windows[:3]] == [0, 20, 40]
+
+    def test_partial_trailing_window_dropped(self):
+        windows = mine_windows(
+            shifting_series(), 4, 0.8, window_periods=15
+        )
+        assert len(windows) == 2  # 40 periods // 15 window, tumbling
+
+    def test_window_confidences(self):
+        windows = mine_windows(shifting_series(), 4, 0.8, window_periods=10)
+        assert windows[0].confidence(A_PATTERN) == 1.0
+        assert windows[0].confidence(B_PATTERN) == 0.0
+        assert windows[-1].confidence(B_PATTERN) == 1.0
+
+    def test_validation(self):
+        series = shifting_series()
+        with pytest.raises(MiningError):
+            mine_windows(series, 4, 0.8, window_periods=0)
+        with pytest.raises(MiningError):
+            mine_windows(series, 4, 0.8, window_periods=5, step_periods=0)
+        with pytest.raises(MiningError):
+            mine_windows(series, 4, 0.8, window_periods=100)
+        with pytest.raises(MiningError):
+            mine_windows(series, 4, 0.0, window_periods=5)
+
+
+class TestDiff:
+    def test_emerged_and_vanished(self):
+        windows = mine_windows(shifting_series(), 4, 0.8, window_periods=20)
+        diff = diff_windows(windows[0], windows[1])
+        assert A_PATTERN in diff.vanished
+        assert B_PATTERN in diff.emerged
+        assert not diff.is_stable
+
+    def test_stable_windows(self):
+        steady = FeatureSeries([{"a"}, set()] * 40)
+        windows = mine_windows(steady, 2, 0.9, window_periods=20)
+        diff = diff_windows(windows[0], windows[1])
+        assert diff.is_stable
+
+    def test_strengthened_and_weakened(self):
+        # 'a' holds 60% in the first window, 95% in the second.
+        slots = []
+        for index in range(40):
+            threshold = 0.6 if index < 20 else 0.95
+            slots.append({"a"} if (index * 7919 % 100) / 100 < threshold else set())
+            slots.append(set())
+        series = FeatureSeries(slots)
+        windows = mine_windows(series, 2, 0.4, window_periods=20)
+        diff = diff_windows(windows[0], windows[1], tolerance=0.1)
+        strengthened = {str(c.pattern) for c in diff.strengthened}
+        assert "a*" in strengthened
+        change = next(c for c in diff.strengthened if str(c.pattern) == "a*")
+        assert change.delta > 0.1
+        assert isinstance(change, PatternChange)
+
+    def test_tolerance_validation(self):
+        windows = mine_windows(shifting_series(), 4, 0.8, window_periods=20)
+        with pytest.raises(MiningError):
+            diff_windows(windows[0], windows[1], tolerance=-0.1)
+
+
+class TestTrajectories:
+    def test_track_pattern(self):
+        windows = mine_windows(shifting_series(), 4, 0.8, window_periods=10)
+        trajectory = track_pattern(windows, A_PATTERN)
+        assert trajectory == [1.0, 1.0, 0.0, 0.0]
+
+    def test_evolution_report_indices(self):
+        windows = mine_windows(shifting_series(), 4, 0.8, window_periods=10)
+        report = list(evolution_report(windows))
+        assert [index for index, _ in report] == [1, 2, 3]
+        # The regime change happens between windows 1 and 2.
+        assert not report[0][1].is_stable or not report[1][1].is_stable
+
+
+class TestOverlappingWindows:
+    def test_step_smaller_than_window_overlaps(self):
+        series = shifting_series()
+        # Mine below 0.5 so the straddling window still reports both
+        # patterns (confidence() is 0 for patterns under the threshold).
+        windows = mine_windows(series, 4, 0.4, window_periods=20, step_periods=10)
+        assert len(windows) == 3
+        assert windows[0].end_slot > windows[1].start_slot
+        # The overlapping middle window straddles the regime change and
+        # sees each pattern in exactly half of its periods.
+        middle = windows[1]
+        assert middle.confidence(A_PATTERN) == 0.5
+        assert middle.confidence(B_PATTERN) == 0.5

@@ -1,0 +1,139 @@
+"""Unit tests for the Section 5.1 synthetic generator."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.counting import confidence, count_pattern
+from repro.core.errors import GeneratorError
+from repro.synth.generator import SyntheticSpec, generate_series
+
+
+class TestSpecValidation:
+    def test_valid_spec(self):
+        spec = SyntheticSpec(length=100, period=10, max_pat_length=3)
+        assert spec.num_periods == 10
+
+    def test_bad_length(self):
+        with pytest.raises(GeneratorError):
+            SyntheticSpec(length=0, period=1, max_pat_length=1)
+
+    def test_bad_period(self):
+        with pytest.raises(GeneratorError):
+            SyntheticSpec(length=10, period=11, max_pat_length=1)
+        with pytest.raises(GeneratorError):
+            SyntheticSpec(length=10, period=0, max_pat_length=1)
+
+    def test_bad_max_pat_length(self):
+        with pytest.raises(GeneratorError):
+            SyntheticSpec(length=100, period=10, max_pat_length=11)
+        with pytest.raises(GeneratorError):
+            SyntheticSpec(length=100, period=10, max_pat_length=0)
+
+    def test_f1_smaller_than_planted(self):
+        with pytest.raises(GeneratorError):
+            SyntheticSpec(length=100, period=10, max_pat_length=5, f1_size=4)
+
+    def test_alphabet_too_small(self):
+        with pytest.raises(GeneratorError):
+            SyntheticSpec(
+                length=100, period=10, max_pat_length=3,
+                f1_size=6, alphabet_size=5,
+            )
+
+    def test_bad_confidences(self):
+        with pytest.raises(GeneratorError):
+            SyntheticSpec(
+                length=100, period=10, max_pat_length=3,
+                planted_confidence=0.0,
+            )
+        with pytest.raises(GeneratorError):
+            SyntheticSpec(
+                length=100, period=10, max_pat_length=3,
+                extra_confidence=1.5,
+            )
+
+    def test_bad_noise_rate(self):
+        with pytest.raises(GeneratorError):
+            SyntheticSpec(
+                length=100, period=10, max_pat_length=3, noise_rate=-0.1
+            )
+
+
+class TestDeterminism:
+    def test_same_seed_same_series(self):
+        one = generate_series(2000, 10, 4, f1_size=6, seed=7)
+        two = generate_series(2000, 10, 4, f1_size=6, seed=7)
+        assert one.series == two.series
+        assert one.planted_pattern == two.planted_pattern
+
+    def test_different_seed_different_series(self):
+        one = generate_series(2000, 10, 4, f1_size=6, seed=7)
+        two = generate_series(2000, 10, 4, f1_size=6, seed=8)
+        assert one.series != two.series
+
+
+class TestGroundTruth:
+    def test_planted_pattern_shape(self):
+        generated = generate_series(2000, 10, 4, f1_size=6, seed=1)
+        assert generated.planted_pattern.period == 10
+        assert generated.planted_pattern.l_length == 4
+
+    def test_planted_confidence_is_near_target(self):
+        generated = generate_series(20_000, 10, 4, f1_size=6, seed=5)
+        observed = confidence(generated.series, generated.planted_pattern)
+        assert observed == pytest.approx(0.8, abs=0.05)
+
+    def test_extra_letters_near_target(self):
+        generated = generate_series(20_000, 10, 4, f1_size=8, seed=5)
+        from repro.core.pattern import Pattern
+
+        planted = set(generated.planted_pattern.letters)
+        for letter in generated.planted_letters:
+            if letter in planted:
+                continue
+            observed = confidence(
+                generated.series, Pattern.from_letters(10, [letter])
+            )
+            assert observed == pytest.approx(0.7, abs=0.06), letter
+
+    def test_recommended_min_conf_separates(self):
+        generated = generate_series(20_000, 10, 4, f1_size=8, seed=9)
+        min_conf = generated.recommended_min_conf
+        # The whole planted pattern is frequent ...
+        assert confidence(generated.series, generated.planted_pattern) >= min_conf
+        # ... and the maximal frequent L-length equals MAX-PAT-LENGTH.
+        from repro.core.hitset import mine_single_period_hitset
+
+        result = mine_single_period_hitset(generated.series, 10, min_conf)
+        assert result.max_l_length == 4
+
+    def test_f1_size_controls_frequent_letters(self):
+        from repro.core.maxpattern import find_frequent_one_patterns
+
+        generated = generate_series(20_000, 10, 4, f1_size=8, seed=3)
+        one = find_frequent_one_patterns(
+            generated.series, 10, generated.recommended_min_conf
+        )
+        assert len(one.letters) == 8
+
+    def test_noise_zero_gives_clean_series(self):
+        generated = generate_series(
+            1000, 10, 2, f1_size=2, seed=0, noise_rate=0.0
+        )
+        # Only the two planted features appear.
+        assert len(generated.series.alphabet) == 2
+
+    def test_poisson_f1_pool_varies(self):
+        sizes = set()
+        for seed in range(8):
+            generated = generate_series(
+                500, 10, 2, f1_size=6, seed=seed, poisson_f1=True
+            )
+            sizes.add(len(generated.planted_letters))
+        assert len(sizes) > 1  # Poisson actually varied the pool
+
+    def test_planted_pattern_matches_count_definition(self):
+        generated = generate_series(5000, 10, 3, f1_size=5, seed=2)
+        count = count_pattern(generated.series, generated.planted_pattern)
+        assert count >= int(0.7 * generated.spec.num_periods)

@@ -1,0 +1,175 @@
+"""Unit tests for the incremental miner (repro.core.incremental)."""
+
+from __future__ import annotations
+
+import pytest
+
+from hypothesis import given, settings
+
+from repro.core.errors import MiningError
+from repro.core.hitset import mine_single_period_hitset
+from repro.core.incremental import IncrementalHitSetMiner
+from repro.core.pattern import Pattern
+from repro.timeseries.feature_series import FeatureSeries
+
+from tests.conftest import series_strategy
+
+
+class TestIngestion:
+    def test_segments_complete_every_period(self):
+        miner = IncrementalHitSetMiner(3)
+        miner.extend("ab")
+        assert miner.num_periods == 0
+        assert miner.pending_slots == 2
+        miner.append("c")
+        assert miner.num_periods == 1
+        assert miner.pending_slots == 0
+
+    def test_extend_accepts_series_and_strings(self):
+        miner = IncrementalHitSetMiner(2)
+        miner.extend(FeatureSeries.from_symbols("abab"))
+        miner.extend("ab")
+        assert miner.num_periods == 3
+
+    def test_trailing_partial_segment_excluded(self, paper_series):
+        miner = IncrementalHitSetMiner(5)
+        miner.extend(paper_series)  # length 12: 2 whole + 2 pending
+        assert miner.num_periods == 2
+        assert miner.pending_slots == 2
+
+    def test_empty_slots_accepted(self):
+        miner = IncrementalHitSetMiner(2)
+        miner.extend([None, "", {"a"}, {"a"}])
+        assert miner.num_periods == 2
+
+    def test_distinct_signatures_deduplicate(self):
+        miner = IncrementalHitSetMiner(2)
+        miner.extend("abababab")
+        assert miner.num_periods == 4
+        assert miner.distinct_signatures == 1
+
+    def test_bad_period(self):
+        with pytest.raises(MiningError):
+            IncrementalHitSetMiner(0)
+
+    def test_repr(self):
+        assert "pending=0" in repr(IncrementalHitSetMiner(2))
+
+
+class TestMining:
+    def test_matches_batch_miner(self, paper_series):
+        miner = IncrementalHitSetMiner(3, min_conf=0.5)
+        miner.extend(paper_series)
+        incremental = miner.mine()
+        batch = mine_single_period_hitset(paper_series, 3, 0.5)
+        assert dict(incremental.items()) == dict(batch.items())
+
+    def test_matches_batch_after_chunked_feeding(self, synthetic_small):
+        miner = IncrementalHitSetMiner(10)
+        series = synthetic_small.series
+        for start in range(0, len(series), 7):  # deliberately odd chunks
+            miner.extend(series[start : start + 7])
+        min_conf = synthetic_small.recommended_min_conf
+        incremental = miner.mine(min_conf)
+        whole = (len(series) // 10) * 10
+        batch = mine_single_period_hitset(series[:whole], 10, min_conf)
+        assert dict(incremental.items()) == dict(batch.items())
+
+    def test_remine_at_different_thresholds(self, paper_series):
+        miner = IncrementalHitSetMiner(3)
+        miner.extend(paper_series)
+        strict = miner.mine(1.0)
+        relaxed = miner.mine(0.5)
+        assert set(strict) < set(relaxed)
+        assert Pattern.from_string("abd") in relaxed
+
+    def test_mining_continues_after_more_data(self):
+        miner = IncrementalHitSetMiner(2, min_conf=0.8)
+        miner.extend("abab")
+        assert Pattern.from_string("a*") in miner.mine()
+        miner.extend("cdcdcdcdcdcdcdcd")  # the regime changes
+        result = miner.mine()
+        assert Pattern.from_string("c*") in result
+        assert Pattern.from_string("a*") not in result
+
+    def test_max_letters_cap(self):
+        miner = IncrementalHitSetMiner(3, min_conf=0.9)
+        miner.extend("abcabcabc")
+        capped = miner.mine(max_letters=2)
+        assert capped.max_letter_count == 2
+
+    def test_mine_before_any_segment(self):
+        miner = IncrementalHitSetMiner(3)
+        miner.extend("ab")
+        with pytest.raises(MiningError):
+            miner.mine()
+
+    def test_empty_f1(self):
+        miner = IncrementalHitSetMiner(2)
+        miner.extend("abcdefgh")
+        assert len(miner.mine(1.0)) == 0
+
+    @settings(max_examples=30, deadline=None)
+    @given(series=series_strategy(4, 30))
+    def test_property_incremental_equals_batch(self, series):
+        period = 3
+        if len(series) < period:
+            return
+        miner = IncrementalHitSetMiner(period)
+        miner.extend(series)
+        whole = (len(series) // period) * period
+        for conf in (0.34, 0.75):
+            incremental = miner.mine(conf)
+            batch = mine_single_period_hitset(series[:whole], period, conf)
+            assert dict(incremental.items()) == dict(batch.items())
+
+
+class TestMerge:
+    def test_merge_equals_single_feed(self):
+        left = IncrementalHitSetMiner(2)
+        right = IncrementalHitSetMiner(2)
+        left.extend("abab")
+        right.extend("abcd")
+        left.merge(right)
+        # Feeding both chunks into one miner must give the same state.
+        single = IncrementalHitSetMiner(2)
+        single.extend("abab")
+        single.extend("abcd")
+        assert dict(left.mine(0.5).items()) == dict(single.mine(0.5).items())
+        assert left.num_periods == 4
+
+    def test_merge_period_mismatch(self):
+        left = IncrementalHitSetMiner(2)
+        right = IncrementalHitSetMiner(3)
+        with pytest.raises(MiningError):
+            left.merge(right)
+
+    def test_merge_with_pending_rejected(self):
+        left = IncrementalHitSetMiner(2)
+        right = IncrementalHitSetMiner(2)
+        right.extend("aba")  # one pending slot
+        with pytest.raises(MiningError):
+            left.merge(right)
+
+
+class TestShardProperty:
+    @settings(max_examples=25, deadline=None)
+    @given(series=series_strategy(6, 36))
+    def test_sharded_merge_equals_sequential(self, series):
+        period = 3
+        whole = (len(series) // period) * period
+        if whole < 2 * period:
+            return
+        # Split at a segment boundary, feed each half into its own shard.
+        midpoint = (whole // (2 * period)) * period
+        left = IncrementalHitSetMiner(period)
+        right = IncrementalHitSetMiner(period)
+        left.extend(series[:midpoint])
+        right.extend(series[midpoint:whole])
+        left.merge(right)
+        sequential = IncrementalHitSetMiner(period)
+        sequential.extend(series[:whole])
+        for conf in (0.34, 0.75):
+            assert dict(left.mine(conf).items()) == dict(
+                sequential.mine(conf).items()
+            )

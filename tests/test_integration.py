@@ -1,0 +1,116 @@
+"""Integration tests exercising several subsystems together."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.miner import PartialPeriodicMiner
+from repro.core.pattern import Pattern
+from repro.multilevel.miner import mine_multilevel
+from repro.multilevel.taxonomy import Taxonomy
+from repro.rules.periodic_rules import derive_rules
+from repro.synth.workloads import newspaper_week, power_consumption
+from repro.timeseries.calendar import describe_pattern, natural_period
+from repro.timeseries.discretize import Discretizer, MultiLevelDiscretizer
+from repro.timeseries.events import EventDatabase
+from repro.timeseries.io import load_series, save_series
+
+
+class TestNewspaperScenario:
+    """The paper's Section 1 motivating example, end to end."""
+
+    def test_weekday_reading_recovered_and_described(self):
+        series = newspaper_week(weeks=156, reliability=0.95, seed=5)
+        period = natural_period("day", "week")
+        # Five independent 0.95 days -> joint confidence ~0.77.
+        miner = PartialPeriodicMiner(series, min_conf=0.7)
+        maximal = miner.mine_maximal(period)
+        paper_patterns = [
+            pattern
+            for pattern in maximal
+            if all("paper" in slot or not slot for slot in pattern.positions)
+        ]
+        assert paper_patterns
+        best = max(paper_patterns, key=lambda pattern: pattern.letter_count)
+        description = describe_pattern(best)
+        for day in ("Monday", "Tuesday", "Wednesday", "Thursday", "Friday"):
+            assert day in description
+        assert "Saturday" not in description
+
+    def test_rules_link_weekdays(self):
+        series = newspaper_week(weeks=156, reliability=0.95, seed=5)
+        result = PartialPeriodicMiner(series, min_conf=0.7).mine(7)
+        rules = derive_rules(result, min_rule_conf=0.85)
+        assert any(
+            "paper" in str(rule.antecedent) and "paper" in str(rule.consequent)
+            for rule in rules
+        )
+
+
+class TestPowerScenario:
+    """Section 6's numeric data: discretize then mine, two levels."""
+
+    def test_single_level_finds_evening_peak(self):
+        values = power_consumption(days=150, seed=2)
+        disc = Discretizer.equal_frequency(
+            list(values), 3, labels=["low", "mid", "high"]
+        )
+        series = disc.transform(list(values))
+        result = PartialPeriodicMiner(series, min_conf=0.7).mine(24)
+        assert Pattern.from_letters(24, [(19, "high")]) in result
+
+    def test_multilevel_drilldown_on_discretized_data(self):
+        values = power_consumption(days=150, seed=2)
+        multi = MultiLevelDiscretizer.fit(
+            list(values), coarse_bins=3, fine_per_coarse=2,
+            coarse_labels=["low", "mid", "high"],
+        )
+        series = multi.transform(list(values))
+        taxonomy = Taxonomy(multi.taxonomy_edges())
+        outcome = mine_multilevel(
+            series, 24, taxonomy, min_conf=0.7, level_confs={2: 0.4}
+        )
+        level1_letters = {
+            letter for pattern in outcome[1] for letter in pattern.letters
+        }
+        assert (19, "high") in level1_letters
+        # Level 2 only contains children of frequent level-1 letters.
+        for pattern in outcome[2]:
+            for offset, feature in pattern.letters:
+                parent = taxonomy.parent(feature)
+                assert (offset, parent) in level1_letters
+
+
+class TestRetailScenario:
+    """Event database -> series file -> CLI-style reload -> mining."""
+
+    def test_roundtrip_through_disk(self, tmp_path):
+        database = EventDatabase()
+        for week in range(100):
+            database.add(week * 7 + 5.4, "promo")
+            if week % 3:
+                database.add(week * 7 + 5.8, "rush")
+        series = database.to_feature_series(1.0, start=0.0, end=700.0)
+        path = tmp_path / "retail.txt"
+        save_series(series, path)
+        reloaded = load_series(path)
+        assert reloaded == series
+        result = PartialPeriodicMiner(reloaded, min_conf=0.9).mine(7)
+        assert Pattern.from_letters(7, [(5, "promo")]) in result
+
+
+class TestRangeDiscovery:
+    """Suggest a period, then mine it — the two-stage workflow."""
+
+    def test_suggest_then_mine(self, synthetic_small):
+        miner = PartialPeriodicMiner(
+            synthetic_small.series,
+            min_conf=synthetic_small.recommended_min_conf,
+        )
+        best = miner.suggest_periods(4, 16, limit=1)[0]
+        assert best.period == 10
+        result = miner.mine(best.period)
+        assert synthetic_small.planted_pattern in result
+        assert result.confidence(
+            synthetic_small.planted_pattern
+        ) == pytest.approx(0.8, abs=0.06)

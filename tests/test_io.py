@@ -1,0 +1,132 @@
+"""Unit tests for series persistence (repro.timeseries.io)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.errors import SeriesError
+from repro.timeseries.feature_series import FeatureSeries
+from repro.timeseries.io import iter_slot_lines, load_series, save_series
+
+
+class TestRoundtrip:
+    def test_save_and_load(self, tmp_path):
+        series = FeatureSeries([{"a", "b"}, set(), {"c"}])
+        path = tmp_path / "series.txt"
+        save_series(series, path)
+        assert load_series(path) == series
+
+    def test_empty_slots_preserved(self, tmp_path):
+        series = FeatureSeries([set(), set(), {"x"}])
+        path = tmp_path / "series.txt"
+        save_series(series, path)
+        loaded = load_series(path)
+        assert len(loaded) == 3
+        assert loaded[0] == frozenset()
+
+    def test_multichar_features_preserved(self, tmp_path):
+        series = FeatureSeries([{"high_traffic", "promo"}])
+        path = tmp_path / "series.txt"
+        save_series(series, path)
+        assert load_series(path)[0] == frozenset({"high_traffic", "promo"})
+
+    def test_empty_series(self, tmp_path):
+        path = tmp_path / "series.txt"
+        save_series(FeatureSeries([]), path)
+        assert len(load_series(path)) == 0
+
+
+class TestFormat:
+    def test_comment_lines_skipped(self, tmp_path):
+        path = tmp_path / "series.txt"
+        path.write_text("# comment\na b\n# another\nc\n")
+        loaded = load_series(path)
+        assert len(loaded) == 2
+        assert loaded[0] == frozenset({"a", "b"})
+
+    def test_header_written(self, tmp_path):
+        path = tmp_path / "series.txt"
+        save_series(FeatureSeries([{"a"}]), path)
+        assert path.read_text().startswith("#")
+
+    def test_streaming_iterator(self, tmp_path):
+        path = tmp_path / "series.txt"
+        save_series(FeatureSeries.from_symbols("abc"), path)
+        slots = list(iter_slot_lines(path))
+        assert slots == [frozenset({"a"}), frozenset({"b"}), frozenset({"c"})]
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(SeriesError):
+            load_series(tmp_path / "nope.txt")
+
+
+class TestCsvLoading:
+    def test_numeric_column(self, tmp_path):
+        from repro.timeseries.io import load_numeric_csv
+
+        path = tmp_path / "data.csv"
+        path.write_text("day,close\n0,100.5\n1,101.25\n")
+        assert load_numeric_csv(path, "close") == [100.5, 101.25]
+
+    def test_numeric_missing_column(self, tmp_path):
+        from repro.timeseries.io import load_numeric_csv
+
+        path = tmp_path / "data.csv"
+        path.write_text("day,close\n0,100.5\n")
+        with pytest.raises(SeriesError):
+            load_numeric_csv(path, "volume")
+
+    def test_numeric_bad_value_reports_line(self, tmp_path):
+        from repro.timeseries.io import load_numeric_csv
+
+        path = tmp_path / "data.csv"
+        path.write_text("close\n100.5\noops\n")
+        with pytest.raises(SeriesError, match=":3:"):
+            load_numeric_csv(path, "close")
+
+    def test_numeric_empty_file(self, tmp_path):
+        from repro.timeseries.io import load_numeric_csv
+
+        path = tmp_path / "data.csv"
+        path.write_text("close\n")
+        with pytest.raises(SeriesError):
+            load_numeric_csv(path, "close")
+
+    def test_numeric_missing_file(self, tmp_path):
+        from repro.timeseries.io import load_numeric_csv
+
+        with pytest.raises(SeriesError):
+            load_numeric_csv(tmp_path / "nope.csv", "close")
+
+    def test_events_csv(self, tmp_path):
+        from repro.timeseries.io import load_events_csv
+
+        path = tmp_path / "events.csv"
+        path.write_text("time,feature\n0.5,promo\n6.2,rush\n")
+        database = load_events_csv(path)
+        assert len(database) == 2
+        assert database.events[0].feature == "promo"
+
+    def test_events_csv_custom_columns(self, tmp_path):
+        from repro.timeseries.io import load_events_csv
+
+        path = tmp_path / "events.csv"
+        path.write_text("ts,what\n1.0,x\n")
+        database = load_events_csv(
+            path, time_column="ts", feature_column="what"
+        )
+        assert database.events[0].time == 1.0
+
+    def test_events_csv_bad_rows(self, tmp_path):
+        from repro.timeseries.io import load_events_csv
+
+        path = tmp_path / "events.csv"
+        path.write_text("time,feature\nnan?,x\n")
+        with pytest.raises(SeriesError):
+            load_events_csv(path)
+        path.write_text("time,feature\n1.0,\n")
+        with pytest.raises(SeriesError):
+            load_events_csv(path)
+        path.write_text("time,other\n1.0,x\n")
+        with pytest.raises(SeriesError):
+            load_events_csv(path)

@@ -1,0 +1,54 @@
+"""Unit tests for the F1 scan and C_max assembly (repro.core.maxpattern)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.errors import MiningError, SeriesError
+from repro.core.maxpattern import find_frequent_one_patterns
+from repro.core.pattern import Pattern
+from repro.timeseries.feature_series import FeatureSeries
+
+
+class TestF1Scan:
+    def test_counts_and_threshold(self, paper_series):
+        one = find_frequent_one_patterns(paper_series, 3, 0.5)
+        assert one.num_periods == 4
+        assert one.threshold == 2
+        assert one.letters[(0, "a")] == 4
+        assert one.letters[(2, "d")] == 2
+        assert (2, "x") not in one.letters
+
+    def test_infrequent_letters_dropped(self, paper_series):
+        one = find_frequent_one_patterns(paper_series, 3, 0.75)
+        assert (2, "d") not in one.letters
+        assert (0, "a") in one.letters
+
+    def test_max_pattern_assembles_all_letters(self, paper_series):
+        one = find_frequent_one_patterns(paper_series, 3, 0.5)
+        cmax = one.max_pattern
+        assert cmax.letters == frozenset(one.letters)
+        # d and c are both frequent at offset 2 -> multi-letter position.
+        assert cmax.positions[2] == frozenset({"c", "d"})
+
+    def test_empty_f1(self):
+        one = find_frequent_one_patterns(
+            FeatureSeries.from_symbols("abcdefgh"), 2, 1.0
+        )
+        assert one.is_empty
+        with pytest.raises(MiningError):
+            one.max_pattern
+
+    def test_one_pattern_counts_view(self, paper_series):
+        one = find_frequent_one_patterns(paper_series, 3, 0.5)
+        as_patterns = one.one_pattern_counts()
+        assert as_patterns[Pattern.from_string("a**")] == 4
+        assert len(as_patterns) == len(one.letters)
+
+    def test_invalid_period(self, paper_series):
+        with pytest.raises(SeriesError):
+            find_frequent_one_patterns(paper_series, 100, 0.5)
+
+    def test_invalid_conf(self, paper_series):
+        with pytest.raises(MiningError):
+            find_frequent_one_patterns(paper_series, 3, 1.5)

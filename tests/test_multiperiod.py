@@ -1,0 +1,156 @@
+"""Unit tests for multi-period mining (Algorithms 3.3 and 3.4)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.errors import MiningError
+from repro.core.multiperiod import (
+    mine_period_range,
+    mine_periods_looping,
+    mine_periods_shared,
+    period_range,
+)
+from repro.core.pattern import Pattern
+from repro.timeseries.feature_series import FeatureSeries
+from repro.timeseries.scan import ScanCountingSeries
+
+
+class TestPeriodRange:
+    def test_inclusive(self):
+        assert period_range(3, 5) == [3, 4, 5]
+
+    def test_single(self):
+        assert period_range(4, 4) == [4]
+
+    def test_invalid(self):
+        with pytest.raises(MiningError):
+            period_range(0, 5)
+        with pytest.raises(MiningError):
+            period_range(5, 4)
+
+
+class TestEquivalence:
+    def test_shared_equals_looping(self, synthetic_small):
+        min_conf = synthetic_small.recommended_min_conf
+        periods = range(4, 13)
+        shared = mine_periods_shared(synthetic_small.series, periods, min_conf)
+        looping = mine_periods_looping(synthetic_small.series, periods, min_conf)
+        assert shared.periods == looping.periods
+        for period in shared.periods:
+            assert dict(shared[period].items()) == dict(
+                looping[period].items()
+            ), period
+
+    def test_shared_equals_looping_apriori(self, paper_series):
+        shared = mine_periods_shared(paper_series, [2, 3, 4, 6], 0.5)
+        looping = mine_periods_looping(
+            paper_series, [2, 3, 4, 6], 0.5, algorithm="apriori"
+        )
+        for period in shared.periods:
+            assert dict(shared[period].items()) == dict(
+                looping[period].items()
+            ), period
+
+    def test_paper_counterexample_no_cross_period_apriori(self, paper_series):
+        # Section 3.2: **d has confidence 1 at period 6 but only 1/2 at
+        # period 3 — frequent patterns do not transfer between periods.
+        outcome = mine_periods_shared(paper_series, [3, 6], 1.0)
+        period6_d = Pattern.from_letters(6, [(2, "d")])
+        period3_d = Pattern.from_letters(3, [(2, "d")])
+        assert period6_d in outcome[6]
+        assert period3_d not in outcome[3]
+
+
+class TestScanCounts:
+    def test_shared_uses_two_scans_total(self, synthetic_small):
+        scan = ScanCountingSeries(synthetic_small.series)
+        outcome = mine_periods_shared(scan, range(4, 13), 0.6)
+        assert scan.scans == 2
+        assert outcome.scans == 2
+
+    def test_looping_uses_two_scans_per_period(self):
+        # A series periodic at every tested period, so each per-period run
+        # performs both of its scans (an empty F1 stops after one).
+        series = FeatureSeries([{"a"}, {"b"}] * 12)
+        scan = ScanCountingSeries(series)
+        outcome = mine_periods_looping(scan, [2, 4, 6], 0.9)
+        assert scan.scans == 2 * 3
+        assert outcome.scans == scan.scans
+
+    def test_looping_one_scan_for_empty_f1_periods(self, synthetic_small):
+        # Off-period mining finds no frequent 1-patterns and stops after
+        # scan 1 — the looping total reflects that.
+        scan = ScanCountingSeries(synthetic_small.series)
+        outcome = mine_periods_looping(scan, range(4, 9), 0.6)
+        assert scan.scans == outcome.scans
+        assert 5 <= scan.scans <= 10
+
+
+class TestValidation:
+    def test_empty_periods_rejected(self, paper_series):
+        with pytest.raises(MiningError):
+            mine_periods_shared(paper_series, [], 0.5)
+
+    def test_period_beyond_length_rejected(self, paper_series):
+        with pytest.raises(MiningError):
+            mine_periods_shared(paper_series, [3, 100], 0.5)
+
+    def test_min_repetitions_filters(self, paper_series):
+        # Length 12; period 7 repeats once, filtered at min_repetitions=2.
+        outcome = mine_periods_shared(
+            paper_series, [3, 7], 0.5, min_repetitions=2
+        )
+        assert outcome.periods == [3]
+
+    def test_all_periods_filtered_raises(self, paper_series):
+        with pytest.raises(MiningError):
+            mine_periods_shared(paper_series, [7], 0.5, min_repetitions=2)
+
+    def test_bad_min_repetitions(self, paper_series):
+        with pytest.raises(MiningError):
+            mine_periods_shared(paper_series, [3], 0.5, min_repetitions=0)
+
+    def test_unknown_algorithm(self, paper_series):
+        with pytest.raises(MiningError):
+            mine_periods_looping(paper_series, [3], 0.5, algorithm="fft")
+
+    def test_duplicate_periods_deduplicated(self, paper_series):
+        outcome = mine_periods_shared(paper_series, [3, 3, 3], 0.5)
+        assert outcome.periods == [3]
+
+
+class TestResultContainer:
+    def test_mapping_protocol(self, paper_series):
+        outcome = mine_periods_shared(paper_series, [3, 4], 0.5)
+        assert len(outcome) == 2
+        assert 3 in outcome
+        assert 5 not in outcome
+        assert list(outcome) == [3, 4]
+        assert outcome.total_frequent == len(outcome[3]) + len(outcome[4])
+
+    def test_best_patterns_ranked_by_length(self, paper_series):
+        outcome = mine_periods_shared(paper_series, [3, 6], 0.5)
+        best = outcome.best_patterns(limit=3)
+        assert len(best) == 3
+        lengths = [pattern.letter_count for _, pattern, _ in best]
+        assert lengths == sorted(lengths, reverse=True)
+
+    def test_summary_mentions_scans(self, paper_series):
+        outcome = mine_periods_shared(paper_series, [3], 0.5)
+        assert "scans=2" in outcome.summary()
+
+
+class TestRangeWrapper:
+    def test_shared_flag(self, paper_series):
+        shared = mine_period_range(paper_series, 2, 4, 0.5, shared=True)
+        looping = mine_period_range(paper_series, 2, 4, 0.5, shared=False)
+        assert shared.periods == looping.periods == [2, 3, 4]
+        for period in shared.periods:
+            assert dict(shared[period].items()) == dict(looping[period].items())
+
+    def test_period_one_supported(self):
+        series = FeatureSeries([{"a"}, {"a"}, {"a"}, {"b"}])
+        outcome = mine_period_range(series, 1, 2, 0.7)
+        # At period 1 the only segment offset is 0; 'a' holds 3/4.
+        assert Pattern.from_letters(1, [(0, "a")]) in outcome[1]

@@ -1,0 +1,98 @@
+"""Unit tests for numeric pre-processing (repro.timeseries.numeric)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.errors import SeriesError
+from repro.timeseries.numeric import (
+    deltas,
+    movement_series,
+    percent_changes,
+    zscores,
+)
+
+
+class TestDeltas:
+    def test_first_differences(self):
+        assert deltas([1.0, 3.0, 2.0]) == [2.0, -1.0]
+
+    def test_length_shrinks_by_one(self):
+        assert len(deltas(list(range(10)))) == 9
+
+    def test_too_short(self):
+        with pytest.raises(SeriesError):
+            deltas([1.0])
+
+
+class TestPercentChanges:
+    def test_relative_moves(self):
+        assert percent_changes([100.0, 110.0, 99.0]) == [
+            pytest.approx(0.1),
+            pytest.approx(-0.1),
+        ]
+
+    def test_negative_base_uses_absolute(self):
+        assert percent_changes([-10.0, -5.0]) == [pytest.approx(0.5)]
+
+    def test_zero_base_rejected(self):
+        with pytest.raises(SeriesError):
+            percent_changes([0.0, 1.0])
+
+    def test_too_short(self):
+        with pytest.raises(SeriesError):
+            percent_changes([1.0])
+
+
+class TestZScores:
+    def test_standardization(self):
+        scores = zscores([1.0, 2.0, 3.0])
+        assert scores[1] == pytest.approx(0.0)
+        assert scores[0] == -scores[2]
+
+    def test_constant_sequence(self):
+        assert zscores([5.0, 5.0, 5.0]) == [0.0, 0.0, 0.0]
+
+    def test_empty(self):
+        with pytest.raises(SeriesError):
+            zscores([])
+
+
+class TestMovementSeries:
+    def test_labelling(self):
+        series = movement_series([10.0, 13.0, 12.8, 9.0], flat_band=0.5)
+        assert [sorted(slot)[0] for slot in series] == ["up", "flat", "down"]
+
+    def test_custom_labels(self):
+        series = movement_series(
+            [0.0, 2.0], flat_band=0.5, labels=("d", "f", "u")
+        )
+        assert series[0] == frozenset({"u"})
+
+    def test_relative_mode(self):
+        series = movement_series(
+            [100.0, 120.0, 121.0], flat_band=0.05, relative=True
+        )
+        assert series[0] == frozenset({"up"})
+        assert series[1] == frozenset({"flat"})
+
+    def test_validation(self):
+        with pytest.raises(SeriesError):
+            movement_series([1.0, 2.0], flat_band=-1.0)
+        with pytest.raises(SeriesError):
+            movement_series([1.0, 2.0], labels=("a", "b"))
+
+    def test_weekly_mining_end_to_end(self):
+        # Friday rallies in a 5-day trading week survive the pipeline.
+        prices = []
+        level = 100.0
+        for week in range(60):
+            for day in range(5):
+                level += 3.0 if day == 4 else 0.1
+                prices.append(level)
+        series = movement_series([100.0] + prices, flat_band=1.0)
+        from repro.core.hitset import mine_single_period_hitset
+        from repro.core.pattern import Pattern
+
+        result = mine_single_period_hitset(series, 5, 0.9)
+        assert Pattern.from_letters(5, [(4, "up")]) in result

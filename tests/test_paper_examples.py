@@ -1,0 +1,187 @@
+"""Regression tests encoding the paper's own worked examples and claims.
+
+Each test cites the paper location it reproduces, so a reader can audit the
+implementation against the text section by section.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.bounds import hit_set_bound
+from repro.core.apriori import mine_single_period_apriori
+from repro.core.counting import confidence, count_pattern
+from repro.core.hitset import mine_single_period_hitset
+from repro.core.maxpattern import find_frequent_one_patterns
+from repro.core.multiperiod import mine_periods_shared
+from repro.core.pattern import Pattern
+from repro.timeseries.feature_series import FeatureSeries
+from repro.timeseries.scan import ScanCountingSeries
+
+
+class TestSection2Definitions:
+    def test_example_2_1_lengths(self):
+        # "the pattern a{b,c}*d* is of length 5 and of L-length 3 (a
+        # 4-pattern in letter terms is our letter_count)".
+        pattern = Pattern([["a"], ["b", "c"], None, ["d"], None])
+        assert len(pattern) == 5
+        assert pattern.l_length == 3
+
+    def test_example_2_1_frequency_and_confidence(self):
+        # Example 2.1: the frequency count of a{b,c} in the series
+        # a{b,c} a{d} a{b,e} is ... and its confidence is count/m with
+        # m = 3 periods of length 2.
+        series = FeatureSeries(
+            [{"a"}, {"b", "c"}, {"a"}, {"d"}, {"a"}, {"b", "e"}]
+        )
+        ab = Pattern([["a"], ["b"]])
+        assert count_pattern(series, ab) == 2
+        assert confidence(series, ab) == pytest.approx(2 / 3)
+        # "The frequency count of a* is 3" — every segment starts with a.
+        assert count_pattern(series, Pattern([["a"], None])) == 3
+
+    def test_subpattern_definition(self):
+        # Section 2: a*** and *{b,c}** etc. are subpatterns of a{b,c}*d*.
+        full = Pattern([["a"], ["b", "c"], None, ["d"]])
+        assert Pattern([["a"], None, None, None]).is_subpattern_of(full)
+        assert Pattern([None, ["b"], None, ["d"]]).is_subpattern_of(full)
+
+
+class TestSection3Apriori:
+    def test_property_3_1_apriori_on_periodicity(self, paper_series):
+        # Every subpattern of a frequent pattern is frequent with count >=.
+        result = mine_single_period_apriori(paper_series, 3, 0.5)
+        for pattern in result:
+            for sub in pattern.subpatterns(min_letters=1):
+                assert sub in result
+                assert result[sub] >= result[pattern]
+
+    def test_example_3_1_correlation(self):
+        # Example 3.1: if conf(a*) >= t and conf(*b) >= t then
+        # conf(ab) >= 2t - 1 (the strong-correlation derivation).
+        series = FeatureSeries(
+            [{"a"}, {"b"}] * 8 + [{"a"}, set()] + [set(), {"b"}]
+        )
+        t = 0.9
+        conf_a = confidence(series, Pattern([["a"], None]))
+        conf_b = confidence(series, Pattern([None, ["b"]]))
+        assert conf_a >= t and conf_b >= t
+        conf_ab = confidence(series, Pattern([["a"], ["b"]]))
+        assert conf_ab >= conf_a + conf_b - 1.0
+
+
+class TestSection312HitSet:
+    def test_hit_is_maximal_subpattern(self):
+        # "the hit subpattern for a period segment (a, b2, d) of C_max
+        # a{b1,b2}*d* is ab2*d*, because it is true in the segment and
+        # none of its superpatterns is".
+        cmax = Pattern.from_string("a{b1,b2}*d*")
+        segment = tuple(
+            frozenset(slot) for slot in ({"a"}, {"b2"}, set(), {"d"}, set())
+        )
+        hit = cmax.restrict_to_segment(segment)
+        assert hit == Pattern.from_string("a{b2}*d*")
+        assert hit.matches(segment)
+        for letter in (cmax.letters - hit.letters):
+            bigger = Pattern.from_letters(5, hit.letters | {letter})
+            assert not bigger.matches(segment)
+
+    def test_property_3_2_bound_examples(self):
+        # "if we found 500 frequent 1-patterns when calculating yearly
+        # periodic patterns for 100 years, the buffer size needed is at
+        # most 100; ... 8 frequent 1-patterns for weekly periodic patterns
+        # for 100 years, the buffer size needed is at most 2^8 - 1 = 255."
+        assert hit_set_bound(100, 500) == 100
+        assert hit_set_bound(5200, 8) == 255
+
+    def test_hit_set_within_bound_on_data(self, synthetic_small):
+        min_conf = synthetic_small.recommended_min_conf
+        one = find_frequent_one_patterns(synthetic_small.series, 10, min_conf)
+        result = mine_single_period_hitset(synthetic_small.series, 10, min_conf)
+        assert result.stats.hit_set_size <= hit_set_bound(
+            one.num_periods, len(one.letters)
+        )
+
+    def test_two_scans_claim(self, synthetic_small):
+        # "mining partial periodicity needs only two scans over the time
+        # series database".
+        scan = ScanCountingSeries(synthetic_small.series)
+        mine_single_period_hitset(scan, 10, 0.6)
+        assert scan.scans <= 2
+
+
+class TestSection32MultiPeriod:
+    def test_counterexample_abdabc(self):
+        # Section 3.2: "for the time series abdabcabdabc, the partial
+        # periodic pattern **d of period 3 has confidence 1/2" while at
+        # period 6 **d*** holds in every segment — so period-3 frequent
+        # sets cannot filter period-6 candidates.
+        series = FeatureSeries.from_symbols("abdabcabdabc")
+        d3 = Pattern.from_letters(3, [(2, "d")])
+        d6 = Pattern.from_letters(6, [(2, "d")])
+        assert confidence(series, d3) == pytest.approx(0.5)
+        assert confidence(series, d6) == pytest.approx(1.0)
+
+    def test_shared_mining_two_scans_for_any_range(self, synthetic_small):
+        # Algorithm 3.4 analysis: "the total number of time-series scans is
+        # 2, independent of the period".
+        scan = ScanCountingSeries(synthetic_small.series)
+        mine_periods_shared(scan, range(2, 30), 0.6)
+        assert scan.scans == 2
+
+
+class TestSection4Tree:
+    def test_first_insertion_walkthrough(self):
+        # Algorithm 4.1 example: the first max-subpattern found is
+        # *{b1}*d* for C_max = a{b1,b2}*d*; the tree creates the node with
+        # count 1 plus two count-0 ancestors (the root and *{b1,b2}*d*).
+        from repro.tree.max_subpattern_tree import MaxSubpatternTree
+
+        cmax = Pattern.from_string("a{b1,b2}*d*")
+        tree = MaxSubpatternTree(cmax)
+        node = tree.insert(Pattern.from_string("*{b1}*d*"))
+        assert node.count == 1
+        assert tree.root.count == 0
+        middle = tree.find_node(Pattern.from_string("*{b1,b2}*d*"))
+        assert middle is not None and middle.count == 0
+        assert tree.node_count == 3
+
+    def test_derivation_totals_are_superpattern_sums(self):
+        # Example 4.3 arithmetic: a node's frequency is its own count plus
+        # all reachable-ancestor counts.
+        from repro.tree.max_subpattern_tree import tree_from_hits
+
+        cmax = Pattern.from_string("a{b1,b2}*d*")
+        tree = tree_from_hits(
+            cmax,
+            [
+                (cmax, 10),
+                (Pattern.from_string("*{b1,b2}*d*"), 50),
+                (Pattern.from_string("*{b1}*d*"), 8),
+            ],
+        )
+        node = tree.find_node(Pattern.from_string("*{b1}*d*"))
+        reachable_total = sum(
+            ancestor.count for ancestor in tree.reachable_ancestors(node)
+        )
+        assert node.count + reachable_total == 68
+        assert tree.count_of(Pattern.from_string("*{b1}*d*")) == 68
+
+
+class TestSection5Claims:
+    def test_figure2_shape_hitset_flat_apriori_grows(self):
+        # Scaled-down Figure 2: Apriori's scan count (the driver of its
+        # runtime growth) rises with MAX-PAT-LENGTH while hit-set stays
+        # at 2.  Runtime itself is benchmarked in benchmarks/.
+        from repro.synth.workloads import FIGURE2_MIN_CONF, figure2_series
+
+        apriori_scans = []
+        for mpl in (2, 6, 10):
+            generated = figure2_series(mpl, length=10_000, seed=0)
+            scan = ScanCountingSeries(generated.series)
+            mine_single_period_apriori(scan, 50, FIGURE2_MIN_CONF)
+            apriori_scans.append(scan.scans)
+            scan.reset()
+            mine_single_period_hitset(scan, 50, FIGURE2_MIN_CONF)
+            assert scan.scans == 2
+        assert apriori_scans[0] < apriori_scans[1] < apriori_scans[2]

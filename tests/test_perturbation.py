@@ -1,0 +1,75 @@
+"""Unit tests for perturbation-tolerant mining (repro.perturbation.slots)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.errors import SeriesError
+from repro.core.hitset import mine_single_period_hitset
+from repro.core.pattern import Pattern
+from repro.perturbation.slots import (
+    enlarge_slots,
+    mine_with_tolerance,
+    neighborhood_union,
+)
+from repro.synth.workloads import perturbed_series
+from repro.timeseries.feature_series import FeatureSeries
+
+
+class TestEnlargeSlots:
+    def test_forward_window(self):
+        series = FeatureSeries([{"a"}, {"b"}, {"c"}])
+        enlarged = enlarge_slots(series, before=0, after=1)
+        assert enlarged[0] == frozenset({"a", "b"})
+        assert enlarged[1] == frozenset({"b", "c"})
+        assert enlarged[2] == frozenset({"c"})  # clipped at the boundary
+
+    def test_backward_window(self):
+        series = FeatureSeries([{"a"}, {"b"}, {"c"}])
+        enlarged = enlarge_slots(series, before=1, after=0)
+        assert enlarged[0] == frozenset({"a"})
+        assert enlarged[1] == frozenset({"a", "b"})
+
+    def test_zero_window_is_identity(self):
+        series = FeatureSeries([{"a"}, {"b"}])
+        assert enlarge_slots(series, before=0, after=0) == series
+
+    def test_negative_window_rejected(self):
+        series = FeatureSeries([{"a"}])
+        with pytest.raises(SeriesError):
+            enlarge_slots(series, before=-1)
+        with pytest.raises(SeriesError):
+            neighborhood_union(series, radius=-1)
+
+    def test_neighborhood_is_symmetric(self):
+        series = FeatureSeries([{"a"}, set(), {"c"}])
+        union = neighborhood_union(series, radius=1)
+        assert union[1] == frozenset({"a", "c"})
+
+    def test_length_preserved(self):
+        series = FeatureSeries.from_symbols("abcdef")
+        assert len(neighborhood_union(series, 2)) == 6
+
+
+class TestToleranceMining:
+    def test_jitter_defeats_exact_mining(self):
+        series = perturbed_series(period=10, repetitions=300, seed=0)
+        exact = mine_single_period_hitset(series, 10, 0.7)
+        pulse_letters = [
+            pattern for pattern in exact
+            if any("pulse" in slot for slot in pattern.positions)
+        ]
+        assert not pulse_letters  # the wobble splits the count
+
+    def test_tolerance_recovers_pattern(self):
+        series = perturbed_series(period=10, repetitions=300, seed=0)
+        tolerant = mine_with_tolerance(series, 10, 0.7, radius=1)
+        anchor = 10 // 2
+        assert Pattern.from_letters(10, [(anchor, "pulse")]) in tolerant
+
+    def test_tolerance_confidence_near_truth(self):
+        # True miss rate is 10%; tolerant confidence should approach 0.9.
+        series = perturbed_series(period=10, repetitions=400, seed=3)
+        tolerant = mine_with_tolerance(series, 10, 0.7, radius=1)
+        anchor = Pattern.from_letters(10, [(5, "pulse")])
+        assert tolerant.confidence(anchor) == pytest.approx(0.9, abs=0.05)

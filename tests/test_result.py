@@ -1,0 +1,104 @@
+"""Unit tests for MiningResult and MiningStats (repro.core.result)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.errors import MiningError
+from repro.core.pattern import Pattern
+from repro.core.result import MiningResult, MiningStats
+
+
+def make_result() -> MiningResult:
+    counts = {
+        Pattern.from_string("a**"): 8,
+        Pattern.from_string("*b*"): 6,
+        Pattern.from_string("ab*"): 5,
+        Pattern.from_string("ab{c,d}"): 4,
+    }
+    return MiningResult(
+        algorithm="test",
+        period=3,
+        min_conf=0.4,
+        num_periods=10,
+        counts=counts,
+        stats=MiningStats(scans=2, candidate_counts={1: 3, 2: 2}),
+    )
+
+
+class TestMappingProtocol:
+    def test_len_iter_contains(self):
+        result = make_result()
+        assert len(result) == 4
+        assert Pattern.from_string("a**") in result
+        assert Pattern.from_string("**c") not in result
+        assert set(result) == set(dict(result.items()))
+
+    def test_getitem_and_get(self):
+        result = make_result()
+        assert result[Pattern.from_string("ab*")] == 5
+        assert result.get(Pattern.from_string("zzz"), 0) == 0
+
+    def test_missing_raises_keyerror(self):
+        with pytest.raises(KeyError):
+            make_result()[Pattern.from_string("zzz")]
+
+
+class TestQueries:
+    def test_patterns_sorted_by_count(self):
+        ordered = make_result().patterns
+        counts = [make_result()[pattern] for pattern in ordered]
+        assert counts == sorted(counts, reverse=True)
+
+    def test_confidence(self):
+        result = make_result()
+        assert result.confidence(Pattern.from_string("a**")) == pytest.approx(0.8)
+
+    def test_confidence_of_nonfrequent_raises(self):
+        with pytest.raises(MiningError):
+            make_result().confidence(Pattern.from_string("zzz"))
+
+    def test_with_l_length(self):
+        result = make_result()
+        assert set(map(str, result.with_l_length(1))) == {"a**", "*b*"}
+        assert set(map(str, result.with_l_length(3))) == {"ab{c,d}"}
+
+    def test_with_letter_count(self):
+        result = make_result()
+        assert set(map(str, result.with_letter_count(4))) == {"ab{c,d}"}
+
+    def test_max_lengths(self):
+        result = make_result()
+        assert result.max_letter_count == 4
+        assert result.max_l_length == 3
+
+    def test_max_lengths_empty(self):
+        empty = MiningResult("test", 3, 0.5, 10, {})
+        assert empty.max_letter_count == 0
+        assert empty.max_l_length == 0
+
+    def test_maximal_patterns(self):
+        maximal = make_result().maximal_patterns()
+        assert set(map(str, maximal)) == {"ab{c,d}"}
+
+    def test_to_rows(self):
+        rows = make_result().to_rows()
+        assert rows[0] == ("a**", 8, 0.8)
+
+    def test_summary_and_repr(self):
+        result = make_result()
+        assert "period=3" in result.summary()
+        assert "MiningResult" in repr(result)
+
+
+class TestStats:
+    def test_total_candidates(self):
+        stats = MiningStats(candidate_counts={1: 3, 2: 2, 3: 1})
+        assert stats.total_candidates == 6
+
+    def test_defaults(self):
+        stats = MiningStats()
+        assert stats.scans == 0
+        assert stats.tree_nodes == 0
+        assert stats.hit_set_size == 0
+        assert stats.total_candidates == 0

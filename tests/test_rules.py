@@ -1,0 +1,100 @@
+"""Unit tests for periodic association rules (repro.rules.periodic_rules)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.errors import MiningError
+from repro.core.hitset import mine_single_period_hitset
+from repro.core.pattern import Pattern
+from repro.rules.periodic_rules import derive_rules, rules_about
+from repro.timeseries.feature_series import FeatureSeries
+
+
+def mined_result():
+    # 10 segments: 'a' at offset 0 always, 'b' at offset 1 in 8 of them.
+    slots = []
+    for index in range(10):
+        slots.append({"a"})
+        slots.append({"b"} if index < 8 else set())
+    return mine_single_period_hitset(FeatureSeries(slots), 2, 0.5)
+
+
+class TestDerivation:
+    def test_rule_confidence_is_conditional(self):
+        rules = derive_rules(mined_result(), min_rule_conf=0.5)
+        wanted = [
+            rule
+            for rule in rules
+            if str(rule.antecedent) == "a*" and str(rule.consequent) == "*b"
+        ]
+        assert len(wanted) == 1
+        rule = wanted[0]
+        assert rule.confidence == pytest.approx(0.8)
+        assert rule.support == pytest.approx(0.8)
+        assert rule.joint_count == 8
+
+    def test_reverse_rule_confidence(self):
+        rules = derive_rules(mined_result(), min_rule_conf=0.5)
+        wanted = [
+            rule
+            for rule in rules
+            if str(rule.antecedent) == "*b" and str(rule.consequent) == "a*"
+        ]
+        assert wanted[0].confidence == pytest.approx(1.0)
+
+    def test_threshold_filters(self):
+        strict = derive_rules(mined_result(), min_rule_conf=0.9)
+        assert all(rule.confidence >= 0.9 for rule in strict)
+        assert any(str(rule.antecedent) == "*b" for rule in strict)
+        assert not any(str(rule.antecedent) == "a*" for rule in strict)
+
+    def test_sorted_by_confidence(self):
+        rules = derive_rules(mined_result(), min_rule_conf=0.1)
+        values = [rule.confidence for rule in rules]
+        assert values == sorted(values, reverse=True)
+
+    def test_bad_threshold(self):
+        with pytest.raises(MiningError):
+            derive_rules(mined_result(), min_rule_conf=0.0)
+
+    def test_max_pattern_letters_caps_enumeration(self):
+        series = FeatureSeries([{"a"}, {"b"}, {"c"}, {"d"}] * 6)
+        result = mine_single_period_hitset(series, 4, 0.9)
+        rules = derive_rules(result, min_rule_conf=0.5, max_pattern_letters=2)
+        assert all(
+            rule.antecedent.letter_count + rule.consequent.letter_count <= 2
+            for rule in rules
+        )
+
+    def test_every_split_is_letter_disjoint(self):
+        rules = derive_rules(mined_result(), min_rule_conf=0.1)
+        for rule in rules:
+            assert not rule.antecedent.letters & rule.consequent.letters
+
+    def test_three_letter_pattern_yields_six_splits(self):
+        series = FeatureSeries([{"a"}, {"b"}, {"c"}] * 8)
+        result = mine_single_period_hitset(series, 3, 0.9)
+        rules = derive_rules(result, min_rule_conf=0.1)
+        from_abc = [
+            rule
+            for rule in rules
+            if rule.antecedent.letters | rule.consequent.letters
+            == Pattern.from_string("abc").letters
+        ]
+        assert len(from_abc) == 6  # 2^3 - 2 splits
+
+    def test_str_rendering(self):
+        rules = derive_rules(mined_result(), min_rule_conf=0.5)
+        assert "=>" in str(rules[0])
+
+
+class TestFiltering:
+    def test_rules_about_feature(self):
+        rules = derive_rules(mined_result(), min_rule_conf=0.1)
+        about_b = rules_about(rules, "b")
+        assert about_b
+        assert all(
+            any("b" in slot for slot in rule.consequent.positions)
+            for rule in about_b
+        )

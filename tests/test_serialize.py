@@ -1,0 +1,103 @@
+"""Unit tests for result serialization (repro.core.serialize)."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.core.errors import MiningError
+from repro.core.hitset import mine_single_period_hitset
+from repro.core.serialize import (
+    FORMAT_TAG,
+    dumps_result,
+    load_result,
+    loads_result,
+    result_from_dict,
+    result_to_dict,
+    save_result,
+)
+from repro.timeseries.feature_series import FeatureSeries
+
+
+@pytest.fixture
+def result(paper_series):
+    return mine_single_period_hitset(paper_series, 3, 0.5)
+
+
+class TestRoundtrip:
+    def test_dict_roundtrip(self, result):
+        rebuilt = result_from_dict(result_to_dict(result))
+        assert dict(rebuilt.items()) == dict(result.items())
+        assert rebuilt.algorithm == result.algorithm
+        assert rebuilt.period == result.period
+        assert rebuilt.min_conf == result.min_conf
+        assert rebuilt.num_periods == result.num_periods
+        assert rebuilt.stats.scans == result.stats.scans
+        assert (
+            rebuilt.stats.candidate_counts == result.stats.candidate_counts
+        )
+
+    def test_string_roundtrip(self, result):
+        rebuilt = loads_result(dumps_result(result))
+        assert dict(rebuilt.items()) == dict(result.items())
+
+    def test_file_roundtrip(self, result, tmp_path):
+        path = tmp_path / "result.json"
+        save_result(result, path)
+        rebuilt = load_result(path)
+        assert dict(rebuilt.items()) == dict(result.items())
+
+    def test_multichar_and_multifeature_patterns(self):
+        series = FeatureSeries(
+            [{"high_traffic", "promo"}, set()] * 6
+        )
+        result = mine_single_period_hitset(series, 2, 0.9)
+        rebuilt = loads_result(dumps_result(result))
+        assert dict(rebuilt.items()) == dict(result.items())
+
+    def test_empty_result_roundtrips(self):
+        result = mine_single_period_hitset(
+            FeatureSeries.from_symbols("abcd"), 2, 1.0
+        )
+        rebuilt = loads_result(dumps_result(result))
+        assert len(rebuilt) == 0
+
+
+class TestFormat:
+    def test_document_shape(self, result):
+        payload = json.loads(dumps_result(result))
+        assert payload["format"] == FORMAT_TAG
+        assert payload["patterns"][0].keys() == {"pattern", "count"}
+        counts = [entry["count"] for entry in payload["patterns"]]
+        assert counts == sorted(counts, reverse=True)
+
+    def test_rejects_wrong_tag(self, result):
+        payload = result_to_dict(result)
+        payload["format"] = "something/else"
+        with pytest.raises(MiningError):
+            result_from_dict(payload)
+
+    def test_rejects_non_object(self):
+        with pytest.raises(MiningError):
+            result_from_dict([1, 2, 3])
+
+    def test_rejects_invalid_json(self):
+        with pytest.raises(MiningError):
+            loads_result("{not json")
+
+    def test_rejects_missing_fields(self, result):
+        payload = result_to_dict(result)
+        del payload["period"]
+        with pytest.raises(MiningError):
+            result_from_dict(payload)
+
+    def test_rejects_period_mismatch(self, result):
+        payload = result_to_dict(result)
+        payload["patterns"] = [{"pattern": "ab*c", "count": 1}]
+        with pytest.raises(MiningError):
+            result_from_dict(payload)
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(MiningError):
+            load_result(tmp_path / "nope.json")

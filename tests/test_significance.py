@@ -1,0 +1,144 @@
+"""Unit tests for significance scoring (repro.analysis.significance)."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.analysis.significance import (
+    chi_square_p_value,
+    chi_square_statistic,
+    expected_confidence,
+    feature_base_rates,
+    score_result,
+    significant_patterns,
+)
+from repro.core.errors import MiningError
+from repro.core.hitset import mine_single_period_hitset
+from repro.core.pattern import Pattern
+from repro.timeseries.feature_series import FeatureSeries
+
+
+class TestBaseRates:
+    def test_rates(self):
+        series = FeatureSeries([{"a"}, {"a", "b"}, set(), {"b"}])
+        rates = feature_base_rates(series)
+        assert rates["a"] == 0.5
+        assert rates["b"] == 0.5
+
+    def test_empty_series_rejected(self):
+        with pytest.raises(MiningError):
+            feature_base_rates(FeatureSeries([]))
+
+
+class TestExpectedConfidence:
+    def test_single_letter(self):
+        assert expected_confidence(
+            Pattern.from_string("a*"), {"a": 0.3}
+        ) == pytest.approx(0.3)
+
+    def test_product_over_letters(self):
+        pattern = Pattern.from_string("ab")
+        assert expected_confidence(
+            pattern, {"a": 0.5, "b": 0.4}
+        ) == pytest.approx(0.2)
+
+    def test_unknown_feature_is_zero(self):
+        assert expected_confidence(Pattern.from_string("z*"), {}) == 0.0
+
+    def test_trivial_pattern_is_one(self):
+        assert expected_confidence(Pattern.dont_care(3), {}) == 1.0
+
+
+class TestChiSquare:
+    def test_matches_expectation_is_zero(self):
+        assert chi_square_statistic(50, 0.5, 100) == pytest.approx(0.0)
+
+    def test_grows_with_surprise(self):
+        mild = chi_square_statistic(60, 0.5, 100)
+        strong = chi_square_statistic(90, 0.5, 100)
+        assert strong > mild > 0
+
+    def test_degenerate_expectations(self):
+        assert chi_square_statistic(100, 1.0, 100) == 0.0
+        assert math.isinf(chi_square_statistic(50, 1.0, 100))
+        assert chi_square_statistic(0, 0.0, 100) == 0.0
+        assert math.isinf(chi_square_statistic(5, 0.0, 100))
+
+    def test_validation(self):
+        with pytest.raises(MiningError):
+            chi_square_statistic(5, 0.5, 0)
+        with pytest.raises(MiningError):
+            chi_square_statistic(101, 0.5, 100)
+
+    def test_p_value_monotone(self):
+        assert chi_square_p_value(0.0) == pytest.approx(1.0)
+        assert chi_square_p_value(3.84) == pytest.approx(0.05, abs=0.005)
+        assert chi_square_p_value(10.0) < chi_square_p_value(1.0)
+        assert chi_square_p_value(math.inf) == 0.0
+
+    def test_p_value_validation(self):
+        with pytest.raises(MiningError):
+            chi_square_p_value(-1.0)
+
+
+class TestScoring:
+    def periodic_with_background(self) -> FeatureSeries:
+        """'p'@0 truly periodic; 'bg' everywhere (frequent by chance)."""
+        slots = []
+        for index in range(100):
+            slot = {"bg"}
+            if index % 4 == 0 and index % 20:  # ~periodic with misses
+                slot.add("p")
+            slots.append(slot)
+        return FeatureSeries(slots)
+
+    def test_periodic_pattern_beats_background(self):
+        series = self.periodic_with_background()
+        result = mine_single_period_hitset(series, 4, 0.6)
+        scores = score_result(series, result)
+        by_pattern = {str(item.pattern): item for item in scores}
+        periodic = by_pattern["p***"]
+        background = by_pattern["{bg}***"]
+        assert periodic.lift > 3.0
+        assert background.lift == pytest.approx(1.0)
+        assert periodic.p_value < 0.001
+        assert background.p_value == pytest.approx(1.0, abs=0.05)
+
+    def test_sorted_most_significant_first(self):
+        series = self.periodic_with_background()
+        result = mine_single_period_hitset(series, 4, 0.6)
+        scores = score_result(series, result)
+        p_values = [item.p_value for item in scores]
+        assert p_values == sorted(p_values)
+
+    def test_significant_patterns_filters_background(self):
+        series = self.periodic_with_background()
+        result = mine_single_period_hitset(series, 4, 0.6)
+        survivors = significant_patterns(
+            series, result, max_p_value=0.01, min_lift=1.5
+        )
+        names = {str(item.pattern) for item in survivors}
+        assert "p***" in names
+        assert all("bg" not in name or "p" in name for name in names)
+
+    def test_lift_of_unseen_expected(self):
+        from repro.analysis.significance import PatternSignificance
+
+        item = PatternSignificance(
+            pattern=Pattern.from_string("x*"),
+            confidence=0.5,
+            expected=0.0,
+            chi_square=math.inf,
+            p_value=0.0,
+        )
+        assert math.isinf(item.lift)
+
+    def test_filter_validation(self):
+        series = self.periodic_with_background()
+        result = mine_single_period_hitset(series, 4, 0.6)
+        with pytest.raises(MiningError):
+            significant_patterns(series, result, max_p_value=0.0)
+        with pytest.raises(MiningError):
+            significant_patterns(series, result, min_lift=-1.0)

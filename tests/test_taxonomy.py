@@ -1,0 +1,100 @@
+"""Unit tests for feature taxonomies (repro.multilevel.taxonomy)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.errors import TaxonomyError
+from repro.multilevel.taxonomy import Taxonomy
+
+
+def beverage_taxonomy() -> Taxonomy:
+    return Taxonomy(
+        [
+            ("latte", "coffee"),
+            ("espresso", "coffee"),
+            ("coffee", "beverage"),
+            ("oolong", "tea"),
+            ("tea", "beverage"),
+        ]
+    )
+
+
+class TestStructure:
+    def test_nodes_and_roots(self):
+        taxonomy = beverage_taxonomy()
+        assert "latte" in taxonomy.nodes()
+        assert taxonomy.roots == {"beverage"}
+
+    def test_parent_and_children(self):
+        taxonomy = beverage_taxonomy()
+        assert taxonomy.parent("latte") == "coffee"
+        assert taxonomy.parent("beverage") is None
+        assert set(taxonomy.children("coffee")) == {"latte", "espresso"}
+        assert taxonomy.children("latte") == []
+
+    def test_ancestors_nearest_first(self):
+        taxonomy = beverage_taxonomy()
+        assert taxonomy.ancestors("latte") == ["coffee", "beverage"]
+        assert taxonomy.ancestors("beverage") == []
+
+    def test_depth(self):
+        assert beverage_taxonomy().depth == 3
+
+    def test_repr(self):
+        assert "depth=3" in repr(beverage_taxonomy())
+
+
+class TestLevels:
+    def test_level_counts_from_root(self):
+        taxonomy = beverage_taxonomy()
+        assert taxonomy.level("beverage") == 1
+        assert taxonomy.level("coffee") == 2
+        assert taxonomy.level("latte") == 3
+
+    def test_unknown_feature_is_level_one(self):
+        assert beverage_taxonomy().level("water") == 1
+
+    def test_ancestor_at_level(self):
+        taxonomy = beverage_taxonomy()
+        assert taxonomy.ancestor_at_level("latte", 1) == "beverage"
+        assert taxonomy.ancestor_at_level("latte", 2) == "coffee"
+        assert taxonomy.ancestor_at_level("latte", 3) == "latte"
+
+    def test_ancestor_above_own_level_is_none(self):
+        taxonomy = beverage_taxonomy()
+        assert taxonomy.ancestor_at_level("beverage", 2) is None
+
+    def test_ancestor_at_bad_level(self):
+        with pytest.raises(TaxonomyError):
+            beverage_taxonomy().ancestor_at_level("latte", 0)
+
+    def test_generalize_alias(self):
+        taxonomy = beverage_taxonomy()
+        assert taxonomy.generalize("latte", 1) == "beverage"
+
+
+class TestValidation:
+    def test_self_loop(self):
+        with pytest.raises(TaxonomyError):
+            Taxonomy([("a", "a")])
+
+    def test_two_parents(self):
+        with pytest.raises(TaxonomyError):
+            Taxonomy([("a", "b"), ("a", "c")])
+
+    def test_duplicate_edge_ok(self):
+        taxonomy = Taxonomy([("a", "b"), ("a", "b")])
+        assert taxonomy.parent("a") == "b"
+
+    def test_cycle(self):
+        with pytest.raises(TaxonomyError):
+            Taxonomy([("a", "b"), ("b", "c"), ("c", "a")])
+
+    def test_empty_names(self):
+        with pytest.raises(TaxonomyError):
+            Taxonomy([("", "b")])
+
+    def test_forest_with_multiple_roots(self):
+        taxonomy = Taxonomy([("a", "r1"), ("b", "r2")])
+        assert taxonomy.roots == {"r1", "r2"}

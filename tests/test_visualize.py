@@ -1,0 +1,105 @@
+"""Unit tests for text visualizations (repro.analysis.visualize)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.visualize import (
+    confidence_heatmap,
+    pattern_timeline,
+    render_result,
+)
+from repro.core.errors import MiningError, ReproError
+from repro.core.hitset import mine_single_period_hitset
+from repro.core.pattern import Pattern
+from repro.timeseries.feature_series import FeatureSeries
+
+
+@pytest.fixture
+def series():
+    return FeatureSeries([{"a"}, {"b"}, set()] * 10 + [{"a"}, set(), set()] * 2)
+
+
+class TestHeatmap:
+    def test_contains_features_and_offsets(self, series):
+        text = confidence_heatmap(series, 3)
+        assert "a |" in text
+        assert "012" in text.splitlines()[0].replace(" ", "")
+
+    def test_full_confidence_is_darkest(self):
+        series = FeatureSeries([{"x"}, set()] * 10)
+        text = confidence_heatmap(series, 2)
+        row = next(line for line in text.splitlines() if line.startswith("x"))
+        assert "@" in row
+
+    def test_explicit_feature_selection(self, series):
+        text = confidence_heatmap(series, 3, features=["b"])
+        assert "\na |" not in text
+        assert "b |" in text
+
+    def test_max_features_cap(self):
+        series = FeatureSeries([{f"f{i}" for i in range(30)}] * 4)
+        text = confidence_heatmap(series, 2, max_features=5)
+        rows = [line for line in text.splitlines() if "|" in line]
+        assert len(rows) == 6  # header + 5 feature rows
+
+    def test_invalid_period(self, series):
+        with pytest.raises(ReproError):
+            confidence_heatmap(series, 1000)
+
+
+class TestTimeline:
+    def test_marks_matches_and_misses(self, series):
+        text = pattern_timeline(series, Pattern.from_string("ab*"))
+        first_line = text.splitlines()[0]
+        assert first_line == "#" * 10 + ".."
+        assert "confidence 0.833" in text
+
+    def test_wraps_lines(self):
+        series = FeatureSeries([{"a"}] * 100)
+        text = pattern_timeline(series, Pattern.from_string("a"), per_line=40)
+        lines = text.splitlines()
+        assert len(lines[0]) == 40
+        assert len(lines) == 4  # 40 + 40 + 20 + footer
+
+    def test_validation(self, series):
+        with pytest.raises(MiningError):
+            pattern_timeline(series, Pattern.from_string("ab*"), per_line=0)
+        with pytest.raises(ReproError):
+            pattern_timeline(FeatureSeries([{"a"}]), Pattern.from_string("ab"))
+
+
+class TestRenderResult:
+    def test_table_shape(self, series):
+        result = mine_single_period_hitset(series, 3, 0.5)
+        text = render_result(result)
+        assert "ab*" in text
+        assert "|" in text
+        assert result.summary() in text
+
+    def test_limit_note(self, series):
+        result = mine_single_period_hitset(series, 3, 0.5)
+        text = render_result(result, limit=1)
+        assert "more" in text
+
+    def test_empty_result(self):
+        result = mine_single_period_hitset(
+            FeatureSeries([{"a"}, {"b"}, {"c"}, {"d"}]), 2, 1.0
+        )
+        assert "no frequent patterns" in render_result(result)
+
+    def test_bar_width_validation(self, series):
+        result = mine_single_period_hitset(series, 3, 0.5)
+        with pytest.raises(MiningError):
+            render_result(result, bar_width=0)
+
+
+class TestHeatmapOrdering:
+    def test_features_ranked_by_total_occurrence(self):
+        series = FeatureSeries(
+            [{"common"}] * 12 + [{"common", "rare"}] * 2 + [set()] * 2
+        )
+        text = confidence_heatmap(series, 2)
+        lines = [line for line in text.splitlines() if line.endswith("|") is False and "|" in line]
+        feature_rows = [line.split("|")[0].strip() for line in lines[1:] if line.split("|")[0].strip()]
+        assert feature_rows[0] == "common"

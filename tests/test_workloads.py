@@ -1,0 +1,82 @@
+"""Unit tests for the canned workload builders (repro.synth.workloads)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.hitset import mine_single_period_hitset
+from repro.core.pattern import Pattern
+from repro.synth.workloads import (
+    FIGURE2_F1_SIZE,
+    FIGURE2_MIN_CONF,
+    FIGURE2_PERIOD,
+    figure2_series,
+    figure2_spec,
+    newspaper_week,
+    perturbed_series,
+    power_consumption,
+    retail_transactions,
+    unexpected_period_series,
+)
+
+
+class TestFigure2:
+    def test_spec_matches_paper_constants(self):
+        spec = figure2_spec(6)
+        assert spec.period == FIGURE2_PERIOD == 50
+        assert spec.f1_size == FIGURE2_F1_SIZE == 12
+        assert spec.max_pat_length == 6
+
+    def test_min_conf_separates_levels(self):
+        generated = figure2_series(4, length=20_000, seed=0)
+        result = mine_single_period_hitset(
+            generated.series, FIGURE2_PERIOD, FIGURE2_MIN_CONF
+        )
+        assert result.max_l_length == 4
+
+    def test_deterministic(self):
+        assert figure2_series(3, length=5_000).series == figure2_series(
+            3, length=5_000
+        ).series
+
+
+class TestScenarioBuilders:
+    def test_newspaper_weekday_pattern_minable(self):
+        series = newspaper_week(weeks=120, reliability=0.95, seed=0)
+        assert len(series) == 120 * 7
+        # Five independent 0.95 days give joint confidence ~0.95**5 = 0.77.
+        result = mine_single_period_hitset(series, 7, 0.7)
+        weekday_paper = Pattern.from_letters(
+            7, [(day, "paper") for day in range(5)]
+        )
+        assert weekday_paper in result
+
+    def test_newspaper_weekend_not_paper(self):
+        series = newspaper_week(weeks=120, reliability=0.95, seed=0)
+        result = mine_single_period_hitset(series, 7, 0.5)
+        assert Pattern.from_letters(7, [(5, "paper")]) not in result
+        assert Pattern.from_letters(7, [(6, "paper")]) not in result
+
+    def test_power_consumption_shape(self):
+        values = power_consumption(days=30, seed=0)
+        assert isinstance(values, np.ndarray)
+        assert len(values) == 30 * 24
+        by_hour = values.reshape(30, 24).mean(axis=0)
+        assert by_hour[19] > by_hour[3]  # evening peak beats night
+
+    def test_retail_transactions_weekly_structure(self):
+        database = retail_transactions(weeks=80, seed=0)
+        series = database.to_feature_series(
+            slot_width=1.0, start=0.0, end=80 * 7.0
+        )
+        result = mine_single_period_hitset(series, 7, 0.7)
+        assert Pattern.from_letters(7, [(5, "promotion")]) in result
+
+    def test_unexpected_period_series_length(self):
+        series = unexpected_period_series(period=14, repetitions=10, seed=0)
+        assert len(series) == 140
+
+    def test_perturbed_series_has_pulse(self):
+        series = perturbed_series(period=8, repetitions=50, seed=0)
+        assert "pulse" in series.alphabet
+        assert len(series) == 400
