@@ -7,6 +7,10 @@ its max-subpattern tree, shared multi-period mining, and the Section 6
 extensions (maximal patterns, periodic rules, multi-level mining,
 perturbation tolerance), plus the Section 5 synthetic workload generator.
 
+Beyond the paper, :mod:`repro.engine` runs the hit-set miner over segment
+shards on serial/thread/process backends and merges the partial results
+exactly (see :class:`ParallelMiner`).
+
 Quickstart
 ----------
 >>> from repro import PartialPeriodicMiner
@@ -19,6 +23,7 @@ from repro.core.apriori import mine_single_period_apriori
 from repro.core.constraints import MiningConstraints, mine_with_constraints
 from repro.core.counting import brute_force_frequent, confidence, count_pattern
 from repro.core.errors import (
+    EngineError,
     GeneratorError,
     MiningError,
     PatternError,
@@ -41,6 +46,9 @@ from repro.core.multiperiod import (
 from repro.core.pattern import Pattern
 from repro.core.result import MiningResult, MiningStats
 from repro.core.serialize import load_result, save_result
+from repro.engine.parallel import ParallelMiner
+from repro.engine.partition import SegmentShard, partition_segments
+from repro.engine.stats import EngineStats
 from repro.synth.generator import SyntheticSeries, SyntheticSpec, generate_series
 from repro.timeseries.feature_series import FeatureSeries, as_feature_series
 from repro.timeseries.scan import ScanCountingSeries
@@ -49,6 +57,8 @@ from repro.tree.max_subpattern_tree import MaxSubpatternTree
 __version__ = "1.0.0"
 
 __all__ = [
+    "EngineError",
+    "EngineStats",
     "FeatureSeries",
     "GeneratorError",
     "IncrementalHitSetMiner",
@@ -58,11 +68,13 @@ __all__ = [
     "MiningResult",
     "MiningStats",
     "MultiPeriodResult",
+    "ParallelMiner",
     "PartialPeriodicMiner",
     "Pattern",
     "PatternError",
     "ReproError",
     "ScanCountingSeries",
+    "SegmentShard",
     "SeriesError",
     "SyntheticSeries",
     "SyntheticSpec",
@@ -80,9 +92,10 @@ __all__ = [
     "mine_periods_looping",
     "mine_periods_shared",
     "mine_single_period_apriori",
-    "mine_with_constraints",
-    "save_result",
     "mine_single_period_hitset",
+    "mine_with_constraints",
+    "partition_segments",
     "period_range",
+    "save_result",
     "__version__",
 ]

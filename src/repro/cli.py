@@ -70,6 +70,22 @@ def _build_parser() -> argparse.ArgumentParser:
     mine.add_argument(
         "--maximal", action="store_true", help="print only maximal patterns"
     )
+    mine.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help=(
+            "mine on the parallel engine with this many workers "
+            "(hitset only; >1 shards the series, results are identical "
+            "to the serial run)"
+        ),
+    )
+    mine.add_argument(
+        "--backend",
+        choices=("auto", "serial", "thread", "process"),
+        default="auto",
+        help="parallel execution backend used when --workers > 1",
+    )
     mine.add_argument("--limit", type=int, default=25)
     mine.add_argument(
         "--json",
@@ -169,6 +185,9 @@ def _run_mine(args: argparse.Namespace) -> int:
     if (args.period is None) == (args.period_range is None):
         print("specify exactly one of --period or --period-range", file=sys.stderr)
         return 2
+    if args.workers > 1 and args.maximal:
+        print("--workers does not combine with --maximal", file=sys.stderr)
+        return 2
     series = load_series(args.input)
     miner = PartialPeriodicMiner(
         series, min_conf=args.min_conf, algorithm=args.algorithm
@@ -178,8 +197,12 @@ def _run_mine(args: argparse.Namespace) -> int:
         if args.maximal:
             result = miner.mine_maximal(args.period)
         else:
-            result = miner.mine(args.period)
+            result = miner.mine(
+                args.period, workers=args.workers, backend=args.backend
+            )
         _print_result(result, args.limit, args.maximal)
+        if result.engine is not None:
+            print(f"  [{result.engine.summary()}]")
         if args.json:
             from repro.core.serialize import save_result
 
@@ -190,8 +213,12 @@ def _run_mine(args: argparse.Namespace) -> int:
             print("--json requires --period", file=sys.stderr)
             return 2
         low, high = args.period_range
-        outcome = miner.mine_range(low, high)
+        outcome = miner.mine_range(
+            low, high, workers=args.workers, backend=args.backend
+        )
         print(outcome.summary())
+        if outcome.engine is not None:
+            print(f"  [{outcome.engine.summary()}]")
         for period, pattern, confidence in outcome.best_patterns(args.limit):
             print(
                 f"  period={period:<4} {str(pattern):<40} conf={confidence:.3f}"

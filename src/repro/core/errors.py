@@ -30,3 +30,8 @@ class TaxonomyError(ReproError):
 
 class GeneratorError(ReproError):
     """Raised for invalid synthetic-workload parameters."""
+
+
+class EngineError(ReproError):
+    """Raised by the parallel engine: bad shard plans, unknown backends,
+    or shards that still fail after the serial retry."""

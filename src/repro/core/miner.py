@@ -71,10 +71,29 @@ class PartialPeriodicMiner:
         period: int,
         min_conf: float | None = None,
         algorithm: str | None = None,
+        workers: int | None = None,
+        backend: str = "auto",
     ) -> MiningResult:
-        """All frequent patterns of one period."""
+        """All frequent patterns of one period.
+
+        ``workers > 1`` runs the hit-set algorithm over segment shards on
+        the parallel engine (:class:`repro.engine.ParallelMiner`); the
+        frequent set and counts are identical to the serial run.
+        """
         min_conf = self.min_conf if min_conf is None else min_conf
         algorithm = self.algorithm if algorithm is None else algorithm
+        if workers is not None and workers < 1:
+            raise MiningError(f"workers must be >= 1, got {workers}")
+        if workers is not None and workers > 1:
+            if algorithm != "hitset":
+                raise MiningError(
+                    "parallel mining supports the 'hitset' algorithm only"
+                )
+            from repro.engine.parallel import ParallelMiner
+
+            return ParallelMiner(
+                self.series, min_conf=min_conf, workers=workers, backend=backend
+            ).mine(period)
         if algorithm == "hitset":
             return mine_single_period_hitset(self.series, period, min_conf)
         if algorithm == "apriori":
@@ -113,13 +132,25 @@ class PartialPeriodicMiner:
         min_conf: float | None = None,
         shared: bool = True,
         min_repetitions: int = 1,
+        workers: int | None = None,
+        backend: str = "auto",
     ) -> MultiPeriodResult:
         """All frequent patterns for every period in ``[low, high]``.
 
         ``shared=True`` uses Algorithm 3.4 (two scans total);
         ``shared=False`` loops Algorithm 3.2 per period (Algorithm 3.3).
+        ``workers > 1`` fans the periods out over the parallel engine
+        (per-period tasks, looping semantics — ``shared`` is ignored).
         """
         min_conf = self.min_conf if min_conf is None else min_conf
+        if workers is not None and workers < 1:
+            raise MiningError(f"workers must be >= 1, got {workers}")
+        if workers is not None and workers > 1:
+            from repro.engine.parallel import ParallelMiner
+
+            return ParallelMiner(
+                self.series, min_conf=min_conf, workers=workers, backend=backend
+            ).mine_period_range(low, high, min_repetitions=min_repetitions)
         return mine_period_range(
             self.series,
             low,

@@ -43,9 +43,22 @@ class MiningResult:
 
     Behaves like a read-only mapping from :class:`Pattern` to frequency
     count, and offers confidence/maximality helpers.
+
+    ``engine`` carries the per-shard accounting
+    (:class:`repro.engine.stats.EngineStats`) when the result was produced
+    by the parallel engine; it is ``None`` for the serial miners and never
+    affects the frequent set itself.
     """
 
-    __slots__ = ("algorithm", "period", "min_conf", "num_periods", "_counts", "stats")
+    __slots__ = (
+        "algorithm",
+        "period",
+        "min_conf",
+        "num_periods",
+        "_counts",
+        "stats",
+        "engine",
+    )
 
     def __init__(
         self,
@@ -55,6 +68,7 @@ class MiningResult:
         num_periods: int,
         counts: Mapping[Pattern, int],
         stats: MiningStats | None = None,
+        engine=None,
     ):
         self.algorithm = algorithm
         self.period = period
@@ -62,6 +76,7 @@ class MiningResult:
         self.num_periods = num_periods
         self._counts = dict(counts)
         self.stats = stats if stats is not None else MiningStats()
+        self.engine = engine
 
     # -- mapping protocol ------------------------------------------------
 

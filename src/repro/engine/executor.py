@@ -1,0 +1,255 @@
+"""Pluggable execution backends for shard fan-out.
+
+One interface — :meth:`ExecutionBackend.map` — three implementations:
+
+``SerialBackend``
+    Runs tasks in the calling thread.  Zero overhead; the reference
+    against which the others are verified.
+``ThreadBackend``
+    A ``ThreadPoolExecutor``.  Shares memory (no pickling), but the GIL
+    serializes pure-Python mining — it pays off only when shards are tiny
+    or the work releases the GIL.
+``ProcessBackend``
+    A ``ProcessPoolExecutor``.  Real CPU parallelism for the pure-Python
+    kernels at the cost of pickling each task and payload; the default for
+    ``workers > 1``.
+
+Failure policy: backends never raise for a failing task.  Each task yields
+a :class:`ShardOutcome` carrying either the value or the error string, and
+:func:`run_shards` retries failed shards serially in the parent process —
+one bad shard (or a broken worker pool) degrades to a serial retry instead
+of killing the whole job.  Only a shard that *also* fails serially raises
+:class:`~repro.core.errors.EngineError`.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from abc import ABC, abstractmethod
+from collections.abc import Callable, Sequence
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from dataclasses import dataclass, field, replace
+
+from repro.core.errors import EngineError
+
+
+@dataclass(slots=True)
+class ShardOutcome:
+    """What happened to one task: its value or its error, plus timing."""
+
+    index: int
+    value: object = None
+    error: str | None = None
+    elapsed_s: float = 0.0
+    retried: bool = False
+
+    @property
+    def ok(self) -> bool:
+        """True when the task produced a value."""
+        return self.error is None
+
+
+def _timed_call(fn: Callable, task: object) -> tuple[object, float]:
+    """Run one task and measure only the work, not queue or pickle time.
+
+    Module-level so process backends can pickle it by reference.
+    """
+    started = time.perf_counter()
+    value = fn(task)
+    return value, time.perf_counter() - started
+
+
+class ExecutionBackend(ABC):
+    """Run one picklable function over a sequence of tasks."""
+
+    #: Short name used in stats and CLI output.
+    name: str = "abstract"
+
+    @abstractmethod
+    def map(self, fn: Callable, tasks: Sequence) -> list[ShardOutcome]:
+        """One outcome per task, in task order; never raises per-task."""
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}()"
+
+
+class SerialBackend(ExecutionBackend):
+    """Run every task inline in the calling thread."""
+
+    name = "serial"
+
+    def map(self, fn: Callable, tasks: Sequence) -> list[ShardOutcome]:
+        outcomes = []
+        for index, task in enumerate(tasks):
+            try:
+                value, elapsed = _timed_call(fn, task)
+                outcomes.append(
+                    ShardOutcome(index=index, value=value, elapsed_s=elapsed)
+                )
+            except Exception as error:  # noqa: BLE001 — captured per shard
+                outcomes.append(ShardOutcome(index=index, error=str(error)))
+        return outcomes
+
+
+@dataclass
+class _PoolBackend(ExecutionBackend):
+    """Shared future-collection logic for thread and process pools."""
+
+    workers: int = 2
+
+    def __post_init__(self):
+        if self.workers < 1:
+            raise EngineError(f"workers must be >= 1, got {self.workers}")
+
+    def _pool(self, max_workers: int):
+        raise NotImplementedError
+
+    def map(self, fn: Callable, tasks: Sequence) -> list[ShardOutcome]:
+        if not tasks:
+            return []
+        outcomes = []
+        max_workers = min(self.workers, len(tasks))
+        try:
+            with self._pool(max_workers) as pool:
+                futures = [
+                    pool.submit(_timed_call, fn, task) for task in tasks
+                ]
+                for index, future in enumerate(futures):
+                    try:
+                        value, elapsed = future.result()
+                        outcomes.append(
+                            ShardOutcome(
+                                index=index, value=value, elapsed_s=elapsed
+                            )
+                        )
+                    except Exception as error:  # noqa: BLE001
+                        # Includes BrokenProcessPool: every unfinished
+                        # future fails here and is retried serially.
+                        outcomes.append(
+                            ShardOutcome(index=index, error=str(error) or repr(error))
+                        )
+        except Exception as error:  # noqa: BLE001
+            # Pool creation or teardown failed (e.g. no usable
+            # multiprocessing); degrade every unfinished task to the
+            # serial retry in run_shards.
+            done = {outcome.index for outcome in outcomes}
+            outcomes.extend(
+                ShardOutcome(index=index, error=str(error) or repr(error))
+                for index in range(len(tasks))
+                if index not in done
+            )
+        outcomes.sort(key=lambda outcome: outcome.index)
+        return outcomes
+
+
+@dataclass
+class ThreadBackend(_PoolBackend):
+    """Fan out over a thread pool (shared memory, GIL-bound)."""
+
+    name = "thread"
+
+    def _pool(self, max_workers: int):
+        return ThreadPoolExecutor(
+            max_workers=max_workers, thread_name_prefix="repro-engine"
+        )
+
+    def __repr__(self) -> str:
+        return f"ThreadBackend(workers={self.workers})"
+
+
+@dataclass
+class ProcessBackend(_PoolBackend):
+    """Fan out over worker processes (true parallelism, pickling cost)."""
+
+    name = "process"
+    #: Optional multiprocessing context name ("fork", "spawn", ...);
+    #: ``None`` uses the platform default.
+    mp_context: str | None = field(default=None)
+
+    def _pool(self, max_workers: int):
+        context = None
+        if self.mp_context is not None:
+            import multiprocessing
+
+            context = multiprocessing.get_context(self.mp_context)
+        return ProcessPoolExecutor(max_workers=max_workers, mp_context=context)
+
+    def __repr__(self) -> str:
+        return f"ProcessBackend(workers={self.workers})"
+
+
+def visible_cpus() -> int:
+    """CPUs this process may actually run on (affinity-aware)."""
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # platforms without sched_getaffinity
+        return os.cpu_count() or 1
+
+
+def resolve_backend(
+    backend: str | ExecutionBackend | None,
+    workers: int,
+) -> ExecutionBackend:
+    """Turn a backend spec into an instance.
+
+    ``None`` or ``"auto"`` picks :class:`SerialBackend` for one worker,
+    :class:`ProcessBackend` when more than one CPU is visible (the mining
+    kernels are CPU-bound pure Python, where threads cannot help), and
+    :class:`ThreadBackend` on a single-CPU host — processes could not run
+    concurrently there anyway, and threads at least avoid pickling the
+    shards.  An instance passes through unchanged.
+    """
+    if isinstance(backend, ExecutionBackend):
+        return backend
+    if workers < 1:
+        raise EngineError(f"workers must be >= 1, got {workers}")
+    spec = "auto" if backend is None else backend
+    if spec == "auto":
+        if workers == 1:
+            spec = "serial"
+        else:
+            spec = "process" if visible_cpus() > 1 else "thread"
+    if spec == "serial":
+        return SerialBackend()
+    if spec == "thread":
+        return ThreadBackend(workers=workers)
+    if spec == "process":
+        return ProcessBackend(workers=workers)
+    raise EngineError(
+        f"unknown backend {backend!r}; choose 'auto', 'serial', "
+        "'thread' or 'process'"
+    )
+
+
+def run_shards(
+    backend: ExecutionBackend,
+    fn: Callable,
+    tasks: Sequence,
+) -> list[ShardOutcome]:
+    """Run tasks on a backend, retrying any failed shard serially.
+
+    Returns outcomes in task order, all successful; raises
+    :class:`EngineError` naming the shard if the serial retry fails too.
+    """
+    outcomes = backend.map(fn, tasks)
+    if len(outcomes) != len(tasks):
+        raise EngineError(
+            f"backend {backend.name!r} returned {len(outcomes)} outcomes "
+            f"for {len(tasks)} tasks"
+        )
+    for position, outcome in enumerate(outcomes):
+        if outcome.ok:
+            continue
+        try:
+            value, elapsed = _timed_call(fn, tasks[outcome.index])
+        except Exception as error:
+            raise EngineError(
+                f"shard {outcome.index} failed on backend "
+                f"{backend.name!r} ({outcome.error}) and again on the "
+                f"serial retry: {error}"
+            ) from error
+        outcomes[position] = replace(
+            outcome, value=value, error=None, elapsed_s=elapsed, retried=True
+        )
+    return outcomes

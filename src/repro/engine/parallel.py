@@ -1,0 +1,359 @@
+"""The :class:`ParallelMiner` facade — sharded hit-set mining.
+
+``mine(period, workers=N)`` runs Algorithm 3.2 as two shard fan-outs:
+
+1. **Scan 1** — each worker counts the letters of its contiguous segment
+   shard; the partial counters merge into the exact full-series F1 and the
+   candidate max-pattern ``C_max``.
+2. **Scan 2** — each worker collects its shard's segment hits against
+   ``C_max`` (as bitmask multisets); each shard's hits become a partial
+   max-subpattern tree and the trees merge by count union.
+
+Derivation (Algorithm 4.2) then runs once on the merged tree, so the
+frequent set and every count are identical to
+:func:`repro.core.hitset.mine_single_period_hitset` — the equivalence the
+randomized suite in ``tests/test_engine.py`` enforces.
+
+``mine_periods`` / ``mine_period_range`` parallelize differently: one task
+per period (per-period fan-out), each worker mining its whole period
+independently — the parallel form of Algorithm 3.3's loop.
+"""
+
+from __future__ import annotations
+
+import time
+from collections.abc import Iterable
+
+from repro.core.counting import check_min_conf, frequent_letter_set, min_count
+from repro.core.errors import EngineError, MiningError
+from repro.core.multiperiod import (
+    MultiPeriodResult,
+    _validated_periods,
+    period_range,
+)
+from repro.core.pattern import Pattern
+from repro.core.result import MiningResult, MiningStats
+from repro.engine.executor import (
+    ExecutionBackend,
+    resolve_backend,
+    run_shards,
+    visible_cpus,
+)
+from repro.engine.merge import hits_to_tree, merge_counters, merge_trees
+from repro.engine.partition import SegmentShard, partition_segments
+from repro.engine.stats import EngineStats, ShardStats
+from repro.engine.worker import (
+    collect_shard_hits,
+    count_shard_letters,
+    mine_period_task,
+)
+from repro.timeseries.feature_series import FeatureSeries, as_feature_series
+
+
+def default_workers() -> int:
+    """The worker count used when none is given: the visible CPU count."""
+    return visible_cpus()
+
+
+def _plain_series(data) -> FeatureSeries:
+    """Coerce input to a real :class:`FeatureSeries` (shards need slicing).
+
+    Scan-counting wrappers are unwrapped: a sharded run spreads each scan
+    over workers, so its I/O ledger lives in :class:`EngineStats`
+    (``slots_scanned`` / ``scan_equivalents``) instead.
+    """
+    series = as_feature_series(data)
+    if isinstance(series, FeatureSeries):
+        return series
+    inner = getattr(series, "series", None)
+    if isinstance(inner, FeatureSeries):
+        return inner
+    raise EngineError(
+        f"cannot shard a {type(series).__name__}; pass a FeatureSeries"
+    )
+
+
+class ParallelMiner:
+    """Sharded, multi-worker counterpart of :class:`PartialPeriodicMiner`.
+
+    Parameters
+    ----------
+    series:
+        A :class:`FeatureSeries`, a symbol string, or any iterable of
+        slots.  Scan-counting wrappers are unwrapped (see
+        :class:`EngineStats` for the parallel cost ledger).
+    min_conf:
+        Default confidence threshold, overridable per call.
+    workers:
+        Default worker count; ``None`` uses the visible CPU count.
+    backend:
+        ``"auto"`` (serial for one worker, processes otherwise),
+        ``"serial"``, ``"thread"``, ``"process"``, or an
+        :class:`~repro.engine.executor.ExecutionBackend` instance.
+    chunk_size:
+        Segments per shard; ``None`` splits evenly into one shard per
+        worker.
+
+    Examples
+    --------
+    >>> miner = ParallelMiner("abdabcabdabc", min_conf=0.9)
+    >>> result = miner.mine(3, workers=2)
+    >>> sorted(str(p) for p in result)
+    ['*b*', 'a**', 'ab*']
+    >>> result.engine.workers
+    2
+    """
+
+    def __init__(
+        self,
+        series,
+        min_conf: float = 0.5,
+        workers: int | None = None,
+        backend: str | ExecutionBackend = "auto",
+        chunk_size: int | None = None,
+    ):
+        check_min_conf(min_conf)
+        self.series = _plain_series(series)
+        self.min_conf = min_conf
+        self.workers = default_workers() if workers is None else workers
+        if self.workers < 1:
+            raise EngineError(f"workers must be >= 1, got {self.workers}")
+        self.backend = backend
+        self.chunk_size = chunk_size
+
+    # ------------------------------------------------------------------
+    # Single-period mining (sharded Algorithm 3.2)
+    # ------------------------------------------------------------------
+
+    def mine(
+        self,
+        period: int,
+        min_conf: float | None = None,
+        workers: int | None = None,
+        backend: str | ExecutionBackend | None = None,
+        chunk_size: int | None = None,
+        max_letters: int | None = None,
+    ) -> MiningResult:
+        """All frequent patterns of one period, mined over segment shards.
+
+        Letter-for-letter identical to
+        :func:`~repro.core.hitset.mine_single_period_hitset`; the result
+        additionally carries :attr:`~repro.core.result.MiningResult.engine`
+        with the per-shard ledger.
+        """
+        min_conf = self.min_conf if min_conf is None else min_conf
+        check_min_conf(min_conf)
+        if max_letters is not None and max_letters < 1:
+            raise MiningError(f"max_letters must be >= 1, got {max_letters}")
+        workers = self.workers if workers is None else workers
+        chunk_size = self.chunk_size if chunk_size is None else chunk_size
+        started = time.perf_counter()
+
+        num_periods = self.series.num_periods(period)
+        if num_periods == 0:
+            raise MiningError(
+                f"series of length {len(self.series)} has no whole period "
+                f"of {period}"
+            )
+        shards = partition_segments(
+            self.series,
+            period,
+            num_shards=None if chunk_size is not None else workers,
+            chunk_size=chunk_size,
+        )
+        resolved = resolve_backend(
+            self.backend if backend is None else backend, workers
+        )
+        engine = EngineStats(backend=resolved.name, workers=workers)
+        engine.partition_s = time.perf_counter() - started
+
+        # ----- Scan 1: per-shard letter counters -> F1 -------------------
+        outcomes = run_shards(resolved, count_shard_letters, shards)
+        self._record(engine, "f1", shards, outcomes)
+        merge_started = time.perf_counter()
+        letter_counts = merge_counters(
+            outcome.value for outcome in outcomes
+        )
+        engine.merge_s += time.perf_counter() - merge_started
+        threshold = min_count(min_conf, num_periods)
+        f1 = frequent_letter_set(letter_counts, threshold)
+
+        stats = MiningStats(scans=1)
+        if not f1:
+            engine.total_s = time.perf_counter() - started
+            return MiningResult(
+                algorithm="parallel-hitset",
+                period=period,
+                min_conf=min_conf,
+                num_periods=num_periods,
+                counts={},
+                stats=stats,
+                engine=engine,
+            )
+
+        # ----- Scan 2: per-shard hits -> partial trees -> merged tree ----
+        letter_order = tuple(sorted(f1))
+        outcomes = run_shards(
+            resolved,
+            collect_shard_hits,
+            [(shard, letter_order) for shard in shards],
+        )
+        self._record(engine, "hits", shards, outcomes)
+        merge_started = time.perf_counter()
+        tree = merge_trees(
+            [
+                hits_to_tree(period, letter_order, outcome.value)
+                for outcome in outcomes
+            ]
+        )
+        engine.merge_s += time.perf_counter() - merge_started
+        stats.scans = 2
+        stats.tree_nodes = tree.node_count
+        stats.hit_set_size = tree.hit_set_size
+
+        # ----- Derivation (Algorithm 4.2, parent-side) -------------------
+        derive_started = time.perf_counter()
+        counts, candidate_counts = tree.derive_frequent(
+            threshold, f1, max_letters=max_letters
+        )
+        engine.derive_s = time.perf_counter() - derive_started
+        stats.candidate_counts = candidate_counts
+        patterns = {
+            Pattern.from_letters(period, letters): count
+            for letters, count in counts.items()
+        }
+        engine.total_s = time.perf_counter() - started
+        return MiningResult(
+            algorithm="parallel-hitset",
+            period=period,
+            min_conf=min_conf,
+            num_periods=num_periods,
+            counts=patterns,
+            stats=stats,
+            engine=engine,
+        )
+
+    # ------------------------------------------------------------------
+    # Multi-period mining (per-period fan-out)
+    # ------------------------------------------------------------------
+
+    def mine_periods(
+        self,
+        periods: Iterable[int],
+        min_conf: float | None = None,
+        workers: int | None = None,
+        backend: str | ExecutionBackend | None = None,
+        min_repetitions: int = 1,
+        max_letters: int | None = None,
+    ) -> MultiPeriodResult:
+        """Mine many periods with one worker task per period.
+
+        The parallel form of Algorithm 3.3's loop: each task mines its
+        whole period independently (2 scans per period).  Counts per
+        period are identical to the serial loop.
+        """
+        min_conf = self.min_conf if min_conf is None else min_conf
+        check_min_conf(min_conf)
+        workers = self.workers if workers is None else workers
+        started = time.perf_counter()
+        usable = _validated_periods(self.series, periods, min_repetitions)
+        resolved = resolve_backend(
+            self.backend if backend is None else backend, workers
+        )
+        engine = EngineStats(backend=resolved.name, workers=workers)
+
+        tasks = []
+        for index, period in enumerate(usable):
+            num_segments = len(self.series) // period
+            shard = SegmentShard(
+                shard_id=index,
+                period=period,
+                start_segment=0,
+                num_segments=num_segments,
+                series=self.series.slice_segments(period, 0, num_segments),
+            )
+            tasks.append((shard, min_conf, max_letters))
+        outcomes = run_shards(resolved, mine_period_task, tasks)
+
+        result = MultiPeriodResult(
+            algorithm="parallel-looping[hitset]",
+            min_conf=min_conf,
+            engine=engine,
+        )
+        for (shard, _, _), outcome in zip(tasks, outcomes):
+            period, num_periods, payload, stat_values = outcome.value
+            stats = MiningStats(
+                scans=stat_values["scans"],
+                tree_nodes=stat_values["tree_nodes"],
+                hit_set_size=stat_values["hit_set_size"],
+                candidate_counts=dict(stat_values["candidate_counts"]),
+            )
+            engine.shards.append(
+                ShardStats(
+                    shard_id=shard.shard_id,
+                    phase="period",
+                    segments=stats.scans * shard.num_segments,
+                    slots=stats.scans * shard.num_slots,
+                    elapsed_s=outcome.elapsed_s,
+                    retried=outcome.retried,
+                )
+            )
+            result.results[period] = MiningResult(
+                algorithm="parallel-hitset",
+                period=period,
+                min_conf=min_conf,
+                num_periods=num_periods,
+                counts={
+                    Pattern.from_letters(period, letters): count
+                    for letters, count in payload
+                },
+                stats=stats,
+                engine=engine,
+            )
+            result.scans += stats.scans
+        engine.total_s = time.perf_counter() - started
+        return result
+
+    def mine_period_range(
+        self,
+        low: int,
+        high: int,
+        min_conf: float | None = None,
+        workers: int | None = None,
+        backend: str | ExecutionBackend | None = None,
+        min_repetitions: int = 1,
+        max_letters: int | None = None,
+    ) -> MultiPeriodResult:
+        """Mine every period in ``[low, high]`` with per-period fan-out."""
+        return self.mine_periods(
+            period_range(low, high),
+            min_conf=min_conf,
+            workers=workers,
+            backend=backend,
+            min_repetitions=min_repetitions,
+            max_letters=max_letters,
+        )
+
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def _record(engine, phase, shards, outcomes) -> None:
+        """Append one ShardStats row per shard outcome of a phase."""
+        for shard, outcome in zip(shards, outcomes):
+            engine.shards.append(
+                ShardStats(
+                    shard_id=shard.shard_id,
+                    phase=phase,
+                    segments=shard.num_segments,
+                    slots=shard.num_slots,
+                    elapsed_s=outcome.elapsed_s,
+                    retried=outcome.retried,
+                )
+            )
+
+    def __repr__(self) -> str:
+        return (
+            f"ParallelMiner(len={len(self.series)}, "
+            f"min_conf={self.min_conf}, workers={self.workers}, "
+            f"backend={self.backend!r})"
+        )

@@ -1,0 +1,144 @@
+"""Partitioning a feature series into contiguous segment shards.
+
+A shard is a run of whole period segments ``[start_segment, start_segment +
+num_segments)`` together with a private copy of exactly those slots
+(:meth:`FeatureSeries.slice_segments`), so shipping the shard to a worker
+process pickles only its chunk of the data.  Shard ids are assigned in
+segment order and are stable for a given ``(series length, period, plan)``,
+which keeps per-shard statistics and error reports reproducible.
+
+Only whole segments are partitioned; the trailing ``len(series) mod period``
+slots belong to no segment (the paper's ``m = floor(N/p)`` convention) and
+are dropped exactly as the serial miners drop them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.errors import EngineError
+from repro.timeseries.feature_series import FeatureSeries
+
+
+@dataclass(frozen=True)
+class SegmentShard:
+    """One contiguous chunk of whole period segments.
+
+    Attributes
+    ----------
+    shard_id:
+        Stable 0-based id, ascending with ``start_segment``.
+    period:
+        The period the shard was cut for.
+    start_segment:
+        Index of the shard's first segment in the full series.
+    num_segments:
+        Whole segments in the shard (always >= 1).
+    series:
+        The shard's own slots — ``num_segments * period`` of them.
+    """
+
+    shard_id: int
+    period: int
+    start_segment: int
+    num_segments: int
+    series: FeatureSeries
+
+    @property
+    def start_slot(self) -> int:
+        """First slot index of the shard in the full series."""
+        return self.start_segment * self.period
+
+    @property
+    def num_slots(self) -> int:
+        """Slots carried by the shard."""
+        return self.num_segments * self.period
+
+    def __len__(self) -> int:
+        return self.num_segments
+
+    def __repr__(self) -> str:
+        return (
+            f"SegmentShard(id={self.shard_id}, period={self.period}, "
+            f"segments=[{self.start_segment}, "
+            f"{self.start_segment + self.num_segments}))"
+        )
+
+
+def plan_chunks(
+    num_segments: int,
+    num_shards: int | None = None,
+    chunk_size: int | None = None,
+) -> list[tuple[int, int]]:
+    """The ``(start, stop)`` segment ranges of a partition plan.
+
+    Exactly one sizing knob applies: ``chunk_size`` fixes the segments per
+    shard (the last shard may be smaller); otherwise ``num_shards`` splits
+    as evenly as possible (sizes differ by at most one), clipped so no
+    shard is empty.
+
+    >>> plan_chunks(10, num_shards=4)
+    [(0, 3), (3, 6), (6, 8), (8, 10)]
+    >>> plan_chunks(10, chunk_size=4)
+    [(0, 4), (4, 8), (8, 10)]
+    """
+    if num_segments < 1:
+        raise EngineError(f"nothing to partition: {num_segments} segments")
+    if chunk_size is not None:
+        if num_shards is not None:
+            raise EngineError("pass either num_shards or chunk_size, not both")
+        if chunk_size < 1:
+            raise EngineError(f"chunk_size must be >= 1, got {chunk_size}")
+        return [
+            (start, min(start + chunk_size, num_segments))
+            for start in range(0, num_segments, chunk_size)
+        ]
+    shards = 1 if num_shards is None else num_shards
+    if shards < 1:
+        raise EngineError(f"num_shards must be >= 1, got {shards}")
+    shards = min(shards, num_segments)
+    base, extra = divmod(num_segments, shards)
+    ranges = []
+    start = 0
+    for index in range(shards):
+        size = base + (1 if index < extra else 0)
+        ranges.append((start, start + size))
+        start += size
+    return ranges
+
+
+def partition_segments(
+    series: FeatureSeries,
+    period: int,
+    num_shards: int | None = None,
+    chunk_size: int | None = None,
+) -> list[SegmentShard]:
+    """Split a series into contiguous segment shards with stable ids.
+
+    Every whole segment lands in exactly one shard and shard order follows
+    segment order, so concatenating the shards' slots reproduces the first
+    ``m * period`` slots of the series.
+
+    >>> shards = partition_segments(
+    ...     FeatureSeries.from_symbols("abdabcabd"), 3, num_shards=2
+    ... )
+    >>> [(s.shard_id, s.start_segment, s.num_segments) for s in shards]
+    [(0, 0, 2), (1, 2, 1)]
+    """
+    num_segments = series.num_periods(period)
+    if num_segments == 0:
+        raise EngineError(
+            f"series of length {len(series)} has no whole period of {period}"
+        )
+    return [
+        SegmentShard(
+            shard_id=shard_id,
+            period=period,
+            start_segment=start,
+            num_segments=stop - start,
+            series=series.slice_segments(period, start, stop),
+        )
+        for shard_id, (start, stop) in enumerate(
+            plan_chunks(num_segments, num_shards=num_shards, chunk_size=chunk_size)
+        )
+    ]

@@ -1,0 +1,92 @@
+"""Per-shard accounting for parallel mining runs.
+
+The serial miners account for cost in scans
+(:class:`~repro.timeseries.scan.ScanCountingSeries`); a sharded run spreads
+each scan over workers, so the equivalent figure is *slots scanned summed
+over shards*.  :class:`EngineStats` keeps that ledger — per-shard segment
+and slot tallies with wall-clock timings, plus the parent-side partition,
+merge, and derivation times — and rides on
+:attr:`repro.core.result.MiningResult.engine` without touching the result's
+frequent set.
+
+``EngineStats.scan_equivalents(series_len)`` converts the ledger back into
+the paper's unit: a two-phase run over ``m`` whole segments reports exactly
+``2 * m * period / series_len`` scans' worth of slot reads, matching what a
+``ScanCountingSeries`` would have counted for the serial miner (modulo the
+dropped trailing partial segment).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(slots=True)
+class ShardStats:
+    """One shard's contribution to one phase of a run."""
+
+    shard_id: int
+    #: Which pass produced this row: ``"f1"`` (scan 1), ``"hits"``
+    #: (scan 2), or ``"period"`` (whole-period fan-out).
+    phase: str
+    segments: int
+    slots: int
+    elapsed_s: float
+    #: True when the shard failed on the pool and was re-run serially.
+    retried: bool = False
+
+
+@dataclass(slots=True)
+class EngineStats:
+    """The full ledger of one parallel mining run."""
+
+    backend: str
+    workers: int
+    shards: list[ShardStats] = field(default_factory=list)
+    partition_s: float = 0.0
+    merge_s: float = 0.0
+    derive_s: float = 0.0
+    total_s: float = 0.0
+
+    @property
+    def num_shards(self) -> int:
+        """Distinct shard ids seen across phases."""
+        return len({(shard.phase, shard.shard_id) for shard in self.shards})
+
+    @property
+    def slots_scanned(self) -> int:
+        """Total slots read across all shards and phases."""
+        return sum(shard.slots for shard in self.shards)
+
+    @property
+    def segments_scanned(self) -> int:
+        """Total segments read across all shards and phases."""
+        return sum(shard.segments for shard in self.shards)
+
+    @property
+    def shard_time_s(self) -> float:
+        """Summed worker time (CPU-ish; > wall time when shards overlap)."""
+        return sum(shard.elapsed_s for shard in self.shards)
+
+    @property
+    def shards_retried(self) -> int:
+        """Shards that degraded to the serial retry."""
+        return sum(1 for shard in self.shards if shard.retried)
+
+    def scan_equivalents(self, series_len: int) -> float:
+        """Slots scanned expressed in full passes over the series."""
+        if series_len <= 0:
+            return 0.0
+        return self.slots_scanned / series_len
+
+    def summary(self) -> str:
+        """One-line human summary of the run."""
+        return (
+            f"engine[{self.backend}]: workers={self.workers} "
+            f"shards={self.num_shards} slots={self.slots_scanned} "
+            f"retried={self.shards_retried} "
+            f"merge={self.merge_s * 1e3:.1f}ms total={self.total_s:.3f}s"
+        )
+
+    def __repr__(self) -> str:
+        return f"EngineStats({self.summary()})"

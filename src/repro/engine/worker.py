@@ -1,0 +1,126 @@
+"""Picklable per-shard work functions executed on the workers.
+
+Every function here takes one picklable task object and returns one
+picklable payload, so the same callables run unchanged on the serial,
+thread, and process backends.  Nothing in this module touches global state:
+a shard's output depends only on its task, which is what makes the merged
+result deterministic regardless of scheduling order.
+
+The scan-2 kernel works on integer bitmasks over the ``C_max`` letters
+(one bit per letter in sorted-letter order) instead of per-segment
+``frozenset`` algebra: a segment's hit is accumulated with ``mask |= bit``
+lookups and identical hits collapse in a ``Counter`` keyed by the mask.
+Decoding back to letter sets happens once per *distinct* hit at merge time
+(:func:`repro.engine.merge.hits_to_tree`), not once per segment.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+
+from repro.core.counting import min_count
+from repro.core.pattern import Letter
+from repro.engine.partition import SegmentShard
+
+#: Scan-1 task: just the shard (the period rides on it).
+LetterTask = SegmentShard
+
+#: Scan-2 task: the shard plus the sorted ``C_max`` letters defining the
+#: bit order shared by every shard of the run.
+HitTask = tuple[SegmentShard, tuple[Letter, ...]]
+
+
+def count_shard_letters(shard: SegmentShard) -> Counter:
+    """Scan 1 over one shard: count every ``(offset, feature)`` letter.
+
+    Returns the shard's partial F1 counter; summing the counters of all
+    shards gives exactly the full-series letter counts because each whole
+    segment lives in exactly one shard.
+    """
+    counts: Counter = Counter()
+    period = shard.period
+    for index, slot in enumerate(shard.series.slots):
+        if not slot:
+            continue
+        offset = index % period
+        for feature in slot:
+            counts[(offset, feature)] += 1
+    return counts
+
+
+def collect_shard_hits(task: HitTask) -> Counter:
+    """Scan 2 over one shard: the multiset of segment hits as bitmasks.
+
+    ``letter_order`` fixes bit ``i`` to ``letter_order[i]``; the returned
+    counter maps each distinct hit mask (with at least two bits set) to the
+    number of shard segments producing it.  Hits with fewer than two
+    letters are dropped here, mirroring the serial tree's insertion rule.
+    """
+    shard, letter_order = task
+    period = shard.period
+    offset_bits: list[dict[str, int]] = [{} for _ in range(period)]
+    for bit_index, (offset, feature) in enumerate(letter_order):
+        offset_bits[offset][feature] = 1 << bit_index
+    hits: Counter = Counter()
+    slots = shard.series.slots
+    index = 0
+    for _ in range(shard.num_segments):
+        mask = 0
+        for offset in range(period):
+            slot = slots[index]
+            index += 1
+            if slot:
+                table = offset_bits[offset]
+                if table:
+                    for feature in slot:
+                        bit = table.get(feature)
+                        if bit:
+                            mask |= bit
+        if mask.bit_count() >= 2:
+            hits[mask] += 1
+    return hits
+
+
+def mine_period_task(
+    task: tuple[SegmentShard, float, int | None],
+) -> tuple[int, int, list[tuple[tuple[Letter, ...], int]], dict]:
+    """Mine one whole period on a worker (per-period fan-out).
+
+    The task's shard covers *all* whole segments of its period — period
+    fan-out parallelizes across periods, not within one.  Returns primitive
+    data only (letters as sorted tuples, stats as a plain dict) so the
+    payload pickles cheaply and the parent rebuilds ``Pattern`` objects
+    once.
+    """
+    shard, min_conf, max_letters = task
+    period = shard.period
+    letter_counts = count_shard_letters(shard)
+    threshold = min_count(min_conf, shard.num_segments)
+    f1 = {
+        letter: count
+        for letter, count in letter_counts.items()
+        if count >= threshold
+    }
+    stats = {"scans": 1, "tree_nodes": 0, "hit_set_size": 0, "candidate_counts": {}}
+    if not f1:
+        return period, shard.num_segments, [], stats
+    # Local import: worker.py must stay importable before merge.py during
+    # package initialization.
+    from repro.engine.merge import hits_to_tree
+
+    letter_order = tuple(sorted(f1))
+    hit_counter = collect_shard_hits((shard, letter_order))
+    tree = hits_to_tree(period, letter_order, hit_counter)
+    counts, candidate_counts = tree.derive_frequent(
+        threshold, f1, max_letters=max_letters
+    )
+    stats.update(
+        scans=2,
+        tree_nodes=tree.node_count,
+        hit_set_size=tree.hit_set_size,
+        candidate_counts=candidate_counts,
+    )
+    payload = [
+        (tuple(sorted(letters)), count) for letters, count in counts.items()
+    ]
+    return period, shard.num_segments, payload, stats

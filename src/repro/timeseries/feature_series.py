@@ -86,6 +86,25 @@ class FeatureSeries:
         """Explicit constructor from an iterable of feature collections."""
         return cls(slots)
 
+    @classmethod
+    def _from_normalized(
+        cls, slots: tuple[frozenset[str], ...]
+    ) -> "FeatureSeries":
+        """Wrap already-normalized slots without re-validating them.
+
+        Internal fast path used by slicing and pickling, where the slots
+        are known to be exactly the tuple-of-frozensets representation.
+        """
+        series = cls.__new__(cls)
+        series._slots = slots
+        return series
+
+    def __reduce__(self):
+        # Cheap pickling for shipping shards to worker processes: restore
+        # through the normalized fast path instead of re-coercing every
+        # slot in __init__ (which is O(total features)).
+        return (FeatureSeries._from_normalized, (self._slots,))
+
     # ------------------------------------------------------------------
     # Basic accessors
     # ------------------------------------------------------------------
@@ -175,6 +194,27 @@ class FeatureSeries:
         for index in range(count):
             start = index * period
             yield self._slots[start : start + period]
+
+    def slice_segments(
+        self, period: int, start: int, stop: int
+    ) -> "FeatureSeries":
+        """The sub-series covering whole segments ``start..stop-1``.
+
+        The result contains exactly ``(stop - start) * period`` slots, so a
+        shard ships only its chunk to a worker — not the whole series.
+
+        >>> FeatureSeries.from_symbols("abdabcabd").slice_segments(3, 1, 3)
+        FeatureSeries(len=6, abcabd)
+        """
+        count = self.num_periods(period)
+        if not 0 <= start <= stop <= count:
+            raise SeriesError(
+                f"segment slice [{start}, {stop}) out of range (0..{count}) "
+                f"for period {period}"
+            )
+        return FeatureSeries._from_normalized(
+            self._slots[start * period : stop * period]
+        )
 
     def iter_slots(self) -> Iterator[frozenset[str]]:
         """Iterate raw slots in order — one full consumption is one scan.

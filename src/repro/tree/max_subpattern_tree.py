@@ -121,6 +121,32 @@ class MaxSubpatternTree:
         missing = self._missing_of(pattern)
         if len(self._letters) - len(missing) < 1:
             raise MiningError("cannot insert the empty (all-*) pattern")
+        return self._insert_missing(missing, count)
+
+    def insert_letters(
+        self, letters: Iterable[Letter], count: int = 1
+    ) -> MaxSubpatternNode:
+        """Letter-set form of :meth:`insert` — no :class:`Pattern` needed.
+
+        The hot path for merge and for bulk hit registration: callers that
+        already hold the hit as a set of ``(offset, feature)`` letters skip
+        the pattern construction entirely.
+        """
+        if count < 1:
+            raise MiningError(f"insert count must be >= 1, got {count}")
+        letter_set = frozenset(letters)
+        if not letter_set <= self._letters:
+            raise PatternError(
+                f"letters {sorted(letter_set - self._letters)} are not in C_max"
+            )
+        if not letter_set:
+            raise MiningError("cannot insert the empty (all-*) pattern")
+        return self._insert_missing(sorted(self._letters - letter_set), count)
+
+    def _insert_missing(
+        self, missing: Iterable[Letter], count: int
+    ) -> MaxSubpatternNode:
+        """Walk/extend the path of a sorted missing tuple and bump its count."""
         node = self._root
         for letter in missing:
             existing = node.child(letter)
@@ -159,6 +185,62 @@ class MaxSubpatternTree:
             if self.insert_segment(segment) is not None:
                 stored += 1
         return stored
+
+    # ------------------------------------------------------------------
+    # Merging — partial trees from disjoint segment shards
+    # ------------------------------------------------------------------
+
+    def merge(self, other: "MaxSubpatternTree") -> "MaxSubpatternTree":
+        """Union another tree's hit counts into this one (in place).
+
+        Both trees must have been built for the *same* ``C_max``.  Because a
+        node's count is the number of segments whose hit is exactly that
+        node's pattern, and segments are partitioned between the trees,
+        merging is plain addition of per-pattern counts — the operation is
+        commutative and associative, which is what makes sharded mining
+        (:mod:`repro.engine`) exact rather than approximate.
+
+        Returns ``self`` so merges fold naturally::
+
+            functools.reduce(lambda a, b: a.merge(b), partial_trees)
+
+        Examples
+        --------
+        >>> cmax = Pattern.from_string("ab*d*")
+        >>> left, right = MaxSubpatternTree(cmax), MaxSubpatternTree(cmax)
+        >>> _ = left.insert(Pattern.from_string("ab***"))
+        >>> _ = right.insert(Pattern.from_string("ab*d*"))
+        >>> _ = right.insert(Pattern.from_string("ab***"))
+        >>> left.merge(right).count_of(Pattern.from_string("ab***"))
+        3
+        """
+        if other is self:
+            raise MiningError("cannot merge a tree into itself")
+        if (
+            other._letters != self._letters
+            or other._max_pattern.period != self._max_pattern.period
+        ):
+            raise MiningError(
+                f"cannot merge trees with different C_max: "
+                f"{self._max_pattern} vs {other._max_pattern}"
+            )
+        for node in other._index.values():
+            if node.count:
+                self._insert_missing(node.missing, node.count)
+        return self
+
+    def hit_counts(self) -> dict[frozenset[Letter], int]:
+        """The stored hits as ``{pattern letters: exact-hit count}``.
+
+        Only nodes with a non-zero count appear; this is the complete
+        mergeable state of the tree (rebuilding a tree from it and merging
+        is equivalent to merging the tree itself).
+        """
+        return {
+            self._letters - set(node.missing): node.count
+            for node in self._index.values()
+            if node.count
+        }
 
     # ------------------------------------------------------------------
     # Ancestors

@@ -21,6 +21,10 @@ MODULES = [
     "repro.core.incremental",
     "repro.core.miner",
     "repro.core.pattern",
+    "repro.engine",
+    "repro.engine.merge",
+    "repro.engine.parallel",
+    "repro.engine.partition",
     "repro.timeseries.calendar",
     "repro.timeseries.discretize",
     "repro.timeseries.events",
