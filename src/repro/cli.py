@@ -29,6 +29,7 @@ from collections.abc import Sequence
 from repro.analysis.periodogram import suggest_periods
 from repro.core.errors import ReproError
 from repro.core.miner import PartialPeriodicMiner
+from repro.core.result import MiningResult
 from repro.synth.generator import SyntheticSpec
 from repro.timeseries.io import load_series, save_series
 
@@ -147,6 +148,25 @@ def _build_parser() -> argparse.ArgumentParser:
     windows.add_argument("--window-periods", type=int, required=True)
     windows.add_argument("--step-periods", type=int)
     windows.add_argument("--tolerance", type=float, default=0.05)
+
+    lint = commands.add_parser(
+        "lint",
+        help="run the repro.devtools static analysis suite",
+        description=(
+            "Domain-aware static analysis (fork-safety, pattern "
+            "immutability, determinism, API hygiene); see docs/devtools.md"
+        ),
+    )
+    lint.add_argument(
+        "paths",
+        nargs="*",
+        help="files or directories to lint (default: the repro package)",
+    )
+    lint.add_argument("--select", metavar="IDS")
+    lint.add_argument("--ignore", metavar="IDS")
+    lint.add_argument("--strict", action="store_true")
+    lint.add_argument("--format", choices=("text", "json"), default="text")
+    lint.add_argument("--list-rules", action="store_true")
     return parser
 
 
@@ -166,7 +186,7 @@ def _run_generate(args: argparse.Namespace) -> int:
     return 0
 
 
-def _print_result(result, limit: int, maximal: bool) -> None:
+def _print_result(result: MiningResult, limit: int, maximal: bool) -> None:
     counts = result.maximal_patterns() if maximal else dict(result.items())
     rows = sorted(
         counts.items(), key=lambda item: (-item[1], str(item[0]))
@@ -327,6 +347,26 @@ def _run_windows(args: argparse.Namespace) -> int:
     return 0
 
 
+def _run_lint(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    import repro
+    from repro.devtools.cli import _print_catalog
+    from repro.devtools.cli import run as lint_run
+
+    if args.list_rules:
+        _print_catalog()
+        return 0
+    paths = args.paths or [str(Path(repro.__file__).parent)]
+    return lint_run(
+        paths,
+        select=args.select,
+        ignore=args.ignore,
+        strict=args.strict,
+        output_format=args.format,
+    )
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     """CLI entry point; returns the process exit code."""
     parser = _build_parser()
@@ -339,6 +379,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         "cycles": _run_cycles,
         "heatmap": _run_heatmap,
         "windows": _run_windows,
+        "lint": _run_lint,
     }
     try:
         return handlers[args.command](args)

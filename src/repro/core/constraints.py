@@ -19,6 +19,7 @@ the two scans and the tree only ever touch the constrained search space.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Any
 
 from repro.core.counting import check_min_conf
 from repro.core.errors import MiningError
@@ -105,7 +106,7 @@ class MiningConstraints:
         return self.required_features <= present
 
     @classmethod
-    def about(cls, *features: str, **kwargs) -> "MiningConstraints":
+    def about(cls, *features: str, **kwargs: Any) -> "MiningConstraints":
         """Shorthand for "patterns mentioning all of these features"."""
         return cls(required_features=frozenset(features), **kwargs)
 

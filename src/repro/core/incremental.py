@@ -29,7 +29,11 @@ from repro.core.counting import check_min_conf, min_count
 from repro.core.errors import MiningError
 from repro.core.pattern import Pattern
 from repro.core.result import MiningResult, MiningStats
-from repro.timeseries.feature_series import FeatureSeries, _normalize_slot
+from repro.timeseries.feature_series import (
+    FeatureSeries,
+    SlotLike,
+    _normalize_slot,
+)
 from repro.tree.max_subpattern_tree import MaxSubpatternTree
 
 
@@ -52,6 +56,15 @@ class IncrementalHitSetMiner:
     >>> sorted(str(p) for p in miner.mine())
     ['*b*', 'a**', 'ab*']
     """
+
+    __slots__ = (
+        "_period",
+        "_min_conf",
+        "_letter_counts",
+        "_signatures",
+        "_num_periods",
+        "_pending",
+    )
 
     def __init__(self, period: int, min_conf: float = 0.5):
         if period < 1:
@@ -89,7 +102,7 @@ class IncrementalHitSetMiner:
         """Distinct segment letter-sets stored — the memory driver."""
         return len(self._signatures)
 
-    def append(self, slot) -> None:
+    def append(self, slot: SlotLike) -> None:
         """Absorb one slot; a segment completes every ``period`` appends."""
         self._pending.append(_normalize_slot(slot))
         if len(self._pending) == self._period:

@@ -9,6 +9,7 @@ module.
 from __future__ import annotations
 
 from collections.abc import Iterable
+from typing import TYPE_CHECKING
 
 from repro.core.apriori import mine_single_period_apriori
 from repro.core.counting import check_min_conf
@@ -23,6 +24,10 @@ from repro.core.multiperiod import (
 )
 from repro.core.result import MiningResult
 from repro.timeseries.feature_series import FeatureSeries, as_feature_series
+
+if TYPE_CHECKING:
+    from repro.analysis.periodogram import PeriodScore
+    from repro.core.constraints import MiningConstraints
 
 #: The single-period algorithms selectable by name.
 ALGORITHMS = ("hitset", "apriori")
@@ -48,6 +53,8 @@ class PartialPeriodicMiner:
     >>> sorted(str(p) for p in miner.mine(3))
     ['*b*', 'a**', 'ab*']
     """
+
+    __slots__ = ("series", "min_conf", "algorithm")
 
     def __init__(
         self,
@@ -112,7 +119,7 @@ class PartialPeriodicMiner:
     def mine_constrained(
         self,
         period: int,
-        constraints,
+        constraints: MiningConstraints,
         min_conf: float | None = None,
     ) -> MiningResult:
         """Constraint-based mining with push-down (two scans).
@@ -188,7 +195,7 @@ class PartialPeriodicMiner:
         min_conf: float | None = None,
         limit: int = 5,
         min_repetitions: int = 2,
-    ):
+    ) -> list[PeriodScore]:
         """Rank candidate periods by periodic evidence (see
         :mod:`repro.analysis.periodogram`)."""
         from repro.analysis.periodogram import suggest_periods

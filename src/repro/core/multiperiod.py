@@ -114,7 +114,7 @@ def _validated_periods(
         raise MiningError(
             f"min_repetitions must be >= 1, got {min_repetitions}"
         )
-    usable = []
+    usable: list[int] = []
     for period in unique:
         if period < 1:
             raise MiningError(f"period must be >= 1, got {period}")

@@ -2,11 +2,15 @@
 
 from __future__ import annotations
 
-from collections.abc import Iterator, Mapping
+from collections.abc import ItemsView, Iterator, Mapping
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
 from repro.core.errors import MiningError
 from repro.core.pattern import Pattern
+
+if TYPE_CHECKING:
+    from repro.engine.stats import EngineStats
 
 
 @dataclass(slots=True)
@@ -68,7 +72,7 @@ class MiningResult:
         num_periods: int,
         counts: Mapping[Pattern, int],
         stats: MiningStats | None = None,
-        engine=None,
+        engine: EngineStats | None = None,
     ):
         self.algorithm = algorithm
         self.period = period
@@ -96,7 +100,7 @@ class MiningResult:
         """Frequency count of a pattern (0 if not frequent)."""
         return self._counts.get(pattern, default)
 
-    def items(self):
+    def items(self) -> ItemsView[Pattern, int]:
         """``(pattern, count)`` pairs of all frequent patterns."""
         return self._counts.items()
 

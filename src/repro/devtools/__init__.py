@@ -1,0 +1,59 @@
+"""repro.devtools — domain-aware static analysis for the mining engine.
+
+An AST-based linter whose rules encode the invariants the engine's
+correctness rests on but Python cannot enforce at runtime: shard tasks
+must pickle by reference (fork-safety, REP1xx), ``Pattern`` and tree nodes
+are immutable value objects outside their owning modules (REP2xx), library
+code draws no unseeded randomness (REP3xx), and the public surface stays
+hygienic (REP4xx).  See ``docs/devtools.md`` for the full catalog and the
+suppression policy.
+
+Three entry points share one engine:
+
+* ``python -m repro.devtools src/repro tests`` — CI and command line;
+* ``ppm lint`` — the packaged CLI subcommand;
+* :func:`analyze_source` / :func:`analyze_paths` — importable API used by
+  the test suite's per-rule fixtures and self-check.
+
+>>> from repro.devtools import analyze_source
+>>> bad = "def f(xs=[]):\\n    return xs\\n"
+>>> [(f.rule_id, f.line) for f in analyze_source(bad)]
+[('REP402', 1)]
+"""
+
+from repro.devtools.analyzer import (
+    META_RULE_IDS,
+    analyze_file,
+    analyze_paths,
+    analyze_source,
+    iter_python_files,
+    select_rules,
+)
+from repro.devtools.cli import main, run
+from repro.devtools.context import ModuleContext, module_name_of
+from repro.devtools.findings import Finding, Severity, findings_to_json
+from repro.devtools.registry import Rule, all_rules, get_rule, known_rule_ids, register
+from repro.devtools.suppressions import Suppression, parse_suppressions
+
+__all__ = [
+    "META_RULE_IDS",
+    "Finding",
+    "ModuleContext",
+    "Rule",
+    "Severity",
+    "Suppression",
+    "all_rules",
+    "analyze_file",
+    "analyze_paths",
+    "analyze_source",
+    "findings_to_json",
+    "get_rule",
+    "iter_python_files",
+    "known_rule_ids",
+    "main",
+    "module_name_of",
+    "parse_suppressions",
+    "register",
+    "run",
+    "select_rules",
+]

@@ -1,0 +1,7 @@
+"""``python -m repro.devtools`` entry point."""
+
+import sys
+
+from repro.devtools.cli import main
+
+sys.exit(main())

@@ -1,0 +1,179 @@
+"""Run the rule catalog over files and fold in suppression handling.
+
+This is the importable API used by the CLI, by ``ppm lint``, and directly
+by the test suite:
+
+* :func:`analyze_source` — lint one source string (fixture tests);
+* :func:`analyze_file` / :func:`analyze_paths` — lint files and trees;
+* :data:`META_RULE_IDS` — findings the analyzer itself produces.
+
+Suppression semantics: a finding is dropped only when the physical line it
+is anchored to carries ``# repro: ignore[<RULE>] -- <reason>`` naming the
+finding's rule.  A suppression without a reason suppresses **nothing** and
+is reported as ``REP002``; naming an unknown rule id is reported as
+``REP001``.  Files that fail to parse yield a single ``REP000`` finding.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+from pathlib import Path
+
+from repro.devtools.context import ModuleContext, module_name_of
+from repro.devtools.findings import Finding, Severity
+from repro.devtools.registry import Rule, all_rules, known_rule_ids
+from repro.devtools.suppressions import parse_suppressions
+
+#: Findings produced by the analyzer itself rather than a catalog rule.
+META_RULE_IDS = frozenset({"REP000", "REP001", "REP002"})
+
+#: Directories never descended into when expanding path arguments.
+_SKIPPED_DIRS = frozenset(
+    {".git", ".mypy_cache", ".pytest_cache", ".ruff_cache", "__pycache__",
+     "build", "dist"}
+)
+
+
+def select_rules(
+    select: Iterable[str] | None = None,
+    ignore: Iterable[str] | None = None,
+) -> list[Rule]:
+    """The catalog filtered by ``--select``/``--ignore`` id lists.
+
+    Raises ``ValueError`` for ids that exist in neither the catalog nor
+    the analyzer's meta set — a silently-ignored typo would disable
+    nothing while appearing to.
+    """
+    catalog = all_rules()
+    known = {rule.id for rule in catalog}
+    chosen = catalog
+    if select is not None:
+        wanted = {rule_id.strip().upper() for rule_id in select if rule_id.strip()}
+        unknown = wanted - known
+        if unknown:
+            raise ValueError(f"unknown rule ids in --select: {sorted(unknown)}")
+        chosen = [rule for rule in chosen if rule.id in wanted]
+    if ignore is not None:
+        dropped = {rule_id.strip().upper() for rule_id in ignore if rule_id.strip()}
+        unknown = dropped - known
+        if unknown:
+            raise ValueError(f"unknown rule ids in --ignore: {sorted(unknown)}")
+        chosen = [rule for rule in chosen if rule.id not in dropped]
+    return chosen
+
+
+def analyze_source(
+    source: str,
+    path: str = "<string>",
+    module: str | None = None,
+    rules: Sequence[Rule] | None = None,
+) -> list[Finding]:
+    """Lint one source string; the workhorse behind every entry point.
+
+    ``module`` places the snippet at a dotted location so scoped rules
+    fire (e.g. ``module="repro.engine.worker"``); fixture tests rely on
+    this.
+    """
+    suppressions = parse_suppressions(source)
+    findings: list[Finding] = []
+    known = known_rule_ids()
+    for suppression in suppressions.values():
+        if not suppression.has_reason:
+            findings.append(
+                Finding(
+                    path=path,
+                    line=suppression.line,
+                    col=0,
+                    rule_id="REP002",
+                    message=(
+                        "suppression without a reason; write "
+                        "'# repro: ignore[RULE] -- why this is intentional'"
+                    ),
+                    severity=Severity.ERROR,
+                )
+            )
+        for rule_id in suppression.rule_ids:
+            if rule_id not in known:
+                findings.append(
+                    Finding(
+                        path=path,
+                        line=suppression.line,
+                        col=0,
+                        rule_id="REP001",
+                        message=f"suppression names unknown rule id {rule_id!r}",
+                        severity=Severity.ERROR,
+                    )
+                )
+    try:
+        ctx = ModuleContext.from_source(source, path=path, module=module)
+    except SyntaxError as error:
+        findings.append(
+            Finding(
+                path=path,
+                line=error.lineno or 1,
+                col=(error.offset or 1) - 1,
+                rule_id="REP000",
+                message=f"file does not parse: {error.msg}",
+                severity=Severity.ERROR,
+            )
+        )
+        return sorted(findings)
+    for rule in all_rules() if rules is None else rules:
+        for finding in rule.check(ctx):
+            suppression = suppressions.get(finding.line)
+            if (
+                suppression is not None
+                and suppression.has_reason
+                and suppression.covers(finding.rule_id)
+            ):
+                continue
+            findings.append(finding)
+    return sorted(findings)
+
+
+def analyze_file(
+    path: str | Path, rules: Sequence[Rule] | None = None
+) -> list[Finding]:
+    """Lint one file on disk."""
+    target = Path(path)
+    return analyze_source(
+        target.read_text(encoding="utf-8"),
+        path=str(target),
+        module=module_name_of(target),
+        rules=rules,
+    )
+
+
+def iter_python_files(paths: Iterable[str | Path]) -> list[Path]:
+    """Expand files and directories into a deduplicated ``.py`` file list."""
+    seen: set[Path] = set()
+    ordered: list[Path] = []
+    for raw in paths:
+        path = Path(raw)
+        if path.is_dir():
+            candidates = sorted(
+                candidate
+                for candidate in path.rglob("*.py")
+                if not (_SKIPPED_DIRS & set(candidate.parts))
+            )
+        else:
+            candidates = [path]
+        for candidate in candidates:
+            resolved = candidate.resolve()
+            if resolved not in seen:
+                seen.add(resolved)
+                ordered.append(candidate)
+    return ordered
+
+
+def analyze_paths(
+    paths: Iterable[str | Path],
+    select: Iterable[str] | None = None,
+    ignore: Iterable[str] | None = None,
+) -> list[Finding]:
+    """Lint files and directory trees with an optional rule filter."""
+    rules = select_rules(select=select, ignore=ignore)
+    findings: list[Finding] = []
+    for path in iter_python_files(paths):
+        findings.extend(analyze_file(path, rules=rules))
+    return sorted(findings)

@@ -1,0 +1,127 @@
+"""Command-line front end: ``python -m repro.devtools`` / ``ppm lint``.
+
+Exit codes: 0 — clean (warnings allowed unless ``--strict``); 1 — at least
+one error-severity finding (or any finding under ``--strict``); 2 — usage
+error (unknown rule id, unreadable path).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from collections.abc import Sequence
+from pathlib import Path
+
+from repro.devtools.analyzer import analyze_paths
+from repro.devtools.findings import Finding, Severity, findings_to_json
+from repro.devtools.registry import all_rules
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.devtools",
+        description=(
+            "Domain-aware static analysis for the partial periodic "
+            "pattern mining engine (rule catalog: docs/devtools.md)"
+        ),
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        default=["."],
+        help="files or directories to lint (default: current directory)",
+    )
+    parser.add_argument(
+        "--select",
+        metavar="IDS",
+        help="comma-separated rule ids to run (default: all)",
+    )
+    parser.add_argument(
+        "--ignore",
+        metavar="IDS",
+        help="comma-separated rule ids to skip",
+    )
+    parser.add_argument(
+        "--strict",
+        action="store_true",
+        help="treat warnings as errors for the exit code",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="output format (default: text)",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the rule catalog and exit",
+    )
+    return parser
+
+
+def _print_catalog() -> None:
+    for rule in all_rules():
+        print(f"{rule.id} {rule.name} [{rule.severity}]")
+        print(f"    {rule.rationale}")
+
+
+def _split_ids(raw: str | None) -> list[str] | None:
+    if raw is None:
+        return None
+    return [part for part in raw.split(",") if part.strip()]
+
+
+def run(
+    paths: Sequence[str],
+    select: str | None = None,
+    ignore: str | None = None,
+    strict: bool = False,
+    output_format: str = "text",
+) -> int:
+    """Lint paths and print findings; returns the process exit code."""
+    missing = [path for path in paths if not Path(path).exists()]
+    if missing:
+        print(f"error: no such path: {', '.join(missing)}", file=sys.stderr)
+        return 2
+    try:
+        findings = analyze_paths(
+            paths, select=_split_ids(select), ignore=_split_ids(ignore)
+        )
+    except ValueError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    if output_format == "json":
+        print(findings_to_json(findings))
+    else:
+        for finding in findings:
+            print(finding.format())
+        _print_summary(findings)
+    errors = sum(1 for finding in findings if finding.severity >= Severity.ERROR)
+    if errors or (strict and findings):
+        return 1
+    return 0
+
+
+def _print_summary(findings: list[Finding]) -> None:
+    errors = sum(1 for finding in findings if finding.severity >= Severity.ERROR)
+    warnings = len(findings) - errors
+    if findings:
+        print(f"{errors} error(s), {warnings} warning(s)")
+    else:
+        print("all clean")
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """Entry point for ``python -m repro.devtools``."""
+    args = build_parser().parse_args(argv)
+    if args.list_rules:
+        _print_catalog()
+        return 0
+    return run(
+        args.paths,
+        select=args.select,
+        ignore=args.ignore,
+        strict=args.strict,
+        output_format=args.format,
+    )

@@ -1,0 +1,112 @@
+"""Per-module analysis context handed to every rule.
+
+Bundles the parsed AST with the information rules keep needing: the dotted
+module name (so rules can scope themselves to ``repro.engine`` or exempt a
+defining module), the raw source, and small AST utilities shared across the
+rule catalog.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from pathlib import Path
+
+
+def module_name_of(path: Path) -> str:
+    """Derive the dotted module name of a file from ``__init__.py`` markers.
+
+    Walks up while parent directories are packages, so
+    ``src/repro/core/pattern.py`` maps to ``repro.core.pattern`` regardless
+    of the current working directory.  Files outside any package map to
+    their bare stem.
+    """
+    resolved = path.resolve()
+    parts = [resolved.stem] if resolved.stem != "__init__" else []
+    parent = resolved.parent
+    while (parent / "__init__.py").exists():
+        parts.insert(0, parent.name)
+        if parent.parent == parent:
+            break
+        parent = parent.parent
+    return ".".join(parts) if parts else resolved.stem
+
+
+@dataclass(slots=True)
+class ModuleContext:
+    """Everything a rule may inspect about one module."""
+
+    path: str
+    module: str
+    source: str
+    tree: ast.Module
+    #: True when the file is a package ``__init__.py``.
+    is_package_init: bool = False
+    _parents: dict[int, ast.AST] = field(default_factory=dict)
+
+    @classmethod
+    def from_source(
+        cls,
+        source: str,
+        path: str = "<string>",
+        module: str | None = None,
+    ) -> "ModuleContext":
+        """Parse source into a context; raises ``SyntaxError`` on bad input.
+
+        ``module`` overrides the derived dotted name — fixture tests use it
+        to place a snippet "inside" a scoped package such as
+        ``repro.engine``.
+        """
+        tree = ast.parse(source, filename=path)
+        if module is None:
+            module = module_name_of(Path(path)) if path != "<string>" else ""
+        return cls(
+            path=path,
+            module=module,
+            source=source,
+            tree=tree,
+            is_package_init=Path(path).name == "__init__.py",
+        )
+
+    def in_package(self, prefix: str) -> bool:
+        """True when the module is ``prefix`` or lives below it."""
+        return self.module == prefix or self.module.startswith(prefix + ".")
+
+
+def dotted_name(node: ast.AST) -> str | None:
+    """The dotted form of a ``Name``/``Attribute`` chain, else ``None``.
+
+    ``np.random.default_rng`` resolves to ``"np.random.default_rng"``; any
+    non-name link (a call, a subscript) makes the chain unresolvable.
+    """
+    parts: list[str] = []
+    current = node
+    while isinstance(current, ast.Attribute):
+        parts.append(current.attr)
+        current = current.value
+    if not isinstance(current, ast.Name):
+        return None
+    parts.append(current.id)
+    return ".".join(reversed(parts))
+
+
+def call_keyword(call: ast.Call, name: str) -> ast.expr | None:
+    """The value of keyword argument ``name`` of a call, if given."""
+    for keyword in call.keywords:
+        if keyword.arg == name:
+            return keyword.value
+    return None
+
+
+def iter_assigned_names(target: ast.expr) -> list[ast.Name]:
+    """All plain ``Name`` targets inside an assignment target expression."""
+    if isinstance(target, ast.Name):
+        return [target]
+    if isinstance(target, (ast.Tuple, ast.List)):
+        names: list[ast.Name] = []
+        for element in target.elts:
+            names.extend(iter_assigned_names(element))
+        return names
+    if isinstance(target, ast.Starred):
+        return iter_assigned_names(target.value)
+    return []

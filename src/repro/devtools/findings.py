@@ -1,0 +1,66 @@
+"""Finding and severity types shared by every rule.
+
+A *finding* is one violation of one rule at one source location.  Findings
+are plain, ordered, hashable values so test fixtures can assert on them
+exactly and reports stay deterministic regardless of rule execution order.
+"""
+
+from __future__ import annotations
+
+import enum
+import json
+from dataclasses import dataclass
+from typing import Any
+
+
+class Severity(enum.IntEnum):
+    """How much a finding matters to the exit code.
+
+    ``ERROR`` findings fail the lint run; ``WARNING`` findings are reported
+    but only fail under ``--strict``.
+    """
+
+    WARNING = 1
+    ERROR = 2
+
+    def __str__(self) -> str:
+        return self.name.lower()
+
+
+@dataclass(frozen=True, slots=True, order=True)
+class Finding:
+    """One rule violation at one ``file:line`` location.
+
+    The field order defines the sort order of reports: by file, then line,
+    then column, then rule id — i.e. source order within a file.
+    """
+
+    path: str
+    line: int
+    col: int
+    rule_id: str
+    message: str
+    severity: Severity = Severity.ERROR
+
+    def format(self) -> str:
+        """The canonical one-line rendering: ``file:line:col: ID message``."""
+        return (
+            f"{self.path}:{self.line}:{self.col}: "
+            f"{self.rule_id} [{self.severity}] {self.message}"
+        )
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-friendly representation (used by ``--format json``)."""
+        return {
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "rule": self.rule_id,
+            "severity": str(self.severity),
+            "message": self.message,
+        }
+
+
+def findings_to_json(findings: list[Finding]) -> str:
+    """Serialize findings for machine consumption."""
+    return json.dumps([finding.to_dict() for finding in findings], indent=2)

@@ -1,0 +1,20 @@
+"""The rule catalog.
+
+Importing this package registers every rule with
+:mod:`repro.devtools.registry`.  Rules are grouped by the invariant family
+they guard:
+
+* :mod:`.fork_safety` — REP1xx, the engine's pickling/shared-state contract;
+* :mod:`.immutability` — REP2xx, ``Pattern`` and tree-node value semantics;
+* :mod:`.determinism` — REP3xx, seeded randomness outside ``synth``;
+* :mod:`.hygiene` — REP4xx, public-API and hot-path hygiene.
+"""
+
+from repro.devtools.rules import (  # noqa: F401  (imports register rules)
+    determinism,
+    fork_safety,
+    hygiene,
+    immutability,
+)
+
+__all__ = ["determinism", "fork_safety", "hygiene", "immutability"]

@@ -1,0 +1,148 @@
+"""Determinism rule (REP3xx): no unseeded randomness in library code.
+
+The repository's experiments (EXPERIMENTS.md) and the randomized
+equivalence suites only mean something when the library itself is a pure
+function of its inputs.  All sanctioned randomness lives in
+``repro.synth`` behind explicit seeds and ``numpy.random.Generator``
+plumbing; everywhere else, a module-level ``random.random()`` or
+``np.random.shuffle()`` draws from hidden global state and destroys
+reproducibility across runs and across worker processes (each forked
+worker would inherit, then diverge from, the parent's RNG state).
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterator
+
+from repro.devtools.context import ModuleContext, dotted_name
+from repro.devtools.findings import Finding, Severity
+from repro.devtools.registry import Rule, register
+
+#: stdlib ``random`` attributes that construct explicitly-seeded state.
+STDLIB_ALLOWED = frozenset({"Random", "SystemRandom"})
+
+#: ``numpy.random`` attributes that construct explicitly-seeded state.
+NUMPY_ALLOWED = frozenset(
+    {
+        "default_rng",
+        "Generator",
+        "SeedSequence",
+        "RandomState",
+        "BitGenerator",
+        "PCG64",
+        "Philox",
+        "MT19937",
+    }
+)
+
+
+class _RandomImports:
+    """Aliases under which the random modules are visible in one file."""
+
+    def __init__(self, tree: ast.Module):
+        self.stdlib: set[str] = set()
+        self.numpy: set[str] = set()
+        self.numpy_random: set[str] = set()
+        self.bad_from_imports: list[tuple[int, int, str, str]] = []
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    bound = alias.asname or alias.name.split(".")[0]
+                    if alias.name == "random":
+                        self.stdlib.add(bound)
+                    elif alias.name == "numpy" or alias.name.startswith("numpy."):
+                        if alias.name == "numpy.random" and alias.asname:
+                            self.numpy_random.add(alias.asname)
+                        else:
+                            self.numpy.add(bound)
+            elif isinstance(node, ast.ImportFrom) and node.module is not None:
+                if node.module == "random":
+                    for alias in node.names:
+                        if alias.name not in STDLIB_ALLOWED:
+                            self.bad_from_imports.append(
+                                (node.lineno, node.col_offset, "random", alias.name)
+                            )
+                elif node.module == "numpy.random":
+                    for alias in node.names:
+                        if alias.name not in NUMPY_ALLOWED:
+                            self.bad_from_imports.append(
+                                (
+                                    node.lineno,
+                                    node.col_offset,
+                                    "numpy.random",
+                                    alias.name,
+                                )
+                            )
+                elif node.module == "numpy":
+                    for alias in node.names:
+                        if alias.name == "random":
+                            self.numpy_random.add(alias.asname or "random")
+
+
+@register
+class UnseededRandomRule(Rule):
+    """REP301: module-level RNG calls without explicit seed plumbing."""
+
+    id = "REP301"
+    name = "unseeded-random"
+    severity = Severity.ERROR
+    rationale = (
+        "Mining results, synthetic benchmarks, and the randomized "
+        "equivalence suite must be reproducible from explicit seeds; "
+        "global-state RNG calls (random.random, np.random.shuffle) make "
+        "results run- and worker-dependent.  Construct a seeded "
+        "random.Random or numpy Generator (default_rng(seed)) and pass it "
+        "explicitly.  Sanctioned randomness lives in repro.synth."
+    )
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        if not ctx.in_package("repro") or ctx.in_package("repro.synth"):
+            return
+        imports = _RandomImports(ctx.tree)
+        for lineno, col, module, name in imports.bad_from_imports:
+            yield self.finding(
+                ctx,
+                lineno,
+                col,
+                f"'from {module} import {name}' pulls global-state "
+                "randomness into library code; use an explicitly seeded "
+                "Random/Generator instead",
+            )
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            path = dotted_name(node.func)
+            if path is None:
+                continue
+            parts = path.split(".")
+            if (
+                len(parts) == 2
+                and parts[0] in imports.stdlib
+                and parts[1] not in STDLIB_ALLOWED
+            ):
+                yield self.finding(
+                    ctx,
+                    node.lineno,
+                    node.col_offset,
+                    f"unseeded stdlib random call {path}(); use an "
+                    "explicitly seeded random.Random instance",
+                )
+            elif (
+                len(parts) == 3
+                and parts[0] in imports.numpy
+                and parts[1] == "random"
+                and parts[2] not in NUMPY_ALLOWED
+            ) or (
+                len(parts) == 2
+                and parts[0] in imports.numpy_random
+                and parts[1] not in NUMPY_ALLOWED
+            ):
+                yield self.finding(
+                    ctx,
+                    node.lineno,
+                    node.col_offset,
+                    f"legacy global numpy random call {path}(); use "
+                    "numpy.random.default_rng(seed) and pass the Generator "
+                    "explicitly",
+                )

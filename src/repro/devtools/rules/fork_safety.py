@@ -1,0 +1,362 @@
+"""Fork-safety rules (REP1xx): the engine's pickling and shared-state contract.
+
+The sharded engine (PR 1) promises that the same worker callable runs
+unchanged on the serial, thread, and process backends.  That only holds
+when every task function handed to a submission path is picklable by
+reference — a module-level function — and when worker functions touch no
+module-level mutable state (scan folding must stay associative with no
+hidden sharing; see ``repro.engine.worker``'s module docstring and paper
+Sections 3.2/4).
+
+Submission paths recognized statically:
+
+* calls to ``run_shards(backend, fn, tasks)`` — the canonical fan-out;
+* ``<pool-like>.submit(fn, ...)`` — executor submission;
+* ``<backend/pool/executor-like>.map(fn, tasks)`` — backend mapping (the
+  receiver name must look pool-like, so builtin ``map`` idioms are not
+  flagged).
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from collections.abc import Iterator
+
+from repro.devtools.context import (
+    ModuleContext,
+    call_keyword,
+    dotted_name,
+    iter_assigned_names,
+)
+from repro.devtools.findings import Finding, Severity
+from repro.devtools.registry import Rule, register
+
+#: Plain-function submission sinks: callee name -> index of the task callable.
+SUBMISSION_FUNCTIONS = {"run_shards": 1}
+
+#: Method submission sinks: attribute name -> index of the task callable.
+SUBMISSION_METHODS = {"submit": 0, "map": 0}
+
+#: ``.map`` only counts as a sink when its receiver looks like a pool.
+_POOLISH_RE = re.compile(r"backend|pool|executor", re.IGNORECASE)
+
+#: Methods that mutate a collection in place (shared-state writes).
+MUTATING_CALLS = frozenset(
+    {
+        "add",
+        "append",
+        "clear",
+        "discard",
+        "extend",
+        "insert",
+        "pop",
+        "popitem",
+        "remove",
+        "setdefault",
+        "update",
+    }
+)
+
+#: Constructors whose module-level result is mutable shared state.
+_MUTABLE_FACTORIES = frozenset(
+    {"list", "dict", "set", "bytearray", "Counter", "defaultdict", "deque"}
+)
+
+
+def _submission_callable(call: ast.Call) -> ast.expr | None:
+    """The task-callable argument of a call, if the call is a sink."""
+    index: int | None = None
+    if isinstance(call.func, ast.Name):
+        index = SUBMISSION_FUNCTIONS.get(call.func.id)
+    elif isinstance(call.func, ast.Attribute):
+        attr = call.func.attr
+        if attr in SUBMISSION_FUNCTIONS:
+            index = SUBMISSION_FUNCTIONS[attr]
+        elif attr in SUBMISSION_METHODS:
+            if attr == "map":
+                receiver = dotted_name(call.func.value)
+                if receiver is None or not _POOLISH_RE.search(receiver):
+                    return None
+            index = SUBMISSION_METHODS[attr]
+    if index is None:
+        return None
+    if len(call.args) > index:
+        return call.args[index]
+    return call_keyword(call, "fn")
+
+
+class _SubmissionScan:
+    """Shared single-pass scan used by the three task-callable rules."""
+
+    def __init__(self, tree: ast.Module):
+        self.lambda_aliases: set[str] = set()
+        self.local_functions: set[str] = set()
+        self.module_functions: set[str] = set()
+        self.sinks: list[tuple[ast.Call, ast.expr]] = []
+        for node in tree.body:
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                self.module_functions.add(node.name)
+        for node in ast.walk(tree):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                for inner in ast.walk(node):
+                    if inner is node:
+                        continue
+                    if isinstance(inner, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                        self.local_functions.add(inner.name)
+            if isinstance(node, ast.Assign) and isinstance(node.value, ast.Lambda):
+                for name in iter_assigned_names(node.targets[0]):
+                    self.lambda_aliases.add(name.id)
+            if isinstance(node, ast.Call):
+                candidate = _submission_callable(node)
+                if candidate is not None:
+                    self.sinks.append((node, candidate))
+
+
+def _scan(ctx: ModuleContext) -> _SubmissionScan:
+    return _SubmissionScan(ctx.tree)
+
+
+@register
+class LambdaTaskRule(Rule):
+    """REP101: a lambda handed to an executor/worker submission path."""
+
+    id = "REP101"
+    name = "lambda-task"
+    severity = Severity.ERROR
+    rationale = (
+        "Lambdas are unpicklable; a lambda task works on the serial and "
+        "thread backends but breaks ProcessBackend, the engine's default "
+        "for workers > 1 — exactly the silent backend-dependent failure "
+        "the shard contract forbids."
+    )
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        scan = _scan(ctx)
+        for _call, candidate in scan.sinks:
+            if isinstance(candidate, ast.Lambda):
+                yield self.finding(
+                    ctx,
+                    candidate.lineno,
+                    candidate.col_offset,
+                    "lambda passed to an engine submission path; use a "
+                    "module-level function so the task pickles by reference",
+                )
+            elif (
+                isinstance(candidate, ast.Name)
+                and candidate.id in scan.lambda_aliases
+            ):
+                yield self.finding(
+                    ctx,
+                    candidate.lineno,
+                    candidate.col_offset,
+                    f"{candidate.id!r} is bound to a lambda and passed to an "
+                    "engine submission path; define it with 'def' at module "
+                    "level",
+                )
+
+
+@register
+class LocalFunctionTaskRule(Rule):
+    """REP102: a nested/local function handed to a submission path."""
+
+    id = "REP102"
+    name = "local-function-task"
+    severity = Severity.ERROR
+    rationale = (
+        "Functions defined inside another function (closures included) "
+        "pickle by qualified name lookup, which fails for non-module "
+        "scopes; such tasks die on the process backend only, after "
+        "passing every serial test."
+    )
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        scan = _scan(ctx)
+        for _call, candidate in scan.sinks:
+            if (
+                isinstance(candidate, ast.Name)
+                and candidate.id in scan.local_functions
+                and candidate.id not in scan.module_functions
+            ):
+                yield self.finding(
+                    ctx,
+                    candidate.lineno,
+                    candidate.col_offset,
+                    f"locally-defined function {candidate.id!r} passed to an "
+                    "engine submission path; move it to module level",
+                )
+
+
+@register
+class BoundMethodTaskRule(Rule):
+    """REP103: a bound method handed to a submission path."""
+
+    id = "REP103"
+    name = "bound-method-task"
+    severity = Severity.ERROR
+    rationale = (
+        "A bound method drags its whole instance through pickle; miners "
+        "and backends hold unpicklable state (pools, open series "
+        "wrappers), so submitting self.<method> couples shard tasks to "
+        "parent-process state the worker must not share."
+    )
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        scan = _scan(ctx)
+        for _call, candidate in scan.sinks:
+            if not isinstance(candidate, ast.Attribute):
+                continue
+            base = candidate.value
+            if isinstance(base, ast.Name) and base.id in ("self", "cls"):
+                yield self.finding(
+                    ctx,
+                    candidate.lineno,
+                    candidate.col_offset,
+                    f"bound method {base.id}.{candidate.attr} passed to an "
+                    "engine submission path; use a module-level function "
+                    "taking the state as an explicit picklable task",
+                )
+            elif isinstance(base, ast.Call):
+                yield self.finding(
+                    ctx,
+                    candidate.lineno,
+                    candidate.col_offset,
+                    f"method {candidate.attr!r} of a fresh instance passed "
+                    "to an engine submission path; tasks must be "
+                    "module-level functions",
+                )
+
+
+@register
+class WorkerGlobalWriteRule(Rule):
+    """REP104: engine code mutating module-level state from a function."""
+
+    id = "REP104"
+    name = "worker-global-write"
+    severity = Severity.ERROR
+    rationale = (
+        "Worker output must depend only on the task (repro.engine.worker's "
+        "contract): module-level mutable state written from a function is "
+        "invisible to the process backend (each worker mutates its own "
+        "copy) and racy on the thread backend, so merged results stop "
+        "being deterministic."
+    )
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        if not ctx.in_package("repro.engine"):
+            return
+        mutable_globals = self._module_level_mutables(ctx.tree)
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                yield from self._check_function(ctx, node, mutable_globals)
+
+    @staticmethod
+    def _module_level_mutables(tree: ast.Module) -> set[str]:
+        names: set[str] = set()
+        for node in tree.body:
+            value: ast.expr | None = None
+            targets: list[ast.expr] = []
+            if isinstance(node, ast.Assign):
+                value, targets = node.value, node.targets
+            elif isinstance(node, ast.AnnAssign) and node.value is not None:
+                value, targets = node.value, [node.target]
+            if value is None:
+                continue
+            mutable = isinstance(
+                value, (ast.List, ast.Dict, ast.Set, ast.ListComp,
+                        ast.DictComp, ast.SetComp)
+            )
+            if isinstance(value, ast.Call):
+                callee = dotted_name(value.func)
+                if callee is not None:
+                    mutable = callee.split(".")[-1] in _MUTABLE_FACTORIES
+            if not mutable:
+                continue
+            for target in targets:
+                for name in iter_assigned_names(target):
+                    names.add(name.id)
+        return names
+
+    def _check_function(
+        self,
+        ctx: ModuleContext,
+        func: ast.FunctionDef | ast.AsyncFunctionDef,
+        mutable_globals: set[str],
+    ) -> Iterator[Finding]:
+        local_names = self._local_names(func)
+        for node in ast.walk(func):
+            if isinstance(node, ast.Global):
+                yield self.finding(
+                    ctx,
+                    node.lineno,
+                    node.col_offset,
+                    f"'global {', '.join(node.names)}' in engine code; "
+                    "shard state must flow through task arguments and "
+                    "return values",
+                )
+                continue
+            target_name = self._mutated_global(node, mutable_globals)
+            if target_name is not None and target_name not in local_names:
+                yield self.finding(
+                    ctx,
+                    node.lineno,
+                    node.col_offset,
+                    f"module-level mutable {target_name!r} written from a "
+                    "function in engine code; worker output must depend "
+                    "only on its task",
+                )
+
+    @staticmethod
+    def _local_names(func: ast.FunctionDef | ast.AsyncFunctionDef) -> set[str]:
+        names = {arg.arg for arg in func.args.posonlyargs}
+        names.update(arg.arg for arg in func.args.args)
+        names.update(arg.arg for arg in func.args.kwonlyargs)
+        if func.args.vararg is not None:
+            names.add(func.args.vararg.arg)
+        if func.args.kwarg is not None:
+            names.add(func.args.kwarg.arg)
+        for node in ast.walk(func):
+            if isinstance(node, (ast.Assign, ast.AugAssign, ast.AnnAssign)):
+                targets = (
+                    node.targets
+                    if isinstance(node, ast.Assign)
+                    else [node.target]
+                )
+                for target in targets:
+                    for name in iter_assigned_names(target):
+                        names.add(name.id)
+            elif isinstance(node, (ast.For, ast.AsyncFor)):
+                for name in iter_assigned_names(node.target):
+                    names.add(name.id)
+            elif isinstance(node, ast.comprehension):
+                for name in iter_assigned_names(node.target):
+                    names.add(name.id)
+            elif isinstance(node, (ast.With, ast.AsyncWith)):
+                for item in node.items:
+                    if item.optional_vars is not None:
+                        for name in iter_assigned_names(item.optional_vars):
+                            names.add(name.id)
+        return names
+
+    @staticmethod
+    def _mutated_global(node: ast.AST, mutable_globals: set[str]) -> str | None:
+        if isinstance(node, (ast.Assign, ast.AugAssign)):
+            targets = (
+                node.targets if isinstance(node, ast.Assign) else [node.target]
+            )
+            for target in targets:
+                if (
+                    isinstance(target, ast.Subscript)
+                    and isinstance(target.value, ast.Name)
+                    and target.value.id in mutable_globals
+                ):
+                    return target.value.id
+        if isinstance(node, ast.Call) and isinstance(node.func, ast.Attribute):
+            base = node.func.value
+            if (
+                node.func.attr in MUTATING_CALLS
+                and isinstance(base, ast.Name)
+                and base.id in mutable_globals
+            ):
+                return base.id
+        return None

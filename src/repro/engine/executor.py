@@ -28,8 +28,9 @@ import os
 import time
 from abc import ABC, abstractmethod
 from collections.abc import Callable, Sequence
-from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from concurrent.futures import Executor, ProcessPoolExecutor, ThreadPoolExecutor
 from dataclasses import dataclass, field, replace
+from typing import Any
 
 from repro.core.errors import EngineError
 
@@ -39,7 +40,9 @@ class ShardOutcome:
     """What happened to one task: its value or its error, plus timing."""
 
     index: int
-    value: object = None
+    #: The task's return value; ``Any`` because each fan-out phase ships a
+    #: different payload (counters, hit multisets, whole MiningResults).
+    value: Any = None
     error: str | None = None
     elapsed_s: float = 0.0
     retried: bool = False
@@ -80,14 +83,14 @@ class SerialBackend(ExecutionBackend):
     name = "serial"
 
     def map(self, fn: Callable, tasks: Sequence) -> list[ShardOutcome]:
-        outcomes = []
+        outcomes: list[ShardOutcome] = []
         for index, task in enumerate(tasks):
             try:
                 value, elapsed = _timed_call(fn, task)
                 outcomes.append(
                     ShardOutcome(index=index, value=value, elapsed_s=elapsed)
                 )
-            except Exception as error:  # noqa: BLE001 — captured per shard
+            except Exception as error:  # repro: ignore[REP404] -- per-shard capture: the error becomes a ShardOutcome and run_shards retries serially
                 outcomes.append(ShardOutcome(index=index, error=str(error)))
         return outcomes
 
@@ -98,17 +101,17 @@ class _PoolBackend(ExecutionBackend):
 
     workers: int = 2
 
-    def __post_init__(self):
+    def __post_init__(self) -> None:
         if self.workers < 1:
             raise EngineError(f"workers must be >= 1, got {self.workers}")
 
-    def _pool(self, max_workers: int):
+    def _pool(self, max_workers: int) -> Executor:
         raise NotImplementedError
 
     def map(self, fn: Callable, tasks: Sequence) -> list[ShardOutcome]:
         if not tasks:
             return []
-        outcomes = []
+        outcomes: list[ShardOutcome] = []
         max_workers = min(self.workers, len(tasks))
         try:
             with self._pool(max_workers) as pool:
@@ -123,16 +126,11 @@ class _PoolBackend(ExecutionBackend):
                                 index=index, value=value, elapsed_s=elapsed
                             )
                         )
-                    except Exception as error:  # noqa: BLE001
-                        # Includes BrokenProcessPool: every unfinished
-                        # future fails here and is retried serially.
+                    except Exception as error:  # repro: ignore[REP404] -- per-future capture incl. BrokenProcessPool; failed shards are retried serially
                         outcomes.append(
                             ShardOutcome(index=index, error=str(error) or repr(error))
                         )
-        except Exception as error:  # noqa: BLE001
-            # Pool creation or teardown failed (e.g. no usable
-            # multiprocessing); degrade every unfinished task to the
-            # serial retry in run_shards.
+        except Exception as error:  # repro: ignore[REP404] -- pool creation/teardown failure (e.g. no usable multiprocessing) degrades every unfinished task to the serial retry
             done = {outcome.index for outcome in outcomes}
             outcomes.extend(
                 ShardOutcome(index=index, error=str(error) or repr(error))
@@ -149,7 +147,7 @@ class ThreadBackend(_PoolBackend):
 
     name = "thread"
 
-    def _pool(self, max_workers: int):
+    def _pool(self, max_workers: int) -> Executor:
         return ThreadPoolExecutor(
             max_workers=max_workers, thread_name_prefix="repro-engine"
         )
@@ -167,7 +165,7 @@ class ProcessBackend(_PoolBackend):
     #: ``None`` uses the platform default.
     mp_context: str | None = field(default=None)
 
-    def _pool(self, max_workers: int):
+    def _pool(self, max_workers: int) -> Executor:
         context = None
         if self.mp_context is not None:
             import multiprocessing
@@ -243,7 +241,7 @@ def run_shards(
             continue
         try:
             value, elapsed = _timed_call(fn, tasks[outcome.index])
-        except Exception as error:
+        except Exception as error:  # repro: ignore[REP404] -- last-resort serial retry; any failure here is re-raised as EngineError with both causes
             raise EngineError(
                 f"shard {outcome.index} failed on backend "
                 f"{backend.name!r} ({outcome.error}) and again on the "

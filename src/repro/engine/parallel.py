@@ -22,7 +22,7 @@ independently — the parallel form of Algorithm 3.3's loop.
 from __future__ import annotations
 
 import time
-from collections.abc import Iterable
+from collections.abc import Iterable, Sequence
 
 from repro.core.counting import check_min_conf, frequent_letter_set, min_count
 from repro.core.errors import EngineError, MiningError
@@ -35,6 +35,7 @@ from repro.core.pattern import Pattern
 from repro.core.result import MiningResult, MiningStats
 from repro.engine.executor import (
     ExecutionBackend,
+    ShardOutcome,
     resolve_backend,
     run_shards,
     visible_cpus,
@@ -55,7 +56,7 @@ def default_workers() -> int:
     return visible_cpus()
 
 
-def _plain_series(data) -> FeatureSeries:
+def _plain_series(data: FeatureSeries | str | Iterable) -> FeatureSeries:
     """Coerce input to a real :class:`FeatureSeries` (shards need slicing).
 
     Scan-counting wrappers are unwrapped: a sharded run spreads each scan
@@ -106,7 +107,7 @@ class ParallelMiner:
 
     def __init__(
         self,
-        series,
+        series: FeatureSeries | str | Iterable,
         min_conf: float = 0.5,
         workers: int | None = None,
         backend: str | ExecutionBackend = "auto",
@@ -262,7 +263,7 @@ class ParallelMiner:
         )
         engine = EngineStats(backend=resolved.name, workers=workers)
 
-        tasks = []
+        tasks: list[tuple[SegmentShard, float, int | None]] = []
         for index, period in enumerate(usable):
             num_segments = len(self.series) // period
             shard = SegmentShard(
@@ -337,7 +338,12 @@ class ParallelMiner:
     # ------------------------------------------------------------------
 
     @staticmethod
-    def _record(engine, phase, shards, outcomes) -> None:
+    def _record(
+        engine: EngineStats,
+        phase: str,
+        shards: Sequence[SegmentShard],
+        outcomes: Sequence[ShardOutcome],
+    ) -> None:
         """Append one ShardStats row per shard outcome of a phase."""
         for shard, outcome in zip(shards, outcomes):
             engine.shards.append(

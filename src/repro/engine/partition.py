@@ -98,7 +98,7 @@ def plan_chunks(
         raise EngineError(f"num_shards must be >= 1, got {shards}")
     shards = min(shards, num_segments)
     base, extra = divmod(num_segments, shards)
-    ranges = []
+    ranges: list[tuple[int, int]] = []
     start = 0
     for index in range(shards):
         size = base + (1 if index < extra else 0)

@@ -36,6 +36,7 @@ of the alphabet.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Any
 
 import numpy as np
 
@@ -263,7 +264,7 @@ def generate_series(
     max_pat_length: int,
     f1_size: int = 12,
     seed: int = 0,
-    **overrides,
+    **overrides: Any,
 ) -> SyntheticSeries:
     """One-call convenience wrapper around :class:`SyntheticSpec`."""
     spec = SyntheticSpec(

@@ -95,7 +95,7 @@ def describe_pattern(pattern: Pattern) -> str:
     >>> describe_pattern(Pattern.from_string("a**c***"))
     'Monday=a, Thursday=c'
     """
-    clauses = []
+    clauses: list[str] = []
     for offset, features in enumerate(pattern.positions):
         if not features:
             continue

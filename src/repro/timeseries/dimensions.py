@@ -56,10 +56,10 @@ def records_to_series(
         Attributes to keep; defaults to every key present.  Missing or
         ``None`` values contribute nothing to the slot.
     """
-    slots = []
+    slots: list[set[str]] = []
     for record in records:
         keys = dimensions if dimensions is not None else record.keys()
-        slot = set()
+        slot: set[str] = set()
         for key in keys:
             value = record.get(key)
             if value is None:

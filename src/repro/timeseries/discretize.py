@@ -172,7 +172,7 @@ class MultiLevelDiscretizer:
         per_bin: dict[str, list[float]] = {label: [] for label in coarse.labels}
         for value in values:
             per_bin[coarse.label(value)].append(value)
-        fine_breakpoints = []
+        fine_breakpoints: list[list[float]] = []
         for label in coarse.labels:
             members = per_bin[label]
             if len(members) >= 2 and fine_per_coarse >= 2:
@@ -205,7 +205,7 @@ class MultiLevelDiscretizer:
 
         Feed these to :class:`repro.multilevel.taxonomy.Taxonomy`.
         """
-        edges = []
+        edges: list[tuple[str, str]] = []
         for index, coarse in enumerate(self._coarse.labels):
             fine_count = len(self._fine_breakpoints[index]) + 1
             for fine in range(fine_count):

@@ -13,8 +13,8 @@ Derivation of a feature series from raw inputs lives in the sibling modules
 
 from __future__ import annotations
 
-from collections.abc import Iterable, Iterator, Sequence
-from typing import Union
+from collections.abc import Callable, Iterable, Iterator, Sequence
+from typing import Union, cast, overload
 
 from repro.core.errors import SeriesError
 
@@ -99,7 +99,12 @@ class FeatureSeries:
         series._slots = slots
         return series
 
-    def __reduce__(self):
+    def __reduce__(
+        self,
+    ) -> tuple[
+        Callable[[tuple[frozenset[str], ...]], FeatureSeries],
+        tuple[tuple[frozenset[str], ...]],
+    ]:
         # Cheap pickling for shipping shards to worker processes: restore
         # through the normalized fast path instead of re-coercing every
         # slot in __init__ (which is O(total features)).
@@ -122,7 +127,13 @@ class FeatureSeries:
     def __len__(self) -> int:
         return len(self._slots)
 
-    def __getitem__(self, index):
+    @overload
+    def __getitem__(self, index: int) -> frozenset[str]: ...
+
+    @overload
+    def __getitem__(self, index: slice) -> FeatureSeries: ...
+
+    def __getitem__(self, index: int | slice) -> frozenset[str] | FeatureSeries:
         if isinstance(index, slice):
             return FeatureSeries(self._slots[index])
         return self._slots[index]
@@ -149,7 +160,7 @@ class FeatureSeries:
 
     def to_text(self, limit: int | None = None) -> str:
         """Human-readable rendering, e.g. ``a b{c,d}*a`` (``*`` = empty slot)."""
-        rendered = []
+        rendered: list[str] = []
         slots = self._slots if limit is None else self._slots[:limit]
         for slot in slots:
             if not slot:
@@ -251,7 +262,9 @@ def as_feature_series(data: object) -> FeatureSeries:
     if all(
         hasattr(data, name) for name in ("segments", "num_periods", "iter_slots")
     ):
-        return data  # duck-typed scan wrapper; keep its accounting intact
+        # Duck-typed scan wrapper; keep its accounting intact.  The cast
+        # records that scan-protocol objects substitute for a series.
+        return cast(FeatureSeries, data)
     if isinstance(data, str):
         return FeatureSeries.from_symbols(data)
     if isinstance(data, Sequence) or isinstance(data, Iterable):

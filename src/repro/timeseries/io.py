@@ -10,9 +10,13 @@ from __future__ import annotations
 
 from collections.abc import Iterator
 from pathlib import Path
+from typing import TYPE_CHECKING
 
 from repro.core.errors import SeriesError
 from repro.timeseries.feature_series import FeatureSeries
+
+if TYPE_CHECKING:
+    from repro.timeseries.events import EventDatabase
 
 
 def save_series(series: FeatureSeries, path: str | Path) -> None:
@@ -61,7 +65,7 @@ def load_numeric_csv(
     source = Path(path)
     if not source.exists():
         raise SeriesError(f"CSV file not found: {source}")
-    values = []
+    values: list[float] = []
     with source.open("r", encoding="utf-8", newline="") as handle:
         reader = csv.DictReader(handle, delimiter=delimiter)
         if reader.fieldnames is None or column not in reader.fieldnames:
@@ -87,7 +91,7 @@ def load_events_csv(
     time_column: str = "time",
     feature_column: str = "feature",
     delimiter: str = ",",
-):
+) -> "EventDatabase":
     """Read a timestamped event database from a headed CSV file.
 
     Returns a :class:`~repro.timeseries.events.EventDatabase`; bucket it

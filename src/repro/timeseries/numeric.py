@@ -33,7 +33,7 @@ def percent_changes(values: Sequence[float]) -> list[float]:
     """
     if len(values) < 2:
         raise SeriesError("need at least 2 values for percent changes")
-    changes = []
+    changes: list[float] = []
     for before, after in zip(values, values[1:]):
         if before == 0:
             raise SeriesError("percent change from a zero value is undefined")
@@ -85,7 +85,7 @@ def movement_series(
         raise SeriesError(f"need exactly 3 labels, got {len(labels)}")
     moves = percent_changes(values) if relative else deltas(values)
     down, flat, up = labels
-    slots = []
+    slots: list[str] = []
     for move in moves:
         if move > flat_band:
             slots.append(up)

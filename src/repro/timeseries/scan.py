@@ -62,7 +62,7 @@ class ScanCountingSeries:
             self.slots_read += period
             yield segment
 
-    def iter_slots(self):
+    def iter_slots(self) -> Iterator[frozenset[str]]:
         """Iterate raw slots while counting the pass as one scan."""
         self.scans += 1
         for slot in self._series.iter_slots():

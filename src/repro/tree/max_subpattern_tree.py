@@ -49,6 +49,8 @@ class MaxSubpatternTree:
     2
     """
 
+    __slots__ = ("_max_pattern", "_letters", "_root", "_index", "_total_hits")
+
     def __init__(self, max_pattern: Pattern):
         if max_pattern.is_trivial:
             raise MiningError("C_max must contain at least one letter")
@@ -250,7 +252,7 @@ class MaxSubpatternTree:
         self, node: MaxSubpatternNode
     ) -> list[MaxSubpatternNode]:
         """Ancestors on the physical path to the root (missing prefixes)."""
-        ancestors = []
+        ancestors: list[MaxSubpatternNode] = []
         current = node.parent
         while current is not None:
             ancestors.append(current)
@@ -268,7 +270,7 @@ class MaxSubpatternTree:
         """
         missing = frozenset(node.missing)
         if len(missing) <= 20:
-            found = []
+            found: list[MaxSubpatternNode] = []
             ordered = sorted(missing)
             for mask in range(1 << len(ordered)):
                 if mask == (1 << len(ordered)) - 1:

@@ -1,0 +1,565 @@
+"""Tests for repro.devtools — the domain-aware static analysis suite.
+
+Each rule gets good/bad source-string fixtures asserting the exact rule id
+and line number via :func:`analyze_source`; the suppression machinery and
+CLI exit codes are exercised directly; and a self-check runs the full
+catalog over ``src/repro`` and ``tests`` asserting zero unsuppressed
+findings, so the shipped tree can never drift out of compliance silently.
+"""
+
+from __future__ import annotations
+
+import textwrap
+from pathlib import Path
+
+import pytest
+
+from repro.devtools import (
+    META_RULE_IDS,
+    Severity,
+    all_rules,
+    analyze_paths,
+    analyze_source,
+    get_rule,
+    known_rule_ids,
+    parse_suppressions,
+    select_rules,
+)
+from repro.devtools.cli import run as lint_run
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def findings_of(source: str, module: str | None = None) -> list[tuple[str, int]]:
+    """``(rule_id, line)`` pairs for a dedented source snippet."""
+    return [
+        (finding.rule_id, finding.line)
+        for finding in analyze_source(textwrap.dedent(source), module=module)
+    ]
+
+
+# ---------------------------------------------------------------------------
+# Catalog integrity
+# ---------------------------------------------------------------------------
+
+
+class TestCatalog:
+    def test_all_rules_have_unique_ids(self):
+        rules = all_rules()
+        ids = [rule.id for rule in rules]
+        assert len(ids) == len(set(ids))
+        assert len(rules) >= 11
+
+    def test_rules_carry_rationale_and_severity(self):
+        for rule in all_rules():
+            assert rule.rationale, rule.id
+            assert rule.name, rule.id
+            assert isinstance(rule.severity, Severity), rule.id
+
+    def test_known_ids_include_meta(self):
+        assert META_RULE_IDS <= known_rule_ids()
+
+    def test_get_rule(self):
+        assert get_rule("REP101").name == "lambda-task"
+
+    def test_select_rules_rejects_unknown_id(self):
+        with pytest.raises(ValueError):
+            select_rules(select=["REP999"])
+        with pytest.raises(ValueError):
+            select_rules(ignore=["NOPE"])
+
+    def test_select_filters(self):
+        only = select_rules(select=["REP402"])
+        assert [rule.id for rule in only] == ["REP402"]
+        rest = select_rules(ignore=["REP402"])
+        assert "REP402" not in {rule.id for rule in rest}
+
+
+# ---------------------------------------------------------------------------
+# REP1xx — fork safety
+# ---------------------------------------------------------------------------
+
+
+class TestForkSafety:
+    def test_lambda_into_run_shards(self):
+        source = """\
+        from repro.engine.executor import run_shards
+
+        def go(backend, tasks):
+            return run_shards(backend, lambda t: t * 2, tasks)
+        """
+        assert findings_of(source) == [("REP101", 4)]
+
+    def test_lambda_alias_into_submit(self):
+        source = """\
+        double = lambda t: t * 2
+
+        def go(pool, task):
+            return pool.submit(double, task)
+        """
+        assert ("REP101", 4) in findings_of(source)
+
+    def test_lambda_via_fn_keyword(self):
+        source = """\
+        def go(backend, tasks):
+            return run_shards(backend, tasks=tasks, fn=lambda t: t)
+        """
+        assert findings_of(source) == [("REP101", 2)]
+
+    def test_local_function_task(self):
+        source = """\
+        def go(backend, tasks):
+            def worker(task):
+                return task
+            return run_shards(backend, worker, tasks)
+        """
+        assert findings_of(source) == [("REP102", 4)]
+
+    def test_bound_method_task(self):
+        source = """\
+        class Miner:
+            def work(self, task):
+                return task
+
+            def go(self, backend, tasks):
+                return run_shards(backend, self.work, tasks)
+        """
+        assert findings_of(source) == [("REP103", 6)]
+
+    def test_module_level_function_is_clean(self):
+        source = """\
+        def worker(task):
+            return task
+
+        def go(backend, tasks):
+            return run_shards(backend, worker, tasks)
+        """
+        assert findings_of(source) == []
+
+    def test_builtin_map_not_a_sink(self):
+        source = """\
+        def go(items):
+            return list(map(lambda x: x + 1, items))
+        """
+        assert findings_of(source) == []
+
+    def test_poolish_map_is_a_sink(self):
+        source = """\
+        def go(backend, tasks):
+            return backend.map(lambda t: t, tasks)
+        """
+        assert findings_of(source) == [("REP101", 2)]
+
+    def test_global_statement_in_engine(self):
+        source = """\
+        _TOTAL = 0
+
+        def worker(task):
+            global _TOTAL
+            _TOTAL += 1
+            return task
+        """
+        assert ("REP104", 4) in findings_of(source, module="repro.engine.worker")
+
+    def test_module_mutable_written_from_function(self):
+        source = """\
+        _CACHE = {}
+
+        def worker(task):
+            _CACHE[task] = 1
+            return task
+        """
+        assert findings_of(source, module="repro.engine.worker") == [("REP104", 4)]
+
+    def test_local_shadow_is_clean(self):
+        source = """\
+        _CACHE = {}
+
+        def worker(task):
+            _CACHE = {}
+            _CACHE[task] = 1
+            return _CACHE
+        """
+        assert findings_of(source, module="repro.engine.worker") == []
+
+    def test_global_write_ignored_outside_engine(self):
+        source = """\
+        _CACHE = {}
+
+        def helper(key):
+            _CACHE[key] = 1
+        """
+        assert findings_of(source, module="repro.analysis.helper") == []
+
+
+# ---------------------------------------------------------------------------
+# REP2xx — pattern immutability
+# ---------------------------------------------------------------------------
+
+
+class TestImmutability:
+    def test_attribute_assignment_outside_owner(self):
+        source = """\
+        def tamper(pattern):
+            pattern._positions = ()
+        """
+        assert findings_of(source, module="repro.core.hitset") == [("REP201", 2)]
+
+    def test_node_count_assignment_outside_owner(self):
+        source = """\
+        def tamper(node):
+            node.count = 99
+        """
+        assert findings_of(source, module="repro.engine.merge") == [("REP201", 2)]
+
+    def test_assignment_inside_owner_is_clean(self):
+        source = """\
+        def rebuild(pattern):
+            pattern._positions = ()
+        """
+        assert findings_of(source, module="repro.core.pattern") == []
+
+    def test_inplace_mutation_of_protected_attr(self):
+        source = """\
+        def tamper(node):
+            node.children.clear()
+        """
+        assert findings_of(source, module="repro.core.hitset") == [("REP202", 2)]
+
+    def test_subscript_write_into_protected_attr(self):
+        source = """\
+        def tamper(tree, key, node):
+            tree._index[key] = node
+        """
+        assert findings_of(source, module="repro.engine.merge") == [("REP202", 2)]
+
+    def test_unprotected_attrs_are_clean(self):
+        source = """\
+        def fine(thing):
+            thing.results = []
+            thing.results.append(1)
+        """
+        assert findings_of(source, module="repro.core.hitset") == []
+
+
+# ---------------------------------------------------------------------------
+# REP3xx — determinism
+# ---------------------------------------------------------------------------
+
+
+class TestDeterminism:
+    def test_unseeded_stdlib_random(self):
+        source = """\
+        import random
+
+        def jitter():
+            return random.random()
+        """
+        assert findings_of(source, module="repro.core.util") == [("REP301", 4)]
+
+    def test_unseeded_numpy_random(self):
+        source = """\
+        import numpy as np
+
+        def noise(n):
+            return np.random.rand(n)
+        """
+        assert findings_of(source, module="repro.core.util") == [("REP301", 4)]
+
+    def test_bad_from_import(self):
+        source = """\
+        from random import shuffle
+        """
+        assert findings_of(source, module="repro.core.util") == [("REP301", 1)]
+
+    def test_seeded_generator_is_clean(self):
+        source = """\
+        import random
+        import numpy as np
+
+        def sample(seed):
+            rng = random.Random(seed)
+            gen = np.random.default_rng(seed)
+            return rng.random(), gen.random()
+        """
+        assert findings_of(source, module="repro.core.util") == []
+
+    def test_synth_package_is_exempt(self):
+        source = """\
+        import random
+
+        def jitter():
+            return random.random()
+        """
+        assert findings_of(source, module="repro.synth.generator") == []
+
+    def test_outside_repro_is_exempt(self):
+        source = """\
+        import random
+
+        def jitter():
+            return random.random()
+        """
+        assert findings_of(source, module="somelib.util") == []
+
+
+# ---------------------------------------------------------------------------
+# REP4xx — API hygiene
+# ---------------------------------------------------------------------------
+
+
+class TestHygiene:
+    def test_all_drift_stale_entry(self):
+        source = """\
+        __all__ = ["exists", "ghost"]
+
+        def exists():
+            return 1
+        """
+        assert findings_of(source) == [("REP401", 1)]
+
+    def test_all_drift_unlisted_public_name(self):
+        source = """\
+        __all__ = ["listed"]
+
+        def listed():
+            return 1
+
+        def unlisted():
+            return 2
+        """
+        assert findings_of(source) == [("REP401", 6)]
+
+    def test_no_all_declared_is_clean(self):
+        source = """\
+        def anything():
+            return 1
+        """
+        assert findings_of(source) == []
+
+    def test_mutable_default(self):
+        source = """\
+        def f(xs=[]):
+            return xs
+        """
+        assert findings_of(source) == [("REP402", 1)]
+
+    def test_mutable_default_call_factory(self):
+        source = """\
+        def f(*, cache=dict()):
+            return cache
+        """
+        assert findings_of(source) == [("REP402", 1)]
+
+    def test_none_default_is_clean(self):
+        source = """\
+        def f(xs=None):
+            return xs or []
+        """
+        assert findings_of(source) == []
+
+    def test_bare_except(self):
+        source = """\
+        def f():
+            try:
+                return 1
+            except:
+                return 2
+        """
+        assert findings_of(source) == [("REP403", 4)]
+
+    def test_overbroad_except(self):
+        source = """\
+        def f():
+            try:
+                return 1
+            except Exception:
+                return 2
+        """
+        assert findings_of(source) == [("REP404", 4)]
+
+    def test_narrow_except_is_clean(self):
+        source = """\
+        def f():
+            try:
+                return 1
+            except ValueError:
+                return 2
+        """
+        assert findings_of(source) == []
+
+    def test_missing_slots_in_hot_path_package(self):
+        source = """\
+        class Hot:
+            def __init__(self):
+                self.x = 1
+        """
+        findings = analyze_source(textwrap.dedent(source), module="repro.core.thing")
+        assert [(f.rule_id, f.line) for f in findings] == [("REP405", 1)]
+        assert findings[0].severity is Severity.WARNING
+
+    def test_slots_class_is_clean(self):
+        source = """\
+        class Hot:
+            __slots__ = ("x",)
+
+            def __init__(self):
+                self.x = 1
+        """
+        assert findings_of(source, module="repro.core.thing") == []
+
+    def test_exception_classes_exempt_from_slots(self):
+        source = """\
+        class MiningError(Exception):
+            pass
+        """
+        assert findings_of(source, module="repro.core.errors") == []
+
+    def test_slots_not_required_outside_hot_packages(self):
+        source = """\
+        class Anywhere:
+            def __init__(self):
+                self.x = 1
+        """
+        assert findings_of(source, module="repro.analysis.thing") == []
+
+
+# ---------------------------------------------------------------------------
+# Suppressions
+# ---------------------------------------------------------------------------
+
+
+class TestSuppressions:
+    def test_suppression_with_reason_silences_finding(self):
+        source = """\
+        def f(xs=[]):  # repro: ignore[REP402] -- fixture: shared default is the point
+            return xs
+        """
+        assert findings_of(source) == []
+
+    def test_suppression_without_reason_is_inert_and_reported(self):
+        source = """\
+        def f(xs=[]):  # repro: ignore[REP402]
+            return xs
+        """
+        assert findings_of(source) == [("REP002", 1), ("REP402", 1)]
+
+    def test_unknown_rule_id_reported(self):
+        source = """\
+        x = 1  # repro: ignore[REP999] -- no such rule
+        """
+        assert findings_of(source) == [("REP001", 1)]
+
+    def test_suppression_covers_only_named_rules(self):
+        source = """\
+        def f(xs=[]):  # repro: ignore[REP403] -- wrong rule named
+            return xs
+        """
+        assert findings_of(source) == [("REP402", 1)]
+
+    def test_multiple_ids_in_one_comment(self):
+        sups = parse_suppressions(
+            "x = 1  # repro: ignore[REP101, REP404] -- both intentional\n"
+        )
+        assert sups[1].rule_ids == ("REP101", "REP404")
+        assert sups[1].covers("REP404")
+        assert sups[1].has_reason
+
+    def test_suppression_text_in_docstring_is_inert(self):
+        source = '''\
+        def f():
+            """Docs may say # repro: ignore[REP402] without suppressing."""
+            return 1
+        '''
+        assert parse_suppressions(textwrap.dedent(source)) == {}
+
+    def test_suppressions_survive_syntax_errors(self):
+        source = "def broken(:\n    pass  # repro: ignore[REP402] -- still parsed\n"
+        assert 2 in parse_suppressions(source)
+
+    def test_syntax_error_reports_rep000(self):
+        findings = analyze_source("def broken(:\n")
+        assert [f.rule_id for f in findings] == ["REP000"]
+
+
+# ---------------------------------------------------------------------------
+# CLI behavior
+# ---------------------------------------------------------------------------
+
+
+class TestCli:
+    def test_exit_zero_on_clean_tree(self, tmp_path, capsys):
+        (tmp_path / "ok.py").write_text("def f(x):\n    return x\n")
+        assert lint_run([str(tmp_path)]) == 0
+        assert "all clean" in capsys.readouterr().out
+
+    def test_exit_one_on_seeded_lambda_violation(self, tmp_path, capsys):
+        package = tmp_path / "src" / "repro" / "engine"
+        package.mkdir(parents=True)
+        for init in (package.parent / "__init__.py", package / "__init__.py"):
+            init.write_text("")
+        (package / "bad.py").write_text(
+            "def go(backend, tasks):\n"
+            "    return run_shards(backend, lambda t: t, tasks)\n"
+        )
+        assert lint_run([str(tmp_path)]) == 1
+        out = capsys.readouterr().out
+        assert "REP101" in out
+        assert "bad.py:2" in out
+
+    def test_exit_one_on_seeded_unseeded_random(self, tmp_path, capsys):
+        package = tmp_path / "src" / "repro" / "core"
+        package.mkdir(parents=True)
+        for init in (package.parent / "__init__.py", package / "__init__.py"):
+            init.write_text("")
+        (package / "rand.py").write_text(
+            "import random\n\ndef jitter():\n    return random.random()\n"
+        )
+        assert lint_run([str(tmp_path)]) == 1
+        out = capsys.readouterr().out
+        assert "REP301" in out
+        assert "rand.py:4" in out
+
+    def test_exit_two_on_missing_path(self, tmp_path, capsys):
+        assert lint_run([str(tmp_path / "nope")]) == 2
+        assert "no such path" in capsys.readouterr().err
+
+    def test_exit_two_on_unknown_rule_id(self, tmp_path, capsys):
+        (tmp_path / "ok.py").write_text("x = 1\n")
+        assert lint_run([str(tmp_path)], select="REP999") == 2
+
+    def test_strict_promotes_warnings(self, tmp_path):
+        package = tmp_path / "src" / "repro" / "core"
+        package.mkdir(parents=True)
+        for init in (package.parent / "__init__.py", package / "__init__.py"):
+            init.write_text("")
+        (package / "hot.py").write_text(
+            "class Hot:\n    def __init__(self):\n        self.x = 1\n"
+        )
+        assert lint_run([str(tmp_path)]) == 0
+        assert lint_run([str(tmp_path)], strict=True) == 1
+
+    def test_json_output(self, tmp_path, capsys):
+        (tmp_path / "bad.py").write_text("def f(xs=[]):\n    return xs\n")
+        assert lint_run([str(tmp_path)], output_format="json") == 1
+        out = capsys.readouterr().out
+        assert '"rule": "REP402"' in out
+
+
+# ---------------------------------------------------------------------------
+# Self-check: the shipped tree is clean
+# ---------------------------------------------------------------------------
+
+
+class TestSelfCheck:
+    def test_shipped_tree_has_zero_unsuppressed_findings(self):
+        findings = analyze_paths(
+            [REPO_ROOT / "src" / "repro", REPO_ROOT / "tests"]
+        )
+        assert findings == [], "\n".join(f.format() for f in findings)
+
+    def test_module_placement_resolves_packages(self):
+        from repro.devtools import module_name_of
+
+        path = REPO_ROOT / "src" / "repro" / "engine" / "worker.py"
+        assert module_name_of(path) == "repro.engine.worker"

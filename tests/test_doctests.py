@@ -21,6 +21,8 @@ MODULES = [
     "repro.core.incremental",
     "repro.core.miner",
     "repro.core.pattern",
+    "repro.devtools",
+    "repro.devtools.suppressions",
     "repro.engine",
     "repro.engine.merge",
     "repro.engine.parallel",
