@@ -7,9 +7,11 @@ its max-subpattern tree, shared multi-period mining, and the Section 6
 extensions (maximal patterns, periodic rules, multi-level mining,
 perturbation tolerance), plus the Section 5 synthetic workload generator.
 
-Beyond the paper, :mod:`repro.engine` runs the hit-set miner over segment
-shards on serial/thread/process backends and merges the partial results
-exactly (see :class:`ParallelMiner`).
+Beyond the paper, :mod:`repro.encoding` interns ``(offset, feature)``
+letters into a dense :class:`LetterVocabulary` and runs every hot path on
+int bitmasks (see ``docs/encoding.md``), and :mod:`repro.engine` runs the
+hit-set miner over segment shards on serial/thread/process backends and
+merges the partial results exactly (see :class:`ParallelMiner`).
 
 Quickstart
 ----------
@@ -23,6 +25,7 @@ from repro.core.apriori import mine_single_period_apriori
 from repro.core.constraints import MiningConstraints, mine_with_constraints
 from repro.core.counting import brute_force_frequent, confidence, count_pattern
 from repro.core.errors import (
+    EncodingError,
     EngineError,
     GeneratorError,
     MiningError,
@@ -46,6 +49,7 @@ from repro.core.multiperiod import (
 from repro.core.pattern import Pattern
 from repro.core.result import MiningResult, MiningStats
 from repro.core.serialize import load_result, save_result
+from repro.encoding import EncodedSeries, LetterVocabulary, SegmentEncoder
 from repro.engine.parallel import ParallelMiner
 from repro.engine.partition import SegmentShard, partition_segments
 from repro.engine.stats import EngineStats
@@ -57,11 +61,14 @@ from repro.tree.max_subpattern_tree import MaxSubpatternTree
 __version__ = "1.0.0"
 
 __all__ = [
+    "EncodedSeries",
+    "EncodingError",
     "EngineError",
     "EngineStats",
     "FeatureSeries",
     "GeneratorError",
     "IncrementalHitSetMiner",
+    "LetterVocabulary",
     "MaxSubpatternTree",
     "MiningConstraints",
     "MiningError",
@@ -74,6 +81,7 @@ __all__ = [
     "PatternError",
     "ReproError",
     "ScanCountingSeries",
+    "SegmentEncoder",
     "SegmentShard",
     "SeriesError",
     "SyntheticSeries",

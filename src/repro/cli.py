@@ -93,6 +93,14 @@ def _build_parser() -> argparse.ArgumentParser:
         metavar="PATH",
         help="also write the result as JSON (single-period mining only)",
     )
+    mine.add_argument(
+        "--no-encode",
+        action="store_true",
+        help=(
+            "mine on the legacy letter-set kernels instead of the interned "
+            "bitmask kernels (identical results; for bisecting regressions)"
+        ),
+    )
 
     suggest = commands.add_parser(
         "suggest", help="rank promising periods in a range"
@@ -213,12 +221,16 @@ def _run_mine(args: argparse.Namespace) -> int:
         series, min_conf=args.min_conf, algorithm=args.algorithm
     )
     started = time.perf_counter()
+    encode = not args.no_encode
     if args.period is not None:
         if args.maximal:
-            result = miner.mine_maximal(args.period)
+            result = miner.mine_maximal(args.period, encode=encode)
         else:
             result = miner.mine(
-                args.period, workers=args.workers, backend=args.backend
+                args.period,
+                workers=args.workers,
+                backend=args.backend,
+                encode=encode,
             )
         _print_result(result, args.limit, args.maximal)
         if result.engine is not None:
@@ -234,7 +246,11 @@ def _run_mine(args: argparse.Namespace) -> int:
             return 2
         low, high = args.period_range
         outcome = miner.mine_range(
-            low, high, workers=args.workers, backend=args.backend
+            low,
+            high,
+            workers=args.workers,
+            backend=args.backend,
+            encode=encode,
         )
         print(outcome.summary())
         if outcome.engine is not None:

@@ -10,12 +10,14 @@ period, exactly as analysed in the paper.
 
 from __future__ import annotations
 
-from repro.core.candidates import generate_candidates
-from repro.core.counting import count_candidates
+from repro.core.candidates import generate_candidate_masks, generate_candidates
+from repro.core.counting import count_candidate_masks, count_candidates
 from repro.core.errors import MiningError
-from repro.core.maxpattern import find_frequent_one_patterns
+from repro.core.maxpattern import FrequentOnePatterns, find_frequent_one_patterns
 from repro.core.pattern import Letter, Pattern
 from repro.core.result import MiningResult, MiningStats
+from repro.encoding.codec import SegmentEncoder
+from repro.encoding.vocabulary import LetterVocabulary
 from repro.timeseries.feature_series import FeatureSeries
 
 
@@ -24,6 +26,7 @@ def mine_single_period_apriori(
     period: int,
     min_conf: float,
     max_letters: int | None = None,
+    encode: bool = True,
 ) -> MiningResult:
     """Find all frequent partial periodic patterns of one period (Alg. 3.1).
 
@@ -38,6 +41,12 @@ def mine_single_period_apriori(
     max_letters:
         Optional cap on pattern letter count; mining stops after that level.
         ``None`` mines until the candidate set is exhausted.
+    encode:
+        Default ``True`` runs the level loop on interned letter bitmasks
+        over the F1 vocabulary (candidate generation and counting both);
+        ``False`` keeps the legacy ``frozenset[Letter]`` levels for
+        bisection.  Results and scan counts are identical either way —
+        each level is still exactly one scan.
 
     Returns
     -------
@@ -52,6 +61,66 @@ def mine_single_period_apriori(
     stats.scans = 1
     stats.candidate_counts[1] = len(one_patterns.letters)
 
+    if encode:
+        patterns = _mine_levels_encoded(series, period, one_patterns, stats, max_letters)
+    else:
+        patterns = _mine_levels_legacy(series, period, one_patterns, stats, max_letters)
+    return MiningResult(
+        algorithm="apriori",
+        period=period,
+        min_conf=min_conf,
+        num_periods=one_patterns.num_periods,
+        counts=patterns,
+        stats=stats,
+    )
+
+
+def _mine_levels_encoded(
+    series: FeatureSeries,
+    period: int,
+    one_patterns: FrequentOnePatterns,
+    stats: MiningStats,
+    max_letters: int | None,
+) -> dict[Pattern, int]:
+    """The level loop on bitmasks over the sorted F1 vocabulary."""
+    vocab = LetterVocabulary.from_letters(one_patterns.letters, period=period)
+    encoder = SegmentEncoder(vocab)
+    mask_counts: dict[int, int] = {
+        vocab.bit_of(letter): count
+        for letter, count in one_patterns.letters.items()
+    }
+    frequent_level = set(mask_counts)
+    level = 1
+    while frequent_level:
+        if max_letters is not None and level >= max_letters:
+            break
+        candidates = generate_candidate_masks(frequent_level)
+        if not candidates:
+            break
+        level += 1
+        stats.candidate_counts[level] = len(candidates)
+        stats.scans += 1
+        level_counts = count_candidate_masks(series, period, candidates, encoder)
+        frequent_level = set()
+        for candidate in candidates:
+            count = level_counts[candidate]
+            if count >= one_patterns.threshold:
+                mask_counts[candidate] = count
+                frequent_level.add(candidate)
+    return {
+        Pattern.from_mask(vocab, mask): count
+        for mask, count in mask_counts.items()
+    }
+
+
+def _mine_levels_legacy(
+    series: FeatureSeries,
+    period: int,
+    one_patterns: FrequentOnePatterns,
+    stats: MiningStats,
+    max_letters: int | None,
+) -> dict[Pattern, int]:
+    """The pre-encoding level loop on letter frozensets (bisection path)."""
     counts: dict[frozenset[Letter], int] = {
         frozenset((letter,)): count
         for letter, count in one_patterns.letters.items()
@@ -74,19 +143,10 @@ def mine_single_period_apriori(
             if count >= one_patterns.threshold:
                 counts[candidate] = count
                 frequent_level.add(candidate)
-
-    patterns = {
+    return {
         Pattern.from_letters(period, letters): count
         for letters, count in counts.items()
     }
-    return MiningResult(
-        algorithm="apriori",
-        period=period,
-        min_conf=min_conf,
-        num_periods=one_patterns.num_periods,
-        counts=patterns,
-        stats=stats,
-    )
 
 
 def apriori_candidate_schedule(f1_letters: set[Letter]) -> dict[int, int]:

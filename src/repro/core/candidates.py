@@ -6,15 +6,27 @@ the classic apriori-gen of Agrawal & Srikant [2], applied to letter sets:
 join two frequent k-letter sets sharing a (k-1)-prefix, then prune any
 candidate with an infrequent k-subset (Property 3.1, the Apriori property on
 periodicity).
+
+Two equivalent representations are supported.  The letter-set functions
+(:func:`apriori_join` / :func:`apriori_prune`) are the readable reference
+implementation, kept for tests and documentation.  The mining hot paths use
+the bitmask forms (:func:`apriori_join_masks` / :func:`apriori_prune_masks`
+/ :func:`generate_candidate_masks`) over a
+:class:`~repro.encoding.vocabulary.LetterVocabulary` in canonical sorted
+order, where bit order equals letter order — so "shared (k-1)-prefix"
+becomes "equal mask with the highest bit cleared" and the subset probe of
+the prune step is one XOR per letter.
 """
 
 from __future__ import annotations
 
 from collections import defaultdict
 from collections.abc import Collection, Iterable
+from itertools import chain
 
 from repro.core.errors import MiningError
 from repro.core.pattern import Letter
+from repro.encoding.vocabulary import LetterVocabulary
 
 
 def apriori_join(
@@ -52,6 +64,63 @@ def apriori_prune(
     return survivors
 
 
+def apriori_join_masks(frequent: Collection[int]) -> set[int]:
+    """Bitmask join step: masks sharing all bits but their highest.
+
+    Bit order is sorted-letter order, so the "highest bit" is the last
+    letter of the sorted itemset and clearing it yields the canonical
+    (k-1)-prefix — the exact mask analogue of :func:`apriori_join`.
+    """
+    sizes = {mask.bit_count() for mask in frequent}
+    if len(sizes) > 1:
+        raise MiningError(
+            f"apriori join needs uniform sizes, got {sorted(sizes)}"
+        )
+    joined: set[int] = set()
+    by_prefix: dict[int, list[int]] = defaultdict(list)
+    for mask in frequent:
+        high = 1 << (mask.bit_length() - 1)
+        by_prefix[mask ^ high].append(high)
+    for prefix, highs in by_prefix.items():
+        highs.sort()
+        for index, first in enumerate(highs):
+            for second in highs[index + 1 :]:
+                joined.add(prefix | first | second)
+    return joined
+
+
+def apriori_prune_masks(
+    candidates: Iterable[int], frequent: Collection[int]
+) -> set[int]:
+    """Bitmask prune step: every drop-one-bit submask must be frequent."""
+    frequent_set = set(frequent)
+    survivors: set[int] = set()
+    for candidate in candidates:
+        remaining = candidate
+        keep = True
+        while remaining:
+            low = remaining & -remaining
+            remaining ^= low
+            if candidate ^ low not in frequent_set:
+                keep = False
+                break
+        if keep:
+            survivors.add(candidate)
+    return survivors
+
+
+def generate_candidate_masks(frequent: Collection[int]) -> set[int]:
+    """Full apriori-gen on bitmasks: join then prune.
+
+    The hot-path form used by Algorithm 3.1's level loop and the tree's
+    derivation (Algorithm 4.2).  Returns an empty set when fewer than two
+    frequent masks exist.
+    """
+    if len(frequent) < 2:
+        return set()
+    return apriori_prune_masks(apriori_join_masks(frequent), frequent)
+
+
 def generate_candidates(
     frequent: Collection[frozenset[Letter]],
 ) -> set[frozenset[Letter]]:
@@ -59,6 +128,8 @@ def generate_candidates(
 
     Given the frequent k-letter sets, returns the candidate (k+1)-letter
     sets.  Returns an empty set when fewer than two frequent sets exist.
+    Internally round-trips through the bitmask form over a canonical
+    vocabulary of the participating letters.
 
     Examples
     --------
@@ -69,7 +140,11 @@ def generate_candidates(
     """
     if len(frequent) < 2:
         return set()
-    return apriori_prune(apriori_join(frequent), frequent)
+    vocab = LetterVocabulary.from_letters(chain.from_iterable(frequent))
+    masks = {vocab.encode_letters(itemset) for itemset in frequent}
+    return {
+        vocab.decode_mask(mask) for mask in generate_candidate_masks(masks)
+    }
 
 
 def singleton_candidates(letters: Iterable[Letter]) -> set[frozenset[Letter]]:

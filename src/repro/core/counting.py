@@ -17,9 +17,12 @@ from __future__ import annotations
 import math
 from collections import Counter
 from collections.abc import Collection, Iterable, Mapping
+from itertools import chain
 
 from repro.core.errors import MiningError
 from repro.core.pattern import Letter, Pattern
+from repro.encoding.codec import SegmentEncoder, iter_segment_letters
+from repro.encoding.vocabulary import LetterVocabulary
 from repro.timeseries.feature_series import FeatureSeries, Segment
 
 #: Float slack used when translating a confidence threshold into an integer
@@ -51,11 +54,7 @@ def min_count(min_conf: float, num_periods: int) -> int:
 
 def segment_letters(segment: Segment) -> frozenset[Letter]:
     """The letter set of a period segment: all ``(offset, feature)`` pairs."""
-    return frozenset(
-        (offset, feature)
-        for offset, slot in enumerate(segment)
-        for feature in slot
-    )
+    return frozenset(iter_segment_letters(segment))
 
 
 def count_pattern(series: FeatureSeries, pattern: Pattern) -> int:
@@ -83,37 +82,58 @@ def count_candidates(
     Returns a :class:`collections.Counter` mapping each candidate to its
     frequency count (missing candidates have count 0).
 
-    Internally each candidate becomes an integer bitmask over the union of
-    candidate letters, so the per-segment subset test is a single
-    ``mask & ~segment == 0`` — the hot loop of Algorithm 3.1.
+    Internally each candidate becomes an integer bitmask over a canonical
+    :class:`~repro.encoding.vocabulary.LetterVocabulary` of the candidate
+    letters, so the per-segment subset test is a single
+    ``mask & ~segment == 0`` — the hot loop of Algorithm 3.1 (see
+    :func:`count_candidate_masks`).
     """
     counts: Counter = Counter()
     if not candidates:
         return counts
     candidate_list = list(candidates)
-    bit_of: dict[Letter, int] = {}
-    for candidate in candidate_list:
-        for letter in candidate:
-            if letter not in bit_of:
-                bit_of[letter] = 1 << len(bit_of)
-    masks = [
-        sum(bit_of[letter] for letter in candidate)
+    # Letters at offsets outside the period can never occur in a segment;
+    # keep them out of the vocabulary and give their candidates count 0.
+    in_range = [
+        candidate
         for candidate in candidate_list
+        if all(0 <= offset < period for offset, _ in candidate)
     ]
-    raw = [0] * len(candidate_list)
-    for segment in series.segments(period):
-        segment_mask = 0
-        for offset, slot in enumerate(segment):
-            for feature in slot:
-                bit = bit_of.get((offset, feature))
-                if bit is not None:
-                    segment_mask |= bit
-        for index, mask in enumerate(masks):
-            if mask & segment_mask == mask:
-                raw[index] += 1
-    for candidate, count in zip(candidate_list, raw):
-        counts[candidate] = count
+    vocab = LetterVocabulary.from_letters(
+        chain.from_iterable(in_range), period=period
+    )
+    mask_of = {
+        candidate: vocab.encode_letters(candidate) for candidate in in_range
+    }
+    mask_counts = count_candidate_masks(
+        series, period, mask_of.values(), SegmentEncoder(vocab)
+    )
+    for candidate in candidate_list:
+        mask = mask_of.get(candidate)
+        counts[candidate] = 0 if mask is None else mask_counts[mask]
     return counts
+
+
+def count_candidate_masks(
+    series: FeatureSeries,
+    period: int,
+    masks: Iterable[int],
+    encoder: SegmentEncoder,
+) -> dict[int, int]:
+    """Count candidate bitmasks in one scan — the encoded counting kernel.
+
+    ``masks`` are candidate letter sets over ``encoder``'s vocabulary; the
+    result maps each distinct mask to its frequency count.
+    """
+    ordered = list(dict.fromkeys(masks))
+    raw = [0] * len(ordered)
+    encode = encoder.encode_segment
+    for segment in series.segments(period):
+        segment_mask = encode(segment)
+        for index, mask in enumerate(ordered):
+            if not mask & ~segment_mask:
+                raw[index] += 1
+    return dict(zip(ordered, raw))
 
 
 def brute_force_counts(
@@ -191,9 +211,7 @@ def letter_counts_for_segments(
     """
     counts: Counter = Counter()
     for segment in segments:
-        for offset, slot in enumerate(segment):
-            for feature in slot:
-                counts[(offset, feature)] += 1
+        counts.update(iter_segment_letters(segment))
     return counts
 
 

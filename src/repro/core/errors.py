@@ -24,6 +24,11 @@ class MiningError(ReproError):
     """Raised for invalid mining parameters (period, confidence, ranges)."""
 
 
+class EncodingError(ReproError):
+    """Raised by :mod:`repro.encoding` for unknown letters, out-of-range
+    bitmasks, or vocabularies unusable for the requested period."""
+
+
 class TaxonomyError(ReproError):
     """Raised for malformed feature taxonomies in multi-level mining."""
 

@@ -13,7 +13,7 @@ from the tree alone (Algorithm 4.2) — no further passes over the data.
 from __future__ import annotations
 
 from repro.core.errors import MiningError
-from repro.core.maxpattern import find_frequent_one_patterns
+from repro.core.maxpattern import FrequentOnePatterns, find_frequent_one_patterns
 from repro.core.pattern import Pattern
 from repro.core.result import MiningResult, MiningStats
 from repro.tree.max_subpattern_tree import MaxSubpatternTree
@@ -25,6 +25,7 @@ def mine_single_period_hitset(
     period: int,
     min_conf: float,
     max_letters: int | None = None,
+    encode: bool = True,
 ) -> MiningResult:
     """Find all frequent partial periodic patterns of one period (Alg. 3.2).
 
@@ -40,6 +41,12 @@ def mine_single_period_hitset(
         Optional cap on derived pattern letter count.  The complete
         frequent set is exponential on degenerate inputs; cap it when only
         short patterns are needed.  ``None`` derives everything.
+    encode:
+        Default ``True`` runs scan 2 on the encoded hot path — one bitmask
+        per segment, one tree insertion per *distinct* hit.  ``False``
+        keeps the legacy per-segment letter-set insertion (the CLI's
+        ``--no-encode`` escape hatch for bisecting regressions).  Results
+        are identical either way; still exactly two scans.
 
     Returns
     -------
@@ -63,7 +70,7 @@ def mine_single_period_hitset(
         )
 
     tree = MaxSubpatternTree(one_patterns.max_pattern)
-    tree.insert_all_segments(series)
+    tree.insert_all_segments(series, encode=encode)
     stats.scans = 2
     stats.tree_nodes = tree.node_count
     stats.hit_set_size = tree.hit_set_size
@@ -90,7 +97,8 @@ def build_hit_tree(
     series: FeatureSeries,
     period: int,
     min_conf: float,
-) -> tuple[MaxSubpatternTree, "object"]:
+    encode: bool = True,
+) -> tuple[MaxSubpatternTree, FrequentOnePatterns]:
     """Run only the two scans and return the populated tree plus F1.
 
     Useful when the caller wants to perform a custom derivation — e.g. the
@@ -98,8 +106,10 @@ def build_hit_tree(
     Returns ``(tree, one_patterns)``; raises via
     :func:`~repro.core.maxpattern.find_frequent_one_patterns` on an invalid
     period and :class:`~repro.core.errors.MiningError` when F1 is empty.
+    ``encode`` selects the scan-2 path exactly as in
+    :func:`mine_single_period_hitset`.
     """
     one_patterns = find_frequent_one_patterns(series, period, min_conf)
     tree = MaxSubpatternTree(one_patterns.max_pattern)
-    tree.insert_all_segments(series)
+    tree.insert_all_segments(series, encode=encode)
     return tree, one_patterns

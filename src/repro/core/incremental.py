@@ -6,13 +6,16 @@ per-letter counts of scan 1 and (b) the per-segment hits of scan 2 — and
 both are additive over segments.  :class:`IncrementalHitSetMiner` maintains
 
 * the letter counter, and
-* a counter of *segment letter-set signatures* (the multiset of distinct
-  segment contents),
+* a counter of *segment signatures* (the multiset of distinct segment
+  contents) — each signature an int bitmask over a streaming
+  :class:`~repro.encoding.vocabulary.LetterVocabulary` that interns
+  letters in arrival order,
 
-as slots stream in.  Mining then replays the signature counter through a
-max-subpattern tree — **no scan of the accumulated series, ever**, and any
-confidence threshold can be queried after the fact because the signatures
-are kept unrestricted (not projected onto one ``C_max``).
+as slots stream in.  Mining then remaps the signature masks onto the
+tree's sorted ``C_max`` vocabulary and replays them — **no scan of the
+accumulated series, ever**, and any confidence threshold can be queried
+after the fact because the signatures are kept unrestricted (not projected
+onto one ``C_max``).
 
 Memory: one counter entry per *distinct* segment signature.  By the same
 argument as Property 3.2 this is at most ``min(m, 2^|alphabet letters|)``;
@@ -29,6 +32,8 @@ from repro.core.counting import check_min_conf, min_count
 from repro.core.errors import MiningError
 from repro.core.pattern import Pattern
 from repro.core.result import MiningResult, MiningStats
+from repro.encoding.codec import iter_segment_letters
+from repro.encoding.vocabulary import LetterVocabulary, remap_mask
 from repro.timeseries.feature_series import (
     FeatureSeries,
     SlotLike,
@@ -60,6 +65,7 @@ class IncrementalHitSetMiner:
     __slots__ = (
         "_period",
         "_min_conf",
+        "_vocab",
         "_letter_counts",
         "_signatures",
         "_num_periods",
@@ -72,7 +78,12 @@ class IncrementalHitSetMiner:
         check_min_conf(min_conf)
         self._period = period
         self._min_conf = min_conf
+        #: Streaming vocabulary: letters interned in arrival order.  Masks
+        #: never invalidate as it grows (bits keep their meaning).
+        self._vocab = LetterVocabulary(period=period)
         self._letter_counts: Counter = Counter()
+        #: Signature mask (over ``_vocab``) -> number of segments with
+        #: exactly that letter set.
         self._signatures: Counter = Counter()
         self._num_periods = 0
         #: Slots of the currently-incomplete trailing segment.
@@ -117,15 +128,16 @@ class IncrementalHitSetMiner:
             self.append(slot)
 
     def _absorb_segment(self, segment: list[frozenset[str]]) -> None:
-        letters = frozenset(
-            (offset, feature)
-            for offset, slot in enumerate(segment)
-            for feature in slot
-        )
-        for letter in letters:
-            self._letter_counts[letter] += 1
-        if letters:
-            self._signatures[letters] += 1
+        # Letters never repeat within a segment (each slot is a set), so
+        # one counter bump and one interned bit per letter suffice.
+        mask = 0
+        intern = self._vocab.intern
+        letter_counts = self._letter_counts
+        for letter in iter_segment_letters(segment):
+            letter_counts[letter] += 1
+            mask |= 1 << intern(letter)
+        if mask:
+            self._signatures[mask] += 1
         self._num_periods += 1
 
     # ------------------------------------------------------------------
@@ -163,16 +175,17 @@ class IncrementalHitSetMiner:
                 counts={},
                 stats=stats,
             )
-        cmax_letters = frozenset(f1)
         tree = MaxSubpatternTree(
-            Pattern.from_letters(self._period, cmax_letters)
+            Pattern.from_letters(self._period, frozenset(f1))
         )
+        # Project each signature onto C_max by remapping its bits from the
+        # arrival-order vocabulary to the tree's sorted vocabulary; letters
+        # outside F1 simply drop out of the mask.
+        table = self._vocab.remap_table(tree.vocab)
         for signature, count in self._signatures.items():
-            hit = signature & cmax_letters
-            if len(hit) >= 2:
-                tree.insert(
-                    Pattern.from_letters(self._period, hit), count=count
-                )
+            hit = remap_mask(signature, table)
+            if hit & (hit - 1):
+                tree.insert_mask(hit, count=count)
         stats.tree_nodes = tree.node_count
         stats.hit_set_size = tree.hit_set_size
         letter_counts, candidate_counts = tree.derive_frequent(
@@ -208,7 +221,13 @@ class IncrementalHitSetMiner:
                 "(no pending slots)"
             )
         self._letter_counts.update(other._letter_counts)
-        self._signatures.update(other._signatures)
+        # The two miners interned letters in different arrival orders;
+        # intern the other vocabulary into ours and rewrite its masks.
+        table = tuple(
+            self._vocab.intern(letter) for letter in other._vocab
+        )
+        for signature, count in other._signatures.items():
+            self._signatures[remap_mask(signature, table)] += count
         self._num_periods += other._num_periods
 
     def __repr__(self) -> str:

@@ -20,7 +20,7 @@ from collections.abc import Mapping
 from repro.core.counting import check_min_conf
 from repro.core.errors import MiningError
 from repro.core.hitset import build_hit_tree
-from repro.core.pattern import Letter, Pattern
+from repro.core.pattern import Pattern
 from repro.core.result import MiningResult, MiningStats
 from repro.timeseries.feature_series import FeatureSeries
 
@@ -46,12 +46,16 @@ def mine_maximal_hitset(
     series: FeatureSeries,
     period: int,
     min_conf: float,
+    encode: bool = True,
 ) -> MiningResult:
     """Mine only the maximal frequent patterns in two scans.
 
     Runs the two scans of Algorithm 3.2 to populate the max-subpattern
     tree, then performs a MaxMiner-style set-enumeration search over the F1
-    letters where every count lookup is answered from the tree.
+    letters where every count lookup is answered from the tree.  The
+    search runs on bitmasks over the tree's vocabulary; ``encode``
+    selects the scan-2 path as in
+    :func:`~repro.core.hitset.build_hit_tree`.
 
     Returns
     -------
@@ -61,7 +65,7 @@ def mine_maximal_hitset(
     """
     check_min_conf(min_conf)
     try:
-        tree, one_patterns = build_hit_tree(series, period, min_conf)
+        tree, one_patterns = build_hit_tree(series, period, min_conf, encode=encode)
     except MiningError:
         # Empty F1: re-run the cheap scan to recover num_periods for the
         # empty result.  (build_hit_tree raised before scanning twice.)
@@ -79,34 +83,42 @@ def mine_maximal_hitset(
 
     threshold = one_patterns.threshold
     f1_counts = one_patterns.letters
-    letters = sorted(f1_counts)
+    vocab = tree.vocab
+    # F1 and the C_max letters coincide, so every candidate the search
+    # touches is a submask of the tree's full mask.
+    bits = [vocab.bit_of(letter) for letter in sorted(f1_counts)]
+    f1_count_of_bit = {
+        vocab.bit_of(letter): count for letter, count in f1_counts.items()
+    }
     stored = [
-        (frozenset(node.missing), node.count)
-        for node in tree.nodes()
-        if node.count
+        (node.missing_mask, node.count) for node in tree.nodes() if node.count
     ]
     lookups = 0
 
-    def frequency(candidate: frozenset[Letter]) -> int:
-        """Exact count: F1 for singletons, tree-derived for larger sets."""
+    def frequency(candidate: int) -> int:
+        """Exact count: F1 for singletons, tree-derived for larger masks."""
         nonlocal lookups
         lookups += 1
-        if len(candidate) == 1:
-            (letter,) = candidate
-            return f1_counts[letter]
+        if not candidate & (candidate - 1):
+            return f1_count_of_bit[candidate]
         total = 0
-        for missing, count in stored:
-            if not candidate & missing:
+        for missing_mask, count in stored:
+            if not candidate & missing_mask:
                 total += count
         return total
 
-    found: dict[frozenset[Letter], int] = {}
+    found: dict[int, int] = {}
 
-    def already_covered(candidate: frozenset[Letter]) -> bool:
-        return any(candidate <= kept for kept in found)
+    def already_covered(candidate: int) -> bool:
+        return any(not candidate & ~kept for kept in found)
 
-    def search(head: frozenset[Letter], tail: list[Letter]) -> None:
-        union = head | frozenset(tail)
+    def union_of(head: int, tail: list[int]) -> int:
+        for bit in tail:
+            head |= bit
+        return head
+
+    def search(head: int, tail: list[int]) -> None:
+        union = union_of(head, tail)
         if already_covered(union):
             return
         if tail:
@@ -116,20 +128,20 @@ def mine_maximal_hitset(
                 found[union] = union_count
                 return
         extended = False
-        for index, letter in enumerate(tail):
-            new_head = head | {letter}
+        for index, bit in enumerate(tail):
+            new_head = head | bit
             if frequency(new_head) >= threshold:
                 extended = True
                 search(new_head, tail[index + 1 :])
         if not extended and head and not already_covered(head):
             found[head] = frequency(head)
 
-    search(frozenset(), letters)
+    search(0, bits)
 
     counts = maximal_patterns(
         {
-            Pattern.from_letters(period, letter_set): count
-            for letter_set, count in found.items()
+            Pattern.from_mask(vocab, mask): count
+            for mask, count in found.items()
         }
     )
     stats = MiningStats(

@@ -80,12 +80,15 @@ class PartialPeriodicMiner:
         algorithm: str | None = None,
         workers: int | None = None,
         backend: str = "auto",
+        encode: bool = True,
     ) -> MiningResult:
         """All frequent patterns of one period.
 
         ``workers > 1`` runs the hit-set algorithm over segment shards on
         the parallel engine (:class:`repro.engine.ParallelMiner`); the
         frequent set and counts are identical to the serial run.
+        ``encode=False`` routes every path through the legacy letter-set
+        kernels (the CLI's ``--no-encode`` escape hatch).
         """
         min_conf = self.min_conf if min_conf is None else min_conf
         algorithm = self.algorithm if algorithm is None else algorithm
@@ -99,22 +102,30 @@ class PartialPeriodicMiner:
             from repro.engine.parallel import ParallelMiner
 
             return ParallelMiner(
-                self.series, min_conf=min_conf, workers=workers, backend=backend
+                self.series,
+                min_conf=min_conf,
+                workers=workers,
+                backend=backend,
+                encode=encode,
             ).mine(period)
         if algorithm == "hitset":
-            return mine_single_period_hitset(self.series, period, min_conf)
+            return mine_single_period_hitset(
+                self.series, period, min_conf, encode=encode
+            )
         if algorithm == "apriori":
-            return mine_single_period_apriori(self.series, period, min_conf)
+            return mine_single_period_apriori(
+                self.series, period, min_conf, encode=encode
+            )
         raise MiningError(
             f"unknown algorithm {algorithm!r}; choose from {ALGORITHMS}"
         )
 
     def mine_maximal(
-        self, period: int, min_conf: float | None = None
+        self, period: int, min_conf: float | None = None, encode: bool = True
     ) -> MiningResult:
         """Only the maximal frequent patterns of one period (two scans)."""
         min_conf = self.min_conf if min_conf is None else min_conf
-        return mine_maximal_hitset(self.series, period, min_conf)
+        return mine_maximal_hitset(self.series, period, min_conf, encode=encode)
 
     def mine_constrained(
         self,
@@ -141,6 +152,7 @@ class PartialPeriodicMiner:
         min_repetitions: int = 1,
         workers: int | None = None,
         backend: str = "auto",
+        encode: bool = True,
     ) -> MultiPeriodResult:
         """All frequent patterns for every period in ``[low, high]``.
 
@@ -156,7 +168,11 @@ class PartialPeriodicMiner:
             from repro.engine.parallel import ParallelMiner
 
             return ParallelMiner(
-                self.series, min_conf=min_conf, workers=workers, backend=backend
+                self.series,
+                min_conf=min_conf,
+                workers=workers,
+                backend=backend,
+                encode=encode,
             ).mine_period_range(low, high, min_repetitions=min_repetitions)
         return mine_period_range(
             self.series,
@@ -165,6 +181,7 @@ class PartialPeriodicMiner:
             min_conf,
             shared=shared,
             min_repetitions=min_repetitions,
+            encode=encode,
         )
 
     def mine_periods(
@@ -173,12 +190,17 @@ class PartialPeriodicMiner:
         min_conf: float | None = None,
         shared: bool = True,
         min_repetitions: int = 1,
+        encode: bool = True,
     ) -> MultiPeriodResult:
         """All frequent patterns for an explicit collection of periods."""
         min_conf = self.min_conf if min_conf is None else min_conf
         if shared:
             return mine_periods_shared(
-                self.series, periods, min_conf, min_repetitions=min_repetitions
+                self.series,
+                periods,
+                min_conf,
+                min_repetitions=min_repetitions,
+                encode=encode,
             )
         return mine_periods_looping(
             self.series,
@@ -186,6 +208,7 @@ class PartialPeriodicMiner:
             min_conf,
             algorithm=self.algorithm,
             min_repetitions=min_repetitions,
+            encode=encode,
         )
 
     def suggest_periods(

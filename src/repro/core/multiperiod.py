@@ -27,6 +27,7 @@ from repro.core.errors import MiningError
 from repro.core.hitset import mine_single_period_hitset
 from repro.core.pattern import Letter, Pattern
 from repro.core.result import MiningResult, MiningStats
+from repro.encoding.codec import SegmentEncoder
 from repro.tree.max_subpattern_tree import MaxSubpatternTree
 from repro.timeseries.feature_series import FeatureSeries
 
@@ -138,11 +139,13 @@ def mine_periods_looping(
     min_conf: float,
     algorithm: str = "hitset",
     min_repetitions: int = 1,
+    encode: bool = True,
 ) -> MultiPeriodResult:
     """Algorithm 3.3: loop the single-period miner over each period.
 
     ``algorithm`` selects the inner miner: ``"hitset"`` (2 scans per
     period) or ``"apriori"`` (up to the longest-pattern length per period).
+    ``encode`` is forwarded to the inner miner (``--no-encode`` hatch).
     """
     check_min_conf(min_conf)
     usable = _validated_periods(series, periods, min_repetitions)
@@ -158,7 +161,7 @@ def mine_periods_looping(
         algorithm=f"looping[{algorithm}]", min_conf=min_conf
     )
     for period in usable:
-        result = miner(series, period, min_conf)
+        result = miner(series, period, min_conf, encode=encode)
         outcome.results[period] = result
         outcome.scans += result.stats.scans
     return outcome
@@ -169,6 +172,7 @@ def mine_periods_shared(
     periods: Iterable[int],
     min_conf: float,
     min_repetitions: int = 1,
+    encode: bool = True,
 ) -> MultiPeriodResult:
     """Algorithm 3.4: shared mining of all periods in two scans total.
 
@@ -176,6 +180,12 @@ def mine_periods_shared(
     simultaneously.  Scan 2 walks the slots once more, assembling every
     period's segment hits and feeding each period's max-subpattern tree.
     Derivation then happens entirely in memory.
+
+    With ``encode`` (the default) scan 2 accumulates each period's running
+    hit as a plain int — one ``|=`` per slot via
+    :meth:`~repro.encoding.codec.SegmentEncoder.encode_slot` — and inserts
+    bitmasks; ``False`` keeps the legacy letter-set buffers (the
+    ``--no-encode`` escape hatch).  Results are identical either way.
     """
     check_min_conf(min_conf)
     usable = _validated_periods(series, periods, min_repetitions)
@@ -210,26 +220,10 @@ def mine_periods_shared(
             trees[period] = MaxSubpatternTree(cmax)
 
     # ----- Scan 2: every period's hits in one pass ----------------------
-    cmax_letters = {
-        period: tree.max_pattern.letters for period, tree in trees.items()
-    }
-    buffers: dict[int, set[Letter]] = {period: set() for period in trees}
-    for index, slot in enumerate(series.iter_slots()):
-        for period, tree in trees.items():
-            if index >= usable_limit[period]:
-                continue
-            offset = index % period
-            if slot:
-                letters = cmax_letters[period]
-                for feature in slot:
-                    letter = (offset, feature)
-                    if letter in letters:
-                        buffers[period].add(letter)
-            if offset == period - 1:
-                hit = buffers[period]
-                if len(hit) >= 2:
-                    tree.insert(Pattern.from_letters(period, hit))
-                buffers[period] = set()
+    if encode:
+        _shared_scan2_encoded(series, trees, usable_limit)
+    else:
+        _shared_scan2_legacy(series, trees, usable_limit)
 
     # ----- Derivation (in memory, no scans) ------------------------------
     outcome = MultiPeriodResult(algorithm="shared", min_conf=min_conf, scans=2)
@@ -268,6 +262,58 @@ def mine_periods_shared(
     return outcome
 
 
+def _shared_scan2_encoded(
+    series: FeatureSeries,
+    trees: dict[int, MaxSubpatternTree],
+    usable_limit: dict[int, int],
+) -> None:
+    """Scan 2 of Algorithm 3.4 on bitmasks: one int buffer per period."""
+    encoders = {
+        period: SegmentEncoder(tree.vocab) for period, tree in trees.items()
+    }
+    buffers: dict[int, int] = {period: 0 for period in trees}
+    for index, slot in enumerate(series.iter_slots()):
+        for period, tree in trees.items():
+            if index >= usable_limit[period]:
+                continue
+            offset = index % period
+            if slot:
+                buffers[period] |= encoders[period].encode_slot(offset, slot)
+            if offset == period - 1:
+                hit = buffers[period]
+                if hit & (hit - 1):
+                    tree.insert_mask(hit)
+                buffers[period] = 0
+
+
+def _shared_scan2_legacy(
+    series: FeatureSeries,
+    trees: dict[int, MaxSubpatternTree],
+    usable_limit: dict[int, int],
+) -> None:
+    """Scan 2 of Algorithm 3.4 on letter-set buffers (bisection path)."""
+    cmax_letters = {
+        period: tree.max_pattern.letters for period, tree in trees.items()
+    }
+    buffers: dict[int, set[Letter]] = {period: set() for period in trees}
+    for index, slot in enumerate(series.iter_slots()):
+        for period, tree in trees.items():
+            if index >= usable_limit[period]:
+                continue
+            offset = index % period
+            if slot:
+                letters = cmax_letters[period]
+                for feature in slot:
+                    letter = (offset, feature)
+                    if letter in letters:
+                        buffers[period].add(letter)
+            if offset == period - 1:
+                hit = buffers[period]
+                if len(hit) >= 2:
+                    tree.insert(Pattern.from_letters(period, hit))
+                buffers[period] = set()
+
+
 def mine_period_range(
     series: FeatureSeries,
     low: int,
@@ -275,13 +321,22 @@ def mine_period_range(
     min_conf: float,
     shared: bool = True,
     min_repetitions: int = 1,
+    encode: bool = True,
 ) -> MultiPeriodResult:
     """Convenience wrapper: mine every period in ``[low, high]``."""
     periods = period_range(low, high)
     if shared:
         return mine_periods_shared(
-            series, periods, min_conf, min_repetitions=min_repetitions
+            series,
+            periods,
+            min_conf,
+            min_repetitions=min_repetitions,
+            encode=encode,
         )
     return mine_periods_looping(
-        series, periods, min_conf, min_repetitions=min_repetitions
+        series,
+        periods,
+        min_conf,
+        min_repetitions=min_repetitions,
+        encode=encode,
     )

@@ -24,9 +24,12 @@ L-length 3 and letter count 4.
 from __future__ import annotations
 
 from collections.abc import Iterable, Sequence
-from typing import Union
+from typing import TYPE_CHECKING, Union
 
 from repro.core.errors import PatternError
+
+if TYPE_CHECKING:
+    from repro.encoding.vocabulary import LetterVocabulary
 
 #: A single letter of a pattern: which offset within the period, which feature.
 Letter = tuple[int, str]
@@ -165,6 +168,24 @@ class Pattern:
                 positions.append(char)
                 index += 1
         return cls(positions)
+
+    @classmethod
+    def from_mask(
+        cls, vocab: "LetterVocabulary", mask: int
+    ) -> "Pattern":
+        """Decode an encoded letter bitmask back into a pattern.
+
+        The boundary between the encoded mining kernels
+        (:mod:`repro.encoding`) and the public pattern API: masks stay
+        masks throughout mining and decode exactly once, here, when a
+        result is assembled.  The vocabulary must carry its period.
+        """
+        period = vocab.period
+        if period is None:
+            raise PatternError(
+                "cannot decode a pattern from a vocabulary without a period"
+            )
+        return cls.from_letters(period, vocab.iter_mask(mask))
 
     @classmethod
     def dont_care(cls, period: int) -> "Pattern":
@@ -335,6 +356,15 @@ class Pattern:
         return any(
             self.rotated(shift) == other for shift in range(self.period)
         )
+
+    def encode(self, vocab: "LetterVocabulary") -> int:
+        """This pattern's letter set as a bitmask over ``vocab``.
+
+        Inverse of :meth:`from_mask`; raises
+        :class:`~repro.core.errors.EncodingError` when a letter is not in
+        the vocabulary.
+        """
+        return vocab.encode_letters(self._letters)
 
     def sorted_letters(self) -> list[Letter]:
         """Letters in the canonical ``(offset, feature)`` order.

@@ -4,8 +4,9 @@ An AST-based linter whose rules encode the invariants the engine's
 correctness rests on but Python cannot enforce at runtime: shard tasks
 must pickle by reference (fork-safety, REP1xx), ``Pattern`` and tree nodes
 are immutable value objects outside their owning modules (REP2xx), library
-code draws no unseeded randomness (REP3xx), and the public surface stays
-hygienic (REP4xx).  See ``docs/devtools.md`` for the full catalog and the
+code draws no unseeded randomness (REP3xx), the public surface stays
+hygienic (REP4xx), and the encoded tree/engine hot paths stay on bitmask
+kernels (REP5xx).  See ``docs/devtools.md`` for the full catalog and the
 suppression policy.
 
 Three entry points share one engine:

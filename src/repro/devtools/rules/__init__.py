@@ -7,14 +7,17 @@ they guard:
 * :mod:`.fork_safety` — REP1xx, the engine's pickling/shared-state contract;
 * :mod:`.immutability` — REP2xx, ``Pattern`` and tree-node value semantics;
 * :mod:`.determinism` — REP3xx, seeded randomness outside ``synth``;
-* :mod:`.hygiene` — REP4xx, public-API and hot-path hygiene.
+* :mod:`.hygiene` — REP4xx, public-API and hot-path hygiene;
+* :mod:`.encoding` — REP5xx, the bitmask-kernel contract of the encoded
+  tree/engine hot paths.
 """
 
 from repro.devtools.rules import (  # noqa: F401  (imports register rules)
     determinism,
+    encoding,
     fork_safety,
     hygiene,
     immutability,
 )
 
-__all__ = ["determinism", "fork_safety", "hygiene", "immutability"]
+__all__ = ["determinism", "encoding", "fork_safety", "hygiene", "immutability"]

@@ -29,11 +29,20 @@ from repro.devtools.rules.fork_safety import MUTATING_CALLS
 PROTECTED_ATTRS: dict[str, frozenset[str]] = {
     # Pattern internals (repro.core.pattern).
     "_positions": frozenset({"repro.core.pattern"}),
-    "_letters": frozenset({"repro.core.pattern", "repro.tree.max_subpattern_tree"}),
+    # The vocabulary owns a same-named letter store; interning appends to
+    # it by design, so the encoding module is an owner too.
+    "_letters": frozenset(
+        {
+            "repro.core.pattern",
+            "repro.tree.max_subpattern_tree",
+            "repro.encoding.vocabulary",
+        }
+    ),
     "_hash": frozenset({"repro.core.pattern"}),
     # MaxSubpatternNode fields: owned by the node module and the tree that
     # drives insertion/merging.
     "missing": frozenset({"repro.tree.node"}),
+    "missing_mask": frozenset({"repro.tree.node"}),
     "count": frozenset({"repro.tree.node", "repro.tree.max_subpattern_tree"}),
     "parent": frozenset({"repro.tree.node"}),
     "children": frozenset({"repro.tree.node"}),

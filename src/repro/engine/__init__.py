@@ -47,20 +47,29 @@ from repro.engine.executor import (
 )
 from repro.engine.merge import (
     hits_to_tree,
+    hits_to_tree_letters,
     merge_counters,
     merge_hit_counters,
     merge_trees,
 )
 from repro.engine.parallel import ParallelMiner
-from repro.engine.partition import SegmentShard, partition_segments, plan_chunks
+from repro.engine.partition import (
+    EncodedShard,
+    SegmentShard,
+    encode_shard,
+    partition_segments,
+    plan_chunks,
+)
 from repro.engine.stats import EngineStats, ShardStats
 from repro.engine.worker import (
     collect_shard_hits,
+    collect_shard_hits_legacy,
     count_shard_letters,
     mine_period_task,
 )
 
 __all__ = [
+    "EncodedShard",
     "EngineStats",
     "ExecutionBackend",
     "ParallelMiner",
@@ -71,8 +80,11 @@ __all__ = [
     "ShardStats",
     "ThreadBackend",
     "collect_shard_hits",
+    "collect_shard_hits_legacy",
     "count_shard_letters",
+    "encode_shard",
     "hits_to_tree",
+    "hits_to_tree_letters",
     "merge_counters",
     "merge_hit_counters",
     "merge_trees",

@@ -21,6 +21,7 @@ from functools import reduce
 
 from repro.core.errors import EngineError
 from repro.core.pattern import Letter, Pattern
+from repro.encoding.vocabulary import LetterVocabulary, remap_mask
 from repro.tree.max_subpattern_tree import MaxSubpatternTree
 
 
@@ -53,21 +54,43 @@ def hits_to_tree(
 ) -> MaxSubpatternTree:
     """Materialize a hit-mask counter as a max-subpattern tree.
 
-    Decodes each *distinct* mask back into its letter set once and inserts
-    it with its aggregate count — on periodic data distinct hits are far
-    fewer than segments, so this is also where the engine's single-shard
-    speed advantage over the per-segment serial insertion comes from.
+    One :meth:`~repro.tree.max_subpattern_tree.MaxSubpatternTree.insert_mask`
+    per *distinct* mask — on periodic data distinct hits are far fewer than
+    segments, so this is also where the engine's single-shard speed
+    advantage over the per-segment serial insertion comes from.  When
+    ``letter_order`` is already sorted (the engine always sorts before
+    fan-out) its bit order coincides with the tree vocabulary's and masks
+    insert untranslated; otherwise they are remapped first.
     """
     if not letter_order:
         raise EngineError("cannot build a tree for an empty C_max")
     tree = MaxSubpatternTree(Pattern.from_letters(period, letter_order))
-    total_bits = len(letter_order)
-    for mask, count in hit_counter.items():
-        letters = frozenset(
-            letter_order[index]
-            for index in range(total_bits)
-            if mask >> index & 1
-        )
+    wire_vocab = LetterVocabulary(letter_order, period=period)
+    if wire_vocab == tree.vocab:
+        for mask, count in hit_counter.items():
+            tree.insert_mask(mask, count=count)
+    else:
+        table = wire_vocab.remap_table(tree.vocab)
+        for mask, count in hit_counter.items():
+            tree.insert_mask(remap_mask(mask, table), count=count)
+    return tree
+
+
+def hits_to_tree_letters(
+    period: int,
+    letter_order: Sequence[Letter],
+    hit_counter: Counter,
+) -> MaxSubpatternTree:
+    """Letter-tuple counterpart of :func:`hits_to_tree` (bisection path).
+
+    Consumes the payload of
+    :func:`~repro.engine.worker.collect_shard_hits_legacy`: a counter keyed
+    by sorted letter tuples instead of bitmasks.
+    """
+    if not letter_order:
+        raise EngineError("cannot build a tree for an empty C_max")
+    tree = MaxSubpatternTree(Pattern.from_letters(period, letter_order))
+    for letters, count in hit_counter.items():
         tree.insert_letters(letters, count=count)
     return tree
 

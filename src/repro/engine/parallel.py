@@ -40,11 +40,19 @@ from repro.engine.executor import (
     run_shards,
     visible_cpus,
 )
-from repro.engine.merge import hits_to_tree, merge_counters, merge_trees
+from repro.encoding.vocabulary import LetterVocabulary
+from repro.engine.merge import (
+    hits_to_tree,
+    hits_to_tree_letters,
+    merge_counters,
+    merge_trees,
+)
 from repro.engine.partition import SegmentShard, partition_segments
 from repro.engine.stats import EngineStats, ShardStats
 from repro.engine.worker import (
+    PeriodTask,
     collect_shard_hits,
+    collect_shard_hits_legacy,
     count_shard_letters,
     mine_period_task,
 )
@@ -94,6 +102,10 @@ class ParallelMiner:
     chunk_size:
         Segments per shard; ``None`` splits evenly into one shard per
         worker.
+    encode:
+        Default ``True`` ships scan 2 through the bitmask kernels;
+        ``False`` routes workers and merge through the legacy letter-set
+        path (the ``--no-encode`` escape hatch).  Results are identical.
 
     Examples
     --------
@@ -112,6 +124,7 @@ class ParallelMiner:
         workers: int | None = None,
         backend: str | ExecutionBackend = "auto",
         chunk_size: int | None = None,
+        encode: bool = True,
     ):
         check_min_conf(min_conf)
         self.series = _plain_series(series)
@@ -121,6 +134,7 @@ class ParallelMiner:
             raise EngineError(f"workers must be >= 1, got {self.workers}")
         self.backend = backend
         self.chunk_size = chunk_size
+        self.encode = encode
 
     # ------------------------------------------------------------------
     # Single-period mining (sharded Algorithm 3.2)
@@ -194,16 +208,18 @@ class ParallelMiner:
 
         # ----- Scan 2: per-shard hits -> partial trees -> merged tree ----
         letter_order = tuple(sorted(f1))
+        hit_worker = collect_shard_hits if self.encode else collect_shard_hits_legacy
+        to_tree = hits_to_tree if self.encode else hits_to_tree_letters
         outcomes = run_shards(
             resolved,
-            collect_shard_hits,
+            hit_worker,
             [(shard, letter_order) for shard in shards],
         )
         self._record(engine, "hits", shards, outcomes)
         merge_started = time.perf_counter()
         tree = merge_trees(
             [
-                hits_to_tree(period, letter_order, outcome.value)
+                to_tree(period, letter_order, outcome.value)
                 for outcome in outcomes
             ]
         )
@@ -263,7 +279,7 @@ class ParallelMiner:
         )
         engine = EngineStats(backend=resolved.name, workers=workers)
 
-        tasks: list[tuple[SegmentShard, float, int | None]] = []
+        tasks: list[PeriodTask] = []
         for index, period in enumerate(usable):
             num_segments = len(self.series) // period
             shard = SegmentShard(
@@ -273,7 +289,7 @@ class ParallelMiner:
                 num_segments=num_segments,
                 series=self.series.slice_segments(period, 0, num_segments),
             )
-            tasks.append((shard, min_conf, max_letters))
+            tasks.append((shard, min_conf, max_letters, self.encode))
         outcomes = run_shards(resolved, mine_period_task, tasks)
 
         result = MultiPeriodResult(
@@ -281,8 +297,8 @@ class ParallelMiner:
             min_conf=min_conf,
             engine=engine,
         )
-        for (shard, _, _), outcome in zip(tasks, outcomes):
-            period, num_periods, payload, stat_values = outcome.value
+        for (shard, _, _, _), outcome in zip(tasks, outcomes):
+            period, num_periods, vocab_letters, payload, stat_values = outcome.value
             stats = MiningStats(
                 scans=stat_values["scans"],
                 tree_nodes=stat_values["tree_nodes"],
@@ -299,14 +315,15 @@ class ParallelMiner:
                     retried=outcome.retried,
                 )
             )
+            vocab = LetterVocabulary(vocab_letters, period=period)
             result.results[period] = MiningResult(
                 algorithm="parallel-hitset",
                 period=period,
                 min_conf=min_conf,
                 num_periods=num_periods,
                 counts={
-                    Pattern.from_letters(period, letters): count
-                    for letters, count in payload
+                    Pattern.from_mask(vocab, mask): count
+                    for mask, count in payload
                 },
                 stats=stats,
                 engine=engine,

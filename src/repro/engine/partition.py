@@ -17,6 +17,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.core.errors import EngineError
+from repro.encoding.codec import SegmentEncoder
+from repro.encoding.vocabulary import LetterVocabulary
 from repro.timeseries.feature_series import FeatureSeries
 
 
@@ -63,6 +65,57 @@ class SegmentShard:
             f"segments=[{self.start_segment}, "
             f"{self.start_segment + self.num_segments}))"
         )
+
+
+@dataclass(frozen=True)
+class EncodedShard:
+    """A shard's segments pre-encoded as bitmasks over one vocabulary.
+
+    The encoded twin of :class:`SegmentShard`: same identity fields, but
+    the slots are replaced by one int mask per segment.  Masks from shards
+    sharing a vocabulary merge by plain counter addition; shards encoded
+    against *different* vocabularies are reconciled with
+    :meth:`~repro.encoding.vocabulary.LetterVocabulary.remap_table`.
+    Pickling ships small ints plus one letter tuple instead of slot sets.
+    """
+
+    shard_id: int
+    period: int
+    start_segment: int
+    num_segments: int
+    vocab: LetterVocabulary
+    masks: tuple[int, ...]
+
+    def __len__(self) -> int:
+        return self.num_segments
+
+    def __repr__(self) -> str:
+        return (
+            f"EncodedShard(id={self.shard_id}, period={self.period}, "
+            f"segments=[{self.start_segment}, "
+            f"{self.start_segment + self.num_segments}), "
+            f"letters={len(self.vocab)})"
+        )
+
+
+def encode_shard(
+    shard: SegmentShard, vocab: LetterVocabulary
+) -> EncodedShard:
+    """Encode a shard's segments against a fixed vocabulary (one pass).
+
+    Letters outside ``vocab`` are dropped by the encoder — encoding *is*
+    the projection onto ``C_max`` when ``vocab`` holds the ``C_max``
+    letters, so the masks are exactly the shard's segment hits.
+    """
+    encoder = SegmentEncoder(vocab, shard.period)
+    return EncodedShard(
+        shard_id=shard.shard_id,
+        period=shard.period,
+        start_segment=shard.start_segment,
+        num_segments=shard.num_segments,
+        vocab=vocab,
+        masks=tuple(encoder.encode_series(shard.series)),
+    )
 
 
 def plan_chunks(

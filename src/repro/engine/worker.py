@@ -6,11 +6,12 @@ thread, and process backends.  Nothing in this module touches global state:
 a shard's output depends only on its task, which is what makes the merged
 result deterministic regardless of scheduling order.
 
-The scan-2 kernel works on integer bitmasks over the ``C_max`` letters
-(one bit per letter in sorted-letter order) instead of per-segment
-``frozenset`` algebra: a segment's hit is accumulated with ``mask |= bit``
-lookups and identical hits collapse in a ``Counter`` keyed by the mask.
-Decoding back to letter sets happens once per *distinct* hit at merge time
+The scan kernels are the shared encoding stack: scan 1 is
+:func:`repro.core.counting.letter_counts_for_segments` and scan 2 encodes
+the shard once against the run's ``C_max`` vocabulary
+(:func:`repro.engine.partition.encode_shard`), collapsing identical hits
+in a ``Counter`` keyed by the mask.  Decoding back to letter sets happens
+once per *distinct* hit at merge time
 (:func:`repro.engine.merge.hits_to_tree`), not once per segment.
 """
 
@@ -18,9 +19,10 @@ from __future__ import annotations
 
 from collections import Counter
 
-from repro.core.counting import min_count
+from repro.core.counting import letter_counts_for_segments, min_count
 from repro.core.pattern import Letter
-from repro.engine.partition import SegmentShard
+from repro.encoding.vocabulary import LetterVocabulary
+from repro.engine.partition import SegmentShard, encode_shard
 
 #: Scan-1 task: just the shard (the period rides on it).
 LetterTask = SegmentShard
@@ -28,6 +30,17 @@ LetterTask = SegmentShard
 #: Scan-2 task: the shard plus the sorted ``C_max`` letters defining the
 #: bit order shared by every shard of the run.
 HitTask = tuple[SegmentShard, tuple[Letter, ...]]
+
+#: Per-period task: shard covering the whole period, threshold, letter
+#: cap, and the encode flag (``--no-encode`` escape hatch).
+PeriodTask = tuple[SegmentShard, float, "int | None", bool]
+
+#: Per-period payload: period, segment count, the worker's sorted C_max
+#: vocabulary as a letter tuple, ``(mask, count)`` rows over that
+#: vocabulary, and primitive stats.
+PeriodPayload = tuple[
+    int, int, tuple[Letter, ...], list[tuple[int, int]], dict
+]
 
 
 def count_shard_letters(shard: SegmentShard) -> Counter:
@@ -37,15 +50,7 @@ def count_shard_letters(shard: SegmentShard) -> Counter:
     shards gives exactly the full-series letter counts because each whole
     segment lives in exactly one shard.
     """
-    counts: Counter = Counter()
-    period = shard.period
-    for index, slot in enumerate(shard.series.slots):
-        if not slot:
-            continue
-        offset = index % period
-        for feature in slot:
-            counts[(offset, feature)] += 1
-    return counts
+    return letter_counts_for_segments(shard.series.segments(shard.period))
 
 
 def collect_shard_hits(task: HitTask) -> Counter:
@@ -57,42 +62,51 @@ def collect_shard_hits(task: HitTask) -> Counter:
     letters are dropped here, mirroring the serial tree's insertion rule.
     """
     shard, letter_order = task
-    period = shard.period
-    offset_bits: list[dict[str, int]] = [{} for _ in range(period)]
-    for bit_index, (offset, feature) in enumerate(letter_order):
-        offset_bits[offset][feature] = 1 << bit_index
+    vocab = LetterVocabulary(letter_order, period=shard.period)
     hits: Counter = Counter()
-    slots = shard.series.slots
-    index = 0
-    for _ in range(shard.num_segments):
-        mask = 0
-        for offset in range(period):
-            slot = slots[index]
-            index += 1
-            if slot:
-                table = offset_bits[offset]
-                if table:
-                    for feature in slot:
-                        bit = table.get(feature)
-                        if bit:
-                            mask |= bit
-        if mask.bit_count() >= 2:
+    for mask in encode_shard(shard, vocab).masks:
+        if mask & (mask - 1):
             hits[mask] += 1
     return hits
 
 
-def mine_period_task(
-    task: tuple[SegmentShard, float, int | None],
-) -> tuple[int, int, list[tuple[tuple[Letter, ...], int]], dict]:
+def collect_shard_hits_legacy(task: HitTask) -> Counter:
+    """Scan 2 on letter sets — the pre-encoding kernel (bisection path).
+
+    Returns a counter keyed by sorted letter *tuples* instead of masks;
+    merge with :func:`repro.engine.merge.hits_to_tree_letters`.  Kept so
+    ``--no-encode`` exercises a mask-free worker end to end.
+    """
+    shard, letter_order = task
+    period = shard.period
+    cmax = frozenset(letter_order)  # repro: ignore[REP501] -- one-off setup, not per-segment
+    hits: Counter = Counter()
+    slots = shard.series.slots
+    index = 0
+    for _ in range(shard.num_segments):
+        letters = []
+        for offset in range(period):
+            slot = slots[index]
+            index += 1
+            for feature in slot:
+                letter = (offset, feature)
+                if letter in cmax:
+                    letters.append(letter)
+        if len(letters) >= 2:
+            hits[tuple(sorted(letters))] += 1
+    return hits
+
+
+def mine_period_task(task: PeriodTask) -> PeriodPayload:
     """Mine one whole period on a worker (per-period fan-out).
 
     The task's shard covers *all* whole segments of its period — period
     fan-out parallelizes across periods, not within one.  Returns primitive
-    data only (letters as sorted tuples, stats as a plain dict) so the
-    payload pickles cheaply and the parent rebuilds ``Pattern`` objects
-    once.
+    data only (the vocabulary as a sorted letter tuple, patterns as int
+    masks over it, stats as a plain dict) so the payload pickles cheaply
+    and the parent rebuilds ``Pattern`` objects once.
     """
-    shard, min_conf, max_letters = task
+    shard, min_conf, max_letters, encode = task
     period = shard.period
     letter_counts = count_shard_letters(shard)
     threshold = min_count(min_conf, shard.num_segments)
@@ -103,14 +117,18 @@ def mine_period_task(
     }
     stats = {"scans": 1, "tree_nodes": 0, "hit_set_size": 0, "candidate_counts": {}}
     if not f1:
-        return period, shard.num_segments, [], stats
+        return period, shard.num_segments, (), [], stats
     # Local import: worker.py must stay importable before merge.py during
     # package initialization.
-    from repro.engine.merge import hits_to_tree
+    from repro.engine.merge import hits_to_tree, hits_to_tree_letters
 
     letter_order = tuple(sorted(f1))
-    hit_counter = collect_shard_hits((shard, letter_order))
-    tree = hits_to_tree(period, letter_order, hit_counter)
+    if encode:
+        hit_counter = collect_shard_hits((shard, letter_order))
+        tree = hits_to_tree(period, letter_order, hit_counter)
+    else:
+        hit_counter = collect_shard_hits_legacy((shard, letter_order))
+        tree = hits_to_tree_letters(period, letter_order, hit_counter)
     counts, candidate_counts = tree.derive_frequent(
         threshold, f1, max_letters=max_letters
     )
@@ -120,7 +138,9 @@ def mine_period_task(
         hit_set_size=tree.hit_set_size,
         candidate_counts=candidate_counts,
     )
+    vocab = tree.vocab
     payload = [
-        (tuple(sorted(letters)), count) for letters, count in counts.items()
+        (vocab.encode_letters(letters), count)
+        for letters, count in counts.items()
     ]
-    return period, shard.num_segments, payload, stats
+    return period, shard.num_segments, tuple(vocab), payload, stats

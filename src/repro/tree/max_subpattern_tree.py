@@ -12,6 +12,13 @@ is the sum of counts over all nodes whose pattern is a superpattern of
 ``X`` — the node itself plus its *reachable ancestors* in the paper's
 terminology.
 
+Representation: every subpattern of ``C_max`` is an int bitmask over the
+tree's :class:`~repro.encoding.vocabulary.LetterVocabulary` (the sorted
+``C_max`` letters), and the node index is keyed by *missing-letter* masks.
+Hit registration, merging, ancestor enumeration and derivation all run on
+masks; letters reappear only at the API boundary (``hit_counts``,
+``pattern_of``, ``derive_frequent`` results).
+
 Following the paper, hits with fewer than two letters are not inserted: the
 counts of 1-letter patterns are already known exactly from the F1 scan, and
 a 1-letter node could never contribute to the count of any multi-letter
@@ -20,12 +27,15 @@ pattern.
 
 from __future__ import annotations
 
+from collections import Counter
 from collections.abc import Iterable, Iterator, Mapping
 
-from repro.core.candidates import generate_candidates
+from repro.core.candidates import generate_candidate_masks
 from repro.core.counting import segment_letters
-from repro.core.errors import MiningError, PatternError
+from repro.core.errors import EncodingError, MiningError, PatternError
 from repro.core.pattern import Letter, Pattern
+from repro.encoding.codec import SegmentEncoder
+from repro.encoding.vocabulary import LetterVocabulary
 from repro.tree.node import MaxSubpatternNode
 from repro.timeseries.feature_series import FeatureSeries, Segment
 
@@ -49,18 +59,29 @@ class MaxSubpatternTree:
     2
     """
 
-    __slots__ = ("_max_pattern", "_letters", "_root", "_index", "_total_hits")
+    __slots__ = (
+        "_max_pattern",
+        "_letters",
+        "_vocab",
+        "_full_mask",
+        "_root",
+        "_index",
+        "_total_hits",
+    )
 
     def __init__(self, max_pattern: Pattern):
         if max_pattern.is_trivial:
             raise MiningError("C_max must contain at least one letter")
         self._max_pattern = max_pattern
         self._letters = max_pattern.letters
+        #: Bit order of every mask in the tree: sorted C_max letters.
+        self._vocab = LetterVocabulary.from_letters(
+            self._letters, period=max_pattern.period
+        )
+        self._full_mask = self._vocab.full_mask
         self._root = MaxSubpatternNode(())
-        #: Index of every existing node by its missing-letter frozenset.
-        self._index: dict[frozenset[Letter], MaxSubpatternNode] = {
-            frozenset(): self._root
-        }
+        #: Index of every existing node by its missing-letter bitmask.
+        self._index: dict[int, MaxSubpatternNode] = {0: self._root}
         self._total_hits = 0
 
     # ------------------------------------------------------------------
@@ -71,6 +92,11 @@ class MaxSubpatternTree:
     def max_pattern(self) -> Pattern:
         """The candidate max-pattern at the root."""
         return self._max_pattern
+
+    @property
+    def vocab(self) -> LetterVocabulary:
+        """The sorted ``C_max`` letter vocabulary fixing the bit order."""
+        return self._vocab
 
     @property
     def root(self) -> MaxSubpatternNode:
@@ -98,14 +124,14 @@ class MaxSubpatternTree:
 
     def pattern_of(self, node: MaxSubpatternNode) -> Pattern:
         """The pattern a node stands for: ``C_max`` minus its missing letters."""
-        return Pattern.from_letters(
-            self._max_pattern.period, self._letters - set(node.missing)
+        return Pattern.from_mask(
+            self._vocab, self._full_mask & ~node.missing_mask
         )
 
     def find_node(self, pattern: Pattern) -> MaxSubpatternNode | None:
         """The node holding exactly this subpattern of ``C_max``, if present."""
-        missing = self._missing_of(pattern)
-        return self._index.get(frozenset(missing))
+        mask = self._mask_of(pattern)
+        return self._index.get(self._full_mask & ~mask)
 
     # ------------------------------------------------------------------
     # Insertion — Algorithm 4.1
@@ -120,44 +146,85 @@ class MaxSubpatternTree:
         """
         if count < 1:
             raise MiningError(f"insert count must be >= 1, got {count}")
-        missing = self._missing_of(pattern)
-        if len(self._letters) - len(missing) < 1:
+        mask = self._mask_of(pattern)
+        if not mask:
             raise MiningError("cannot insert the empty (all-*) pattern")
-        return self._insert_missing(missing, count)
+        return self._insert_missing_mask(self._full_mask & ~mask, count)
 
     def insert_letters(
         self, letters: Iterable[Letter], count: int = 1
     ) -> MaxSubpatternNode:
         """Letter-set form of :meth:`insert` — no :class:`Pattern` needed.
 
-        The hot path for merge and for bulk hit registration: callers that
-        already hold the hit as a set of ``(offset, feature)`` letters skip
-        the pattern construction entirely.
+        Callers that hold the hit as ``(offset, feature)`` letters skip the
+        pattern construction entirely; callers that already hold it as a
+        bitmask should use :meth:`insert_mask` instead.
         """
         if count < 1:
             raise MiningError(f"insert count must be >= 1, got {count}")
-        letter_set = frozenset(letters)
-        if not letter_set <= self._letters:
+        letters = tuple(letters)
+        try:
+            mask = self._vocab.encode_letters(letters)
+        except EncodingError:
             raise PatternError(
-                f"letters {sorted(letter_set - self._letters)} are not in C_max"
-            )
-        if not letter_set:
+                f"letters {sorted(set(letters) - self._letters)} "
+                "are not in C_max"
+            ) from None
+        if not mask:
             raise MiningError("cannot insert the empty (all-*) pattern")
-        return self._insert_missing(sorted(self._letters - letter_set), count)
+        return self._insert_missing_mask(self._full_mask & ~mask, count)
 
-    def _insert_missing(
-        self, missing: Iterable[Letter], count: int
+    def insert_mask(self, mask: int, count: int = 1) -> MaxSubpatternNode:
+        """Bitmask form of :meth:`insert` — the hot path.
+
+        ``mask`` is the hit's letter set over :attr:`vocab`.  Repeated
+        distinct hits cost one dict probe each; only the first occurrence
+        of a hit walks/extends the tree.
+        """
+        if count < 1:
+            raise MiningError(f"insert count must be >= 1, got {count}")
+        if mask < 0 or mask & ~self._full_mask:
+            raise PatternError(
+                f"mask {mask:#x} has bits outside C_max "
+                f"(full mask {self._full_mask:#x})"
+            )
+        if not mask:
+            raise MiningError("cannot insert the empty (all-*) pattern")
+        return self._insert_missing_mask(self._full_mask & ~mask, count)
+
+    def _insert_missing_mask(
+        self, missing_mask: int, count: int
     ) -> MaxSubpatternNode:
-        """Walk/extend the path of a sorted missing tuple and bump its count."""
-        node = self._root
-        for letter in missing:
-            existing = node.child(letter)
-            if existing is None:
-                existing = node.add_child(letter)
-                self._index[frozenset(existing.missing)] = existing
-            node = existing
+        """Bump the node of a missing-mask, creating its path if absent."""
+        node = self._index.get(missing_mask)
+        if node is None:
+            node = self._create_path(missing_mask)
         node.count += count
         self._total_hits += count
+        return node
+
+    def _create_path(self, missing_mask: int) -> MaxSubpatternNode:
+        """Walk/extend the root path of a missing-mask (Algorithm 4.1).
+
+        Missing tuples are sorted along every path, and bit order equals
+        sorted-letter order, so the path's prefixes are exactly the
+        ascending-bit prefixes of ``missing_mask`` — each already indexed
+        or created here.
+        """
+        vocab = self._vocab
+        index = self._index
+        node = self._root
+        prefix = 0
+        remaining = missing_mask
+        while remaining:
+            low = remaining & -remaining
+            remaining ^= low
+            prefix |= low
+            existing = index.get(prefix)
+            if existing is None:
+                existing = node.add_child(vocab[low.bit_length() - 1], bit=low)
+                index[prefix] = existing
+            node = existing
         return node
 
     def hit_of_segment(self, segment: Segment) -> frozenset[Letter]:
@@ -177,15 +244,37 @@ class MaxSubpatternTree:
             Pattern.from_letters(self._max_pattern.period, hit)
         )
 
-    def insert_all_segments(self, series: FeatureSeries) -> int:
+    def insert_all_segments(
+        self, series: FeatureSeries, encode: bool = True
+    ) -> int:
         """Scan 2 of Algorithm 3.2: register the hit of every segment.
+
+        The default path encodes each segment into a bitmask
+        (:class:`~repro.encoding.codec.SegmentEncoder` projects onto the
+        ``C_max`` letters as a side effect), collapses identical hits in a
+        counter, and inserts once per *distinct* hit — on periodic data
+        distinct hits are far fewer than segments.  ``encode=False`` keeps
+        the legacy per-segment letter-set insertion for bisection.
 
         Returns the number of segments whose hit was stored.
         """
-        stored = 0
+        if not encode:
+            stored = 0
+            for segment in series.segments(self._max_pattern.period):
+                if self.insert_segment(segment) is not None:
+                    stored += 1
+            return stored
+        encoder = SegmentEncoder(self._vocab)
+        hits: Counter = Counter()
         for segment in series.segments(self._max_pattern.period):
-            if self.insert_segment(segment) is not None:
-                stored += 1
+            mask = encoder.encode_segment(segment)
+            if mask & (mask - 1):  # at least two bits set
+                hits[mask] += 1
+        full_mask = self._full_mask
+        stored = 0
+        for mask, count in hits.items():
+            self._insert_missing_mask(full_mask & ~mask, count)
+            stored += count
         return stored
 
     # ------------------------------------------------------------------
@@ -200,7 +289,9 @@ class MaxSubpatternTree:
         node's pattern, and segments are partitioned between the trees,
         merging is plain addition of per-pattern counts — the operation is
         commutative and associative, which is what makes sharded mining
-        (:mod:`repro.engine`) exact rather than approximate.
+        (:mod:`repro.engine`) exact rather than approximate.  Equal
+        ``C_max`` also means equal vocabularies (both sort the same
+        letters), so the other tree's masks transfer without remapping.
 
         Returns ``self`` so merges fold naturally::
 
@@ -228,7 +319,7 @@ class MaxSubpatternTree:
             )
         for node in other._index.values():
             if node.count:
-                self._insert_missing(node.missing, node.count)
+                self._insert_missing_mask(node.missing_mask, node.count)
         return self
 
     def hit_counts(self) -> dict[frozenset[Letter], int]:
@@ -238,8 +329,10 @@ class MaxSubpatternTree:
         mergeable state of the tree (rebuilding a tree from it and merging
         is equivalent to merging the tree itself).
         """
+        vocab = self._vocab
+        full_mask = self._full_mask
         return {
-            self._letters - set(node.missing): node.count
+            vocab.decode_mask(full_mask & ~node.missing_mask): node.count
             for node in self._index.values()
             if node.count
         }
@@ -266,26 +359,28 @@ class MaxSubpatternTree:
 
         These are the nodes whose missing set is a proper subset of the
         node's missing set — including the not-physically-linked ones the
-        paper's Example 4.2 walks through.
+        paper's Example 4.2 walks through.  Proper submasks are enumerated
+        directly via ``sub = (sub - 1) & mask``; past 20 missing letters a
+        scan of the (far smaller) index takes over.
         """
-        missing = frozenset(node.missing)
-        if len(missing) <= 20:
+        missing_mask = node.missing_mask
+        if not missing_mask:
+            return []  # the root misses nothing; no proper submasks exist
+        if missing_mask.bit_count() <= 20:
             found: list[MaxSubpatternNode] = []
-            ordered = sorted(missing)
-            for mask in range(1 << len(ordered)):
-                if mask == (1 << len(ordered)) - 1:
-                    continue  # the node itself is not its own ancestor
-                subset = frozenset(
-                    ordered[i] for i in range(len(ordered)) if mask >> i & 1
-                )
-                candidate = self._index.get(subset)
+            index = self._index
+            sub = (missing_mask - 1) & missing_mask
+            while True:
+                candidate = index.get(sub)
                 if candidate is not None:
                     found.append(candidate)
-            return found
+                if not sub:
+                    return found
+                sub = (sub - 1) & missing_mask
         return [
             candidate
             for key, candidate in self._index.items()
-            if key < missing
+            if key != missing_mask and key | missing_mask == missing_mask
         ]
 
     # ------------------------------------------------------------------
@@ -302,19 +397,26 @@ class MaxSubpatternTree:
         1-letter patterns are intentionally rejected: their exact counts
         come from the F1 scan and are not represented in the tree.
         """
-        letters = self._letters_of(pattern)
-        if len(letters) < 2:
+        mask = self._mask_of(pattern)
+        if mask.bit_count() < 2:
             raise MiningError(
                 "the tree only counts patterns with >= 2 letters; "
                 "1-pattern counts come from the F1 scan"
             )
-        return self.count_of_letters(letters)
+        return self.count_of_mask(mask)
 
-    def count_of_letters(self, letters: frozenset[Letter]) -> int:
-        """Letter-set form of :meth:`count_of` (no validation, hot path)."""
+    def count_of_letters(self, letters: Iterable[Letter]) -> int:
+        """Letter-set form of :meth:`count_of` (no size validation)."""
+        return self.count_of_mask(self._vocab.encode_letters(letters))
+
+    def count_of_mask(self, mask: int) -> int:
+        """Bitmask form of :meth:`count_of` — the hot lookup.
+
+        One ``candidate & missing == 0`` disjointness test per stored node.
+        """
         total = 0
         for node in self._index.values():
-            if node.count and not letters.intersection(node.missing):
+            if node.count and not mask & node.missing_mask:
                 total += node.count
         return total
 
@@ -328,7 +430,9 @@ class MaxSubpatternTree:
 
         Level-wise Apriori over the tree: level 1 is ``F1`` (counts from the
         first scan), level k+1 candidates come from apriori-gen on level k
-        and are counted against the stored hits.
+        and are counted against the stored hits.  The whole derivation runs
+        on bitmasks (candidate generation included); results decode to
+        letter sets once, on return.
 
         ``max_letters`` optionally caps the derived pattern size.  The
         complete frequent set is exponential on degenerate inputs (e.g. a
@@ -342,67 +446,58 @@ class MaxSubpatternTree:
             ``candidate_counts`` records candidates examined per level for
             the cost statistics.
         """
-        counts: dict[frozenset[Letter], int] = {
-            frozenset((letter,)): count for letter, count in f1_counts.items()
-        }
+        vocab = self._vocab
+        mask_counts: dict[int, int] = {}
+        for letter, count in f1_counts.items():
+            mask_counts[vocab.bit_of(letter)] = count
         candidate_counts = {1: len(f1_counts)}
-        frequent_level = set(counts)
+        frequent_level = set(mask_counts)
         level = 1
-        # Pre-extract the non-zero nodes once as integer bitmasks over the
-        # C_max letters; the superpattern test per (candidate, node) pair
-        # becomes a single `candidate_mask & missing_mask == 0`.
-        bit_of = {
-            letter: 1 << index
-            for index, letter in enumerate(sorted(self._letters))
-        }
         stored = [
-            (
-                sum(bit_of[letter] for letter in node.missing),
-                node.count,
-            )
+            (node.missing_mask, node.count)
             for node in self._index.values()
             if node.count
         ]
         while frequent_level:
             if max_letters is not None and level >= max_letters:
                 break
-            candidates = generate_candidates(frequent_level)
+            candidates = generate_candidate_masks(frequent_level)
             if not candidates:
                 break
             level += 1
             candidate_counts[level] = len(candidates)
             frequent_level = set()
             for candidate in candidates:
-                mask = 0
-                for letter in candidate:
-                    mask |= bit_of[letter]
                 total = 0
                 for missing_mask, count in stored:
-                    if not mask & missing_mask:
+                    if not candidate & missing_mask:
                         total += count
                 if total >= threshold:
-                    counts[candidate] = total
+                    mask_counts[candidate] = total
                     frequent_level.add(candidate)
+        counts = {
+            vocab.decode_mask(mask): count
+            for mask, count in mask_counts.items()
+        }
         return counts, candidate_counts
 
     # ------------------------------------------------------------------
     # Internals
     # ------------------------------------------------------------------
 
-    def _letters_of(self, pattern: Pattern) -> frozenset[Letter]:
+    def _mask_of(self, pattern: Pattern) -> int:
+        """A subpattern's bitmask over the tree vocabulary, validated."""
         if pattern.period != self._max_pattern.period:
             raise PatternError(
                 f"pattern period {pattern.period} != tree period "
                 f"{self._max_pattern.period}"
             )
-        letters = pattern.letters
-        if not letters <= self._letters:
-            raise PatternError(f"{pattern} is not a subpattern of C_max")
-        return letters
-
-    def _missing_of(self, pattern: Pattern) -> list[Letter]:
-        letters = self._letters_of(pattern)
-        return sorted(self._letters - letters)
+        try:
+            return self._vocab.encode_letters(pattern.letters)
+        except EncodingError:
+            raise PatternError(
+                f"{pattern} is not a subpattern of C_max"
+            ) from None
 
     def __repr__(self) -> str:
         return (

@@ -20,6 +20,10 @@ class MaxSubpatternNode:
     missing:
         The sorted tuple of ``C_max`` letters absent from this node's
         pattern.  ``()`` for the root.
+    missing_mask:
+        The same missing set as a bitmask over the owning tree's
+        vocabulary (bit ``i`` = sorted ``C_max`` letter ``i``).  ``0`` for
+        the root and for standalone nodes built outside a tree.
     count:
         Number of period segments whose hit max-subpattern is exactly this
         node's pattern.  Intermediate nodes created on the way to a deeper
@@ -30,14 +34,16 @@ class MaxSubpatternNode:
         Mapping from the additionally-missing letter to the child node.
     """
 
-    __slots__ = ("missing", "count", "parent", "children")
+    __slots__ = ("missing", "missing_mask", "count", "parent", "children")
 
     def __init__(
         self,
         missing: tuple[Letter, ...],
         parent: "MaxSubpatternNode | None" = None,
+        missing_mask: int = 0,
     ):
         self.missing = missing
+        self.missing_mask = missing_mask
         self.count = 0
         self.parent = parent
         self.children: dict[Letter, MaxSubpatternNode] = {}
@@ -56,11 +62,13 @@ class MaxSubpatternNode:
         """The child missing additionally ``letter``, or ``None``."""
         return self.children.get(letter)
 
-    def add_child(self, letter: Letter) -> "MaxSubpatternNode":
+    def add_child(self, letter: Letter, bit: int = 0) -> "MaxSubpatternNode":
         """Create (or return) the child missing additionally ``letter``.
 
         The letter must be greater than the node's last missing letter, so
-        that missing tuples stay sorted along every path.
+        that missing tuples stay sorted along every path.  ``bit`` is the
+        letter's single-bit mask in the owning tree's vocabulary; the
+        child's ``missing_mask`` extends this node's by it.
         """
         existing = self.children.get(letter)
         if existing is not None:
@@ -70,7 +78,11 @@ class MaxSubpatternNode:
                 f"child letter {letter!r} must follow {self.missing[-1]!r} "
                 "in canonical order"
             )
-        child = MaxSubpatternNode(self.missing + (letter,), parent=self)
+        child = MaxSubpatternNode(
+            self.missing + (letter,),
+            parent=self,
+            missing_mask=self.missing_mask | bit,
+        )
         self.children[letter] = child
         return child
 

@@ -23,6 +23,9 @@ MODULES = [
     "repro.core.pattern",
     "repro.devtools",
     "repro.devtools.suppressions",
+    "repro.encoding",
+    "repro.encoding.codec",
+    "repro.encoding.vocabulary",
     "repro.engine",
     "repro.engine.merge",
     "repro.engine.parallel",
