@@ -101,6 +101,44 @@ def _build_parser() -> argparse.ArgumentParser:
             "bitmask kernels (identical results; for bisecting regressions)"
         ),
     )
+    mine.add_argument(
+        "--resume",
+        metavar="JOURNAL",
+        help=(
+            "checkpoint journal path: completed shards are recorded there "
+            "and a rerun of the identical command skips them (the file is "
+            "created on first use; see docs/resilience.md)"
+        ),
+    )
+    mine.add_argument(
+        "--shard-timeout",
+        type=float,
+        metavar="SECONDS",
+        help="fail any shard that runs longer than this (then retry it)",
+    )
+    mine.add_argument(
+        "--max-retries",
+        type=int,
+        metavar="N",
+        help="extra attempts per failed shard (default 1)",
+    )
+    mine.add_argument(
+        "--deadline",
+        type=float,
+        metavar="SECONDS",
+        help=(
+            "wall-clock budget for the whole run; with --resume, a run cut "
+            "off by the deadline can be finished by rerunning"
+        ),
+    )
+    mine.add_argument(
+        "--lenient",
+        action="store_true",
+        help=(
+            "quarantine malformed series lines instead of failing the load "
+            "(quarantined lines are reported on stderr)"
+        ),
+    )
 
     suggest = commands.add_parser(
         "suggest", help="rank promising periods in a range"
@@ -209,6 +247,54 @@ def _print_result(result: MiningResult, limit: int, maximal: bool) -> None:
         print(f"  {str(pattern):<40} count={count:<8} conf={confidence:.3f}")
 
 
+def _resilience_from_args(args: argparse.Namespace):
+    """The ResilienceContext the mine flags describe, or ``None``."""
+    if (
+        args.shard_timeout is None
+        and args.deadline is None
+        and args.max_retries is None
+    ):
+        return None
+    from repro.resilience import Deadline, ResilienceContext, RetryPolicy
+
+    policy = RetryPolicy(
+        max_attempts=2 if args.max_retries is None else args.max_retries + 1
+    )
+    return ResilienceContext(
+        policy=policy,
+        shard_timeout_s=args.shard_timeout,
+        deadline=(
+            None if args.deadline is None else Deadline.start(args.deadline)
+        ),
+    )
+
+
+def _load_mine_series(args: argparse.Namespace):
+    """Load the input series, quarantining bad lines under ``--lenient``."""
+    if not args.lenient:
+        return load_series(args.input)
+    from repro.timeseries.io import LoadReport
+
+    report = LoadReport()
+    series = load_series(args.input, strict=False, report=report)
+    for item in report.quarantined[:10]:
+        print(f"warning: quarantined {item.describe()}", file=sys.stderr)
+    if len(report.quarantined) > 10:
+        print(
+            f"warning: ... and {len(report.quarantined) - 10} more "
+            "quarantined lines",
+            file=sys.stderr,
+        )
+    return series
+
+
+def _print_engine(engine) -> None:
+    """The engine summary plus any degradation events."""
+    print(f"  [{engine.summary()}]")
+    for event in engine.degradations:
+        print(f"  [degraded {event.describe()}]")
+
+
 def _run_mine(args: argparse.Namespace) -> int:
     if (args.period is None) == (args.period_range is None):
         print("specify exactly one of --period or --period-range", file=sys.stderr)
@@ -216,12 +302,25 @@ def _run_mine(args: argparse.Namespace) -> int:
     if args.workers > 1 and args.maximal:
         print("--workers does not combine with --maximal", file=sys.stderr)
         return 2
-    series = load_series(args.input)
+    if args.maximal and (
+        args.resume
+        or args.shard_timeout is not None
+        or args.deadline is not None
+        or args.max_retries is not None
+    ):
+        print(
+            "--maximal runs serially; it does not combine with --resume, "
+            "--shard-timeout, --max-retries or --deadline",
+            file=sys.stderr,
+        )
+        return 2
+    series = _load_mine_series(args)
     miner = PartialPeriodicMiner(
         series, min_conf=args.min_conf, algorithm=args.algorithm
     )
     started = time.perf_counter()
     encode = not args.no_encode
+    resilience = _resilience_from_args(args)
     if args.period is not None:
         if args.maximal:
             result = miner.mine_maximal(args.period, encode=encode)
@@ -231,10 +330,12 @@ def _run_mine(args: argparse.Namespace) -> int:
                 workers=args.workers,
                 backend=args.backend,
                 encode=encode,
+                resilience=resilience,
+                journal_path=args.resume,
             )
         _print_result(result, args.limit, args.maximal)
         if result.engine is not None:
-            print(f"  [{result.engine.summary()}]")
+            _print_engine(result.engine)
         if args.json:
             from repro.core.serialize import save_result
 
@@ -251,10 +352,12 @@ def _run_mine(args: argparse.Namespace) -> int:
             workers=args.workers,
             backend=args.backend,
             encode=encode,
+            resilience=resilience,
+            journal_path=args.resume,
         )
         print(outcome.summary())
         if outcome.engine is not None:
-            print(f"  [{outcome.engine.summary()}]")
+            _print_engine(outcome.engine)
         for period, pattern, confidence in outcome.best_patterns(args.limit):
             print(
                 f"  period={period:<4} {str(pattern):<40} conf={confidence:.3f}"

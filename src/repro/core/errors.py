@@ -39,4 +39,15 @@ class GeneratorError(ReproError):
 
 class EngineError(ReproError):
     """Raised by the parallel engine: bad shard plans, unknown backends,
-    or shards that still fail after the serial retry."""
+    or shards that exhaust the retry policy."""
+
+
+class ResilienceError(ReproError):
+    """Raised by :mod:`repro.resilience`: invalid retry policies or
+    deadlines, unusable checkpoint journals, or a journal whose recorded
+    run does not match the run being resumed."""
+
+
+class ShardTimeout(ResilienceError):
+    """A shard overran its per-task timeout, or a run exhausted its
+    wall-clock deadline before every shard completed."""

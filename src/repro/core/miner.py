@@ -26,8 +26,11 @@ from repro.core.result import MiningResult
 from repro.timeseries.feature_series import FeatureSeries, as_feature_series
 
 if TYPE_CHECKING:
+    from pathlib import Path
+
     from repro.analysis.periodogram import PeriodScore
     from repro.core.constraints import MiningConstraints
+    from repro.resilience.context import ResilienceContext
 
 #: The single-period algorithms selectable by name.
 ALGORITHMS = ("hitset", "apriori")
@@ -81,6 +84,8 @@ class PartialPeriodicMiner:
         workers: int | None = None,
         backend: str = "auto",
         encode: bool = True,
+        resilience: ResilienceContext | None = None,
+        journal_path: str | Path | None = None,
     ) -> MiningResult:
         """All frequent patterns of one period.
 
@@ -89,12 +94,20 @@ class PartialPeriodicMiner:
         frequent set and counts are identical to the serial run.
         ``encode=False`` routes every path through the legacy letter-set
         kernels (the CLI's ``--no-encode`` escape hatch).
+
+        ``resilience`` (a :class:`repro.resilience.ResilienceContext`) and
+        ``journal_path`` (checkpoint/resume) always route through the
+        engine, even single-worker runs — the resilience machinery lives
+        there.
         """
         min_conf = self.min_conf if min_conf is None else min_conf
         algorithm = self.algorithm if algorithm is None else algorithm
         if workers is not None and workers < 1:
             raise MiningError(f"workers must be >= 1, got {workers}")
-        if workers is not None and workers > 1:
+        engine_run = (workers is not None and workers > 1) or (
+            resilience is not None or journal_path is not None
+        )
+        if engine_run:
             if algorithm != "hitset":
                 raise MiningError(
                     "parallel mining supports the 'hitset' algorithm only"
@@ -104,10 +117,10 @@ class PartialPeriodicMiner:
             return ParallelMiner(
                 self.series,
                 min_conf=min_conf,
-                workers=workers,
+                workers=workers if workers is not None else 1,
                 backend=backend,
                 encode=encode,
-            ).mine(period)
+            ).mine(period, resilience=resilience, journal_path=journal_path)
         if algorithm == "hitset":
             return mine_single_period_hitset(
                 self.series, period, min_conf, encode=encode
@@ -153,27 +166,39 @@ class PartialPeriodicMiner:
         workers: int | None = None,
         backend: str = "auto",
         encode: bool = True,
+        resilience: ResilienceContext | None = None,
+        journal_path: str | Path | None = None,
     ) -> MultiPeriodResult:
         """All frequent patterns for every period in ``[low, high]``.
 
         ``shared=True`` uses Algorithm 3.4 (two scans total);
         ``shared=False`` loops Algorithm 3.2 per period (Algorithm 3.3).
-        ``workers > 1`` fans the periods out over the parallel engine
-        (per-period tasks, looping semantics — ``shared`` is ignored).
+        ``workers > 1`` — or any resilience setting — fans the periods
+        out over the parallel engine (per-period tasks, looping semantics
+        — ``shared`` is ignored).
         """
         min_conf = self.min_conf if min_conf is None else min_conf
         if workers is not None and workers < 1:
             raise MiningError(f"workers must be >= 1, got {workers}")
-        if workers is not None and workers > 1:
+        engine_run = (workers is not None and workers > 1) or (
+            resilience is not None or journal_path is not None
+        )
+        if engine_run:
             from repro.engine.parallel import ParallelMiner
 
             return ParallelMiner(
                 self.series,
                 min_conf=min_conf,
-                workers=workers,
+                workers=workers if workers is not None else 1,
                 backend=backend,
                 encode=encode,
-            ).mine_period_range(low, high, min_repetitions=min_repetitions)
+            ).mine_period_range(
+                low,
+                high,
+                min_repetitions=min_repetitions,
+                resilience=resilience,
+                journal_path=journal_path,
+            )
         return mine_period_range(
             self.series,
             low,

@@ -9,7 +9,8 @@ they guard:
 * :mod:`.determinism` — REP3xx, seeded randomness outside ``synth``;
 * :mod:`.hygiene` — REP4xx, public-API and hot-path hygiene;
 * :mod:`.encoding` — REP5xx, the bitmask-kernel contract of the encoded
-  tree/engine hot paths.
+  tree/engine hot paths;
+* :mod:`.resilience` — REP6xx, budgeted sleeping and bounded retries.
 """
 
 from repro.devtools.rules import (  # noqa: F401  (imports register rules)
@@ -18,6 +19,14 @@ from repro.devtools.rules import (  # noqa: F401  (imports register rules)
     fork_safety,
     hygiene,
     immutability,
+    resilience,
 )
 
-__all__ = ["determinism", "encoding", "fork_safety", "hygiene", "immutability"]
+__all__ = [
+    "determinism",
+    "encoding",
+    "fork_safety",
+    "hygiene",
+    "immutability",
+    "resilience",
+]

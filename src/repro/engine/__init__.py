@@ -36,6 +36,7 @@ Quickstart
 """
 
 from repro.engine.executor import (
+    BackendLadder,
     ExecutionBackend,
     ProcessBackend,
     SerialBackend,
@@ -60,7 +61,7 @@ from repro.engine.partition import (
     partition_segments,
     plan_chunks,
 )
-from repro.engine.stats import EngineStats, ShardStats
+from repro.engine.stats import DegradationEvent, EngineStats, ShardStats
 from repro.engine.worker import (
     collect_shard_hits,
     collect_shard_hits_legacy,
@@ -69,6 +70,8 @@ from repro.engine.worker import (
 )
 
 __all__ = [
+    "BackendLadder",
+    "DegradationEvent",
     "EncodedShard",
     "EngineStats",
     "ExecutionBackend",

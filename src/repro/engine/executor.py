@@ -15,11 +15,24 @@ One interface — :meth:`ExecutionBackend.map` — three implementations:
     ``workers > 1``.
 
 Failure policy: backends never raise for a failing task.  Each task yields
-a :class:`ShardOutcome` carrying either the value or the error string, and
-:func:`run_shards` retries failed shards serially in the parent process —
-one bad shard (or a broken worker pool) degrades to a serial retry instead
-of killing the whole job.  Only a shard that *also* fails serially raises
-:class:`~repro.core.errors.EngineError`.
+a :class:`ShardOutcome` carrying either the value or the error (message
+plus exception class name), and :func:`run_shards` feeds failures through
+a :class:`~repro.resilience.policy.RetryPolicy`:
+
+* a **broken pool** (``BrokenProcessPool`` and friends) demotes the run
+  one rung down the backend ladder — process -> thread -> serial — for
+  the remainder of the run, without charging the affected shards an
+  attempt;
+* an ordinary **task failure** is classified by exception class name:
+  fatal (deterministic input errors) aborts immediately, retryable gets
+  bounded in-parent serial retries with deterministic jittered backoff;
+* a shard that overruns ``shard_timeout_s`` — or a run that overruns its
+  wall-clock :class:`~repro.resilience.deadline.Deadline` — fails with
+  ``ShardTimeout``, which is retryable like any transient fault.
+
+With the default policy (two attempts, no resilience context passed)
+this reproduces the engine's historical contract: one backend attempt,
+one serial retry, then :class:`~repro.core.errors.EngineError`.
 """
 
 from __future__ import annotations
@@ -29,10 +42,22 @@ import time
 from abc import ABC, abstractmethod
 from collections.abc import Callable, Sequence
 from concurrent.futures import Executor, ProcessPoolExecutor, ThreadPoolExecutor
+from concurrent.futures import TimeoutError as _FutureTimeout
 from dataclasses import dataclass, field, replace
 from typing import Any
 
-from repro.core.errors import EngineError
+from repro.core.errors import EngineError, ShardTimeout
+from repro.engine.stats import DegradationEvent
+from repro.resilience.backoff import sleep
+from repro.resilience.context import ResilienceContext
+from repro.resilience.deadline import Deadline
+from repro.resilience.policy import FailureAction, RetryPolicy
+
+#: Exception class names that mean the *pool* died, not the task: the
+#: retry ladder demotes the backend instead of charging the shard.
+POOL_BREAK_TYPES = frozenset(  # repro: ignore[REP501] -- module-level constant of class-name strings, not per-segment letter work
+    {"BrokenExecutor", "BrokenProcessPool", "BrokenThreadPool"}
+)
 
 
 @dataclass(slots=True)
@@ -44,8 +69,15 @@ class ShardOutcome:
     #: different payload (counters, hit multisets, whole MiningResults).
     value: Any = None
     error: str | None = None
+    #: Exception class name for failed tasks — what the retry policy
+    #: classifies on, since errors cross process boundaries as strings.
+    error_type: str | None = None
     elapsed_s: float = 0.0
     retried: bool = False
+    #: Executions this shard consumed (0 = replayed from a checkpoint).
+    attempts: int = 1
+    #: True when the value came from a checkpoint journal, not a worker.
+    resumed: bool = False
 
     @property
     def ok(self) -> bool:
@@ -63,6 +95,38 @@ def _timed_call(fn: Callable, task: object) -> tuple[object, float]:
     return value, time.perf_counter() - started
 
 
+def _failure(index: int, error: BaseException) -> ShardOutcome:
+    """A failed outcome capturing both message and class name."""
+    return ShardOutcome(
+        index=index,
+        error=str(error) or repr(error),
+        error_type=type(error).__name__,
+    )
+
+
+def _timeout_outcome(
+    index: int, timeout_s: float | None, deadline: Deadline | None
+) -> ShardOutcome:
+    """A ShardTimeout-typed failure for an overrunning or cancelled task."""
+    if deadline is not None and deadline.expired:
+        message = f"run deadline of {deadline.budget_s}s expired"
+    else:
+        message = f"shard overran its {timeout_s}s budget"
+    return ShardOutcome(index=index, error=message, error_type="ShardTimeout")
+
+
+def _wait_budget(
+    timeout_s: float | None, deadline: Deadline | None
+) -> float | None:
+    """Seconds a backend may block on one task; ``None`` = unbounded."""
+    budgets = []
+    if timeout_s is not None:
+        budgets.append(timeout_s)
+    if deadline is not None:
+        budgets.append(deadline.remaining())
+    return min(budgets) if budgets else None
+
+
 class ExecutionBackend(ABC):
     """Run one picklable function over a sequence of tasks."""
 
@@ -70,28 +134,62 @@ class ExecutionBackend(ABC):
     name: str = "abstract"
 
     @abstractmethod
-    def map(self, fn: Callable, tasks: Sequence) -> list[ShardOutcome]:
-        """One outcome per task, in task order; never raises per-task."""
+    def map(
+        self,
+        fn: Callable,
+        tasks: Sequence,
+        *,
+        timeout_s: float | None = None,
+        deadline: Deadline | None = None,
+    ) -> list[ShardOutcome]:
+        """One outcome per task, in task order; never raises per-task.
+
+        ``timeout_s`` bounds how long the backend may block on any single
+        task and ``deadline`` caps the whole call; tasks past either limit
+        come back as ``ShardTimeout``-typed failures.  Cancellation is
+        cooperative — a worker already computing is abandoned, not
+        preempted.
+        """
 
     def __repr__(self) -> str:
         return f"{type(self).__name__}()"
 
 
 class SerialBackend(ExecutionBackend):
-    """Run every task inline in the calling thread."""
+    """Run every task inline in the calling thread.
+
+    Timeouts are necessarily post-hoc here: an inline task cannot be
+    interrupted, so an overrunning one is marked failed *after* it
+    returns, and a task whose turn comes after the deadline expired is
+    skipped outright.
+    """
 
     name = "serial"
 
-    def map(self, fn: Callable, tasks: Sequence) -> list[ShardOutcome]:
+    def map(
+        self,
+        fn: Callable,
+        tasks: Sequence,
+        *,
+        timeout_s: float | None = None,
+        deadline: Deadline | None = None,
+    ) -> list[ShardOutcome]:
         outcomes: list[ShardOutcome] = []
         for index, task in enumerate(tasks):
+            if deadline is not None and deadline.expired:
+                outcomes.append(_timeout_outcome(index, timeout_s, deadline))
+                continue
             try:
                 value, elapsed = _timed_call(fn, task)
+            except Exception as error:  # repro: ignore[REP404] -- per-shard capture: the error becomes a ShardOutcome and run_shards applies the retry policy
+                outcomes.append(_failure(index, error))
+                continue
+            if timeout_s is not None and elapsed > timeout_s:
+                outcomes.append(_timeout_outcome(index, timeout_s, deadline))
+            else:
                 outcomes.append(
                     ShardOutcome(index=index, value=value, elapsed_s=elapsed)
                 )
-            except Exception as error:  # repro: ignore[REP404] -- per-shard capture: the error becomes a ShardOutcome and run_shards retries serially
-                outcomes.append(ShardOutcome(index=index, error=str(error)))
         return outcomes
 
 
@@ -108,35 +206,55 @@ class _PoolBackend(ExecutionBackend):
     def _pool(self, max_workers: int) -> Executor:
         raise NotImplementedError
 
-    def map(self, fn: Callable, tasks: Sequence) -> list[ShardOutcome]:
+    def map(
+        self,
+        fn: Callable,
+        tasks: Sequence,
+        *,
+        timeout_s: float | None = None,
+        deadline: Deadline | None = None,
+    ) -> list[ShardOutcome]:
         if not tasks:
             return []
         outcomes: list[ShardOutcome] = []
         max_workers = min(self.workers, len(tasks))
+        pool: Executor | None = None
+        timed_out = False
         try:
-            with self._pool(max_workers) as pool:
-                futures = [
-                    pool.submit(_timed_call, fn, task) for task in tasks
-                ]
-                for index, future in enumerate(futures):
-                    try:
-                        value, elapsed = future.result()
-                        outcomes.append(
-                            ShardOutcome(
-                                index=index, value=value, elapsed_s=elapsed
-                            )
+            pool = self._pool(max_workers)
+            futures = [pool.submit(_timed_call, fn, task) for task in tasks]
+            for index, future in enumerate(futures):
+                wait = _wait_budget(timeout_s, deadline)
+                if wait is not None and wait <= 0 and not future.done():
+                    future.cancel()
+                    outcomes.append(_timeout_outcome(index, timeout_s, deadline))
+                    timed_out = True
+                    continue
+                try:
+                    value, elapsed = future.result(timeout=wait)
+                    outcomes.append(
+                        ShardOutcome(
+                            index=index, value=value, elapsed_s=elapsed
                         )
-                    except Exception as error:  # repro: ignore[REP404] -- per-future capture incl. BrokenProcessPool; failed shards are retried serially
-                        outcomes.append(
-                            ShardOutcome(index=index, error=str(error) or repr(error))
-                        )
-        except Exception as error:  # repro: ignore[REP404] -- pool creation/teardown failure (e.g. no usable multiprocessing) degrades every unfinished task to the serial retry
+                    )
+                except _FutureTimeout:
+                    future.cancel()
+                    outcomes.append(_timeout_outcome(index, timeout_s, deadline))
+                    timed_out = True
+                except Exception as error:  # repro: ignore[REP404] -- per-future capture incl. BrokenProcessPool; run_shards classifies by error_type
+                    outcomes.append(_failure(index, error))
+        except Exception as error:  # repro: ignore[REP404] -- pool creation/teardown failure (e.g. no usable multiprocessing) fails every unfinished task into the retry ladder
             done = {outcome.index for outcome in outcomes}
             outcomes.extend(
-                ShardOutcome(index=index, error=str(error) or repr(error))
+                _failure(index, error)
                 for index in range(len(tasks))
                 if index not in done
             )
+        finally:
+            if pool is not None:
+                # A timed-out task may still be running; don't block the
+                # parent on it — abandon the pool and let it drain.
+                pool.shutdown(wait=not timed_out, cancel_futures=timed_out)
         outcomes.sort(key=lambda outcome: outcome.index)
         return outcomes
 
@@ -197,6 +315,11 @@ def resolve_backend(
     :class:`ThreadBackend` on a single-CPU host — processes could not run
     concurrently there anyway, and threads at least avoid pickling the
     shards.  An instance passes through unchanged.
+
+    When ``REPRO_CHAOS_SEED`` is set in the environment, spec-resolved
+    backends are wrapped in a fault-injecting
+    :class:`~repro.resilience.chaos.ChaosBackend` (instances pass through
+    unwrapped — tests that hand-build a backend get exactly that backend).
     """
     if isinstance(backend, ExecutionBackend):
         return backend
@@ -209,45 +332,232 @@ def resolve_backend(
         else:
             spec = "process" if visible_cpus() > 1 else "thread"
     if spec == "serial":
+        resolved: ExecutionBackend = SerialBackend()
+    elif spec == "thread":
+        resolved = ThreadBackend(workers=workers)
+    elif spec == "process":
+        resolved = ProcessBackend(workers=workers)
+    else:
+        raise EngineError(
+            f"unknown backend {backend!r}; choose 'auto', 'serial', "
+            "'thread' or 'process'"
+        )
+    # Imported lazily: chaos subclasses ExecutionBackend, so a module-level
+    # import here would cycle back through repro.resilience.
+    from repro.resilience.chaos import chaos_from_env
+
+    config = chaos_from_env()
+    if config is not None:
+        from repro.resilience.chaos import ChaosBackend
+
+        return ChaosBackend(inner=resolved, config=config)
+    return resolved
+
+
+@dataclass(slots=True)
+class BackendLadder:
+    """The degradation ladder one run walks down when pools break.
+
+    Holds the *current* backend (demotions are sticky for the remainder
+    of the run) and the ordered record of every rung taken, which the
+    miner copies into :class:`~repro.engine.stats.EngineStats`.
+    """
+
+    backend: ExecutionBackend
+    degradations: list[DegradationEvent] = field(default_factory=list)
+
+    def demote(self, phase: str, reason: str) -> bool:
+        """Step down one rung; False when already at the bottom."""
+        demoted = _demote(self.backend)
+        if demoted is None:
+            return False
+        self.degradations.append(
+            DegradationEvent(
+                phase=phase,
+                from_backend=self.backend.name,
+                to_backend=demoted.name,
+                reason=reason,
+            )
+        )
+        self.backend = demoted
+        return True
+
+
+def _demote(backend: ExecutionBackend) -> ExecutionBackend | None:
+    """The next rung down from a backend, or ``None`` at the bottom.
+
+    Wrappers that expose ``inner``/``rewrap`` (the chaos backend) are
+    demoted through: the inner backend steps down and the wrapper is
+    rebuilt around it, so fault injection survives demotion.
+    """
+    inner = getattr(backend, "inner", None)
+    if inner is not None and hasattr(backend, "rewrap"):
+        demoted = _demote(inner)
+        return None if demoted is None else backend.rewrap(demoted)
+    if backend.name == "process":
+        return ThreadBackend(workers=getattr(backend, "workers", 2))
+    if backend.name == "thread":
         return SerialBackend()
-    if spec == "thread":
-        return ThreadBackend(workers=workers)
-    if spec == "process":
-        return ProcessBackend(workers=workers)
-    raise EngineError(
-        f"unknown backend {backend!r}; choose 'auto', 'serial', "
-        "'thread' or 'process'"
-    )
+    return None
 
 
-def run_shards(
+def _backend_map(
     backend: ExecutionBackend,
     fn: Callable,
     tasks: Sequence,
+    ctx: ResilienceContext,
 ) -> list[ShardOutcome]:
-    """Run tasks on a backend, retrying any failed shard serially.
+    """One backend round, passing limits only when any are set.
 
-    Returns outcomes in task order, all successful; raises
-    :class:`EngineError` naming the shard if the serial retry fails too.
+    Keeps third-party backends with the pre-resilience ``map(fn, tasks)``
+    signature working for limit-free runs.
     """
-    outcomes = backend.map(fn, tasks)
+    if ctx.shard_timeout_s is None and ctx.deadline is None:
+        outcomes = backend.map(fn, tasks)
+    else:
+        outcomes = backend.map(
+            fn, tasks, timeout_s=ctx.shard_timeout_s, deadline=ctx.deadline
+        )
     if len(outcomes) != len(tasks):
         raise EngineError(
             f"backend {backend.name!r} returned {len(outcomes)} outcomes "
             f"for {len(tasks)} tasks"
         )
-    for position, outcome in enumerate(outcomes):
-        if outcome.ok:
-            continue
-        try:
-            value, elapsed = _timed_call(fn, tasks[outcome.index])
-        except Exception as error:  # repro: ignore[REP404] -- last-resort serial retry; any failure here is re-raised as EngineError with both causes
-            raise EngineError(
-                f"shard {outcome.index} failed on backend "
-                f"{backend.name!r} ({outcome.error}) and again on the "
-                f"serial retry: {error}"
-            ) from error
-        outcomes[position] = replace(
-            outcome, value=value, error=None, elapsed_s=elapsed, retried=True
-        )
     return outcomes
+
+
+#: Limit-free two-attempt context reproducing the historical contract of
+#: ``run_shards`` (one backend attempt, one serial retry, no sleeping).
+_LEGACY_CONTEXT = ResilienceContext(policy=RetryPolicy(backoff_base_s=0.0))
+
+
+def run_shards(
+    backend: ExecutionBackend | BackendLadder,
+    fn: Callable,
+    tasks: Sequence,
+    resilience: ResilienceContext | None = None,
+    *,
+    phase: str = "run",
+) -> list[ShardOutcome]:
+    """Run tasks on a backend under the resilience contract.
+
+    Returns outcomes in task order, all successful.  Failure handling, in
+    order of application:
+
+    1. shards already in the context's checkpoint journal are replayed,
+       not executed (``resumed=True``, zero attempts charged);
+    2. a broken pool demotes the ladder (process -> thread -> serial) and
+       re-runs only the shards the break swallowed, free of charge;
+    3. fatally-classified task errors raise :class:`EngineError` at once;
+    4. retryable errors get in-parent serial retries with deterministic
+       backoff until the policy's attempt budget is exhausted — then
+       :class:`EngineError`;
+    5. an expired run deadline raises
+       :class:`~repro.core.errors.ShardTimeout`.
+
+    Every successful shard is checkpointed the moment it completes, so a
+    later crash resumes past it.  Pass a :class:`BackendLadder` to make
+    demotions stick across several ``run_shards`` calls of one run.
+    """
+    ladder = (
+        backend if isinstance(backend, BackendLadder) else BackendLadder(backend)
+    )
+    ctx = resilience if resilience is not None else _LEGACY_CONTEXT
+
+    results: dict[int, ShardOutcome] = {}
+    attempts: dict[int, int] = {}
+    failures: dict[int, ShardOutcome] = {}
+
+    for index, (value, elapsed) in ctx.restored(phase, len(tasks)).items():
+        results[index] = ShardOutcome(
+            index=index,
+            value=value,
+            elapsed_s=elapsed,
+            attempts=0,
+            resumed=True,
+        )
+    to_run = [index for index in range(len(tasks)) if index not in results]
+
+    # Phase A: backend rounds.  One map per ladder rung; only shards a
+    # pool break swallowed are re-mapped, and only after a demotion.
+    while to_run:
+        current = ladder.backend
+        raw = _backend_map(current, fn, [tasks[i] for i in to_run], ctx)
+        pool_broken: list[int] = []
+        for outcome, index in zip(raw, to_run):
+            if outcome.ok:
+                attempts[index] = attempts.get(index, 0) + 1
+                results[index] = replace(
+                    outcome, index=index, attempts=attempts[index]
+                )
+                ctx.checkpoint(phase, index, outcome.value, outcome.elapsed_s)
+            elif outcome.error_type in POOL_BREAK_TYPES:
+                pool_broken.append(index)
+            else:
+                attempts[index] = attempts.get(index, 0) + 1
+                failures[index] = replace(outcome, index=index)
+        if not pool_broken:
+            break
+        reason = raw[to_run.index(pool_broken[0])].error_type or "broken pool"
+        if ladder.demote(phase, reason):
+            to_run = pool_broken
+            continue
+        # Bottom of the ladder: charge the shards and fall through to the
+        # serial retry loop like any other failure.
+        for index in pool_broken:
+            attempts[index] = attempts.get(index, 0) + 1
+            failures[index] = replace(
+                raw[to_run.index(index)], index=index
+            )
+        break
+
+    # Phase B: bounded in-parent serial retries for ordinary failures.
+    for index in sorted(failures):
+        outcome = failures[index]
+        while not outcome.ok:
+            action = ctx.policy.classify(outcome.error_type)
+            if action is FailureAction.FAIL:
+                raise EngineError(
+                    f"shard {index} failed with non-retryable "
+                    f"{outcome.error_type} on backend "
+                    f"{ladder.backend.name!r}: {outcome.error}"
+                )
+            if ctx.policy.exhausted(attempts[index]):
+                raise EngineError(
+                    f"shard {index} failed on backend "
+                    f"{ladder.backend.name!r} and exhausted its "
+                    f"{ctx.policy.max_attempts}-attempt budget "
+                    f"(last error: {outcome.error})"
+                )
+            if ctx.deadline is not None and ctx.deadline.expired:
+                raise ShardTimeout(
+                    f"run deadline of {ctx.deadline.budget_s}s expired with "
+                    f"shard {index} still failing: {outcome.error}"
+                )
+            delay = ctx.policy.delay_s(attempts[index], shard=index)
+            if ctx.deadline is not None:
+                delay = min(delay, ctx.deadline.remaining())
+            sleep(delay)
+            attempts[index] += 1
+            try:
+                value, elapsed = _timed_call(fn, tasks[index])
+            except Exception as error:  # repro: ignore[REP404] -- in-parent retry; the failure is re-classified on the next loop turn
+                outcome = replace(
+                    _failure(index, error), attempts=attempts[index]
+                )
+                continue
+            outcome = ShardOutcome(
+                index=index,
+                value=value,
+                elapsed_s=elapsed,
+                retried=True,
+                attempts=attempts[index],
+            )
+        results[index] = outcome
+        ctx.checkpoint(phase, index, outcome.value, outcome.elapsed_s)
+
+    ordered = [results[index] for index in range(len(tasks))]
+    for position, outcome in enumerate(ordered):
+        if outcome.attempts > 1 and not outcome.retried:
+            ordered[position] = replace(outcome, retried=True)
+    return ordered

@@ -23,6 +23,9 @@ from __future__ import annotations
 
 import time
 from collections.abc import Iterable, Sequence
+from dataclasses import replace as _dc_replace
+from pathlib import Path
+from typing import Any
 
 from repro.core.counting import check_min_conf, frequent_letter_set, min_count
 from repro.core.errors import EngineError, MiningError
@@ -34,12 +37,15 @@ from repro.core.multiperiod import (
 from repro.core.pattern import Pattern
 from repro.core.result import MiningResult, MiningStats
 from repro.engine.executor import (
+    BackendLadder,
     ExecutionBackend,
     ShardOutcome,
     resolve_backend,
     run_shards,
     visible_cpus,
 )
+from repro.resilience.context import ResilienceContext
+from repro.resilience.journal import CheckpointJournal, series_fingerprint
 from repro.encoding.vocabulary import LetterVocabulary
 from repro.engine.merge import (
     hits_to_tree,
@@ -62,6 +68,48 @@ from repro.timeseries.feature_series import FeatureSeries, as_feature_series
 def default_workers() -> int:
     """The worker count used when none is given: the visible CPU count."""
     return visible_cpus()
+
+
+def _run_key(
+    series: FeatureSeries,
+    shards: Sequence[SegmentShard],
+    **params: Any,
+) -> dict[str, Any]:
+    """The journal run key: everything that shapes this run's payloads.
+
+    A resumed journal must match on series content, partition plan, and
+    the mining parameters — resuming with, say, a different worker count
+    produces a different plan and is rejected up front rather than
+    silently merging incompatible shards.
+    """
+    key: dict[str, Any] = {
+        "series": series_fingerprint(series),
+        "series_len": len(series),
+        "plan": [
+            [shard.shard_id, shard.period, shard.start_segment, shard.num_segments]
+            for shard in shards
+        ],
+    }
+    key.update(params)
+    return key
+
+
+def _attach_journal(
+    resilience: ResilienceContext | None,
+    journal_path: str | Path | None,
+    run_key: dict[str, Any],
+) -> tuple[ResilienceContext | None, CheckpointJournal | None]:
+    """The context a run should use, opening a journal when asked.
+
+    ``journal_path`` overrides any journal already on the context.  The
+    second element is the journal *this call* opened (the caller owns
+    closing it); ``None`` when the caller passed their own.
+    """
+    if journal_path is None:
+        return resilience, None
+    journal = CheckpointJournal(journal_path, run_key)
+    base = resilience if resilience is not None else ResilienceContext()
+    return _dc_replace(base, journal=journal), journal
 
 
 def _plain_series(data: FeatureSeries | str | Iterable) -> FeatureSeries:
@@ -148,6 +196,8 @@ class ParallelMiner:
         backend: str | ExecutionBackend | None = None,
         chunk_size: int | None = None,
         max_letters: int | None = None,
+        resilience: ResilienceContext | None = None,
+        journal_path: str | Path | None = None,
     ) -> MiningResult:
         """All frequent patterns of one period, mined over segment shards.
 
@@ -155,6 +205,12 @@ class ParallelMiner:
         :func:`~repro.core.hitset.mine_single_period_hitset`; the result
         additionally carries :attr:`~repro.core.result.MiningResult.engine`
         with the per-shard ledger.
+
+        ``resilience`` supplies the retry policy, per-shard timeout, and
+        wall-clock deadline (see :mod:`repro.resilience`); ``journal_path``
+        checkpoints every completed shard there and resumes from any
+        matching entries already present, overriding a journal on the
+        context.
         """
         min_conf = self.min_conf if min_conf is None else min_conf
         check_min_conf(min_conf)
@@ -179,43 +235,72 @@ class ParallelMiner:
         resolved = resolve_backend(
             self.backend if backend is None else backend, workers
         )
-        engine = EngineStats(backend=resolved.name, workers=workers)
-        engine.partition_s = time.perf_counter() - started
-
-        # ----- Scan 1: per-shard letter counters -> F1 -------------------
-        outcomes = run_shards(resolved, count_shard_letters, shards)
-        self._record(engine, "f1", shards, outcomes)
-        merge_started = time.perf_counter()
-        letter_counts = merge_counters(
-            outcome.value for outcome in outcomes
-        )
-        engine.merge_s += time.perf_counter() - merge_started
-        threshold = min_count(min_conf, num_periods)
-        f1 = frequent_letter_set(letter_counts, threshold)
-
-        stats = MiningStats(scans=1)
-        if not f1:
-            engine.total_s = time.perf_counter() - started
-            return MiningResult(
-                algorithm="parallel-hitset",
+        ctx, owned_journal = _attach_journal(
+            resilience,
+            journal_path,
+            _run_key(
+                self.series,
+                shards,
                 period=period,
                 min_conf=min_conf,
-                num_periods=num_periods,
-                counts={},
-                stats=stats,
-                engine=engine,
-            )
-
-        # ----- Scan 2: per-shard hits -> partial trees -> merged tree ----
-        letter_order = tuple(sorted(f1))
-        hit_worker = collect_shard_hits if self.encode else collect_shard_hits_legacy
-        to_tree = hits_to_tree if self.encode else hits_to_tree_letters
-        outcomes = run_shards(
-            resolved,
-            hit_worker,
-            [(shard, letter_order) for shard in shards],
+                encode=self.encode,
+            ),
         )
-        self._record(engine, "hits", shards, outcomes)
+        ladder = BackendLadder(resolved)
+        engine = EngineStats(backend=resolved.name, workers=workers)
+        engine.partition_s = time.perf_counter() - started
+        try:
+            # ----- Scan 1: per-shard letter counters -> F1 ---------------
+            outcomes = run_shards(
+                ladder, count_shard_letters, shards, ctx, phase="f1"
+            )
+            self._record(engine, "f1", shards, outcomes)
+            merge_started = time.perf_counter()
+            letter_counts = merge_counters(
+                outcome.value for outcome in outcomes
+            )
+            engine.merge_s += time.perf_counter() - merge_started
+            threshold = min_count(min_conf, num_periods)
+            f1 = frequent_letter_set(letter_counts, threshold)
+
+            stats = MiningStats(scans=1)
+            if not f1:
+                engine.degradations = list(ladder.degradations)
+                engine.total_s = time.perf_counter() - started
+                return MiningResult(
+                    algorithm="parallel-hitset",
+                    period=period,
+                    min_conf=min_conf,
+                    num_periods=num_periods,
+                    counts={},
+                    stats=stats,
+                    engine=engine,
+                )
+
+            # ----- Scan 2: per-shard hits -> partial trees -> merged tree
+            letter_order = tuple(sorted(f1))
+            if ctx is not None:
+                # Scan-2 payloads are bitmasks over this exact ordering;
+                # a resumed journal must have been built against it.
+                ctx.pin_meta(
+                    "hits",
+                    [[offset, feature] for offset, feature in letter_order],
+                )
+            hit_worker = (
+                collect_shard_hits if self.encode else collect_shard_hits_legacy
+            )
+            to_tree = hits_to_tree if self.encode else hits_to_tree_letters
+            outcomes = run_shards(
+                ladder,
+                hit_worker,
+                [(shard, letter_order) for shard in shards],
+                ctx,
+                phase="hits",
+            )
+            self._record(engine, "hits", shards, outcomes)
+        finally:
+            if owned_journal is not None:
+                owned_journal.close()
         merge_started = time.perf_counter()
         tree = merge_trees(
             [
@@ -239,6 +324,7 @@ class ParallelMiner:
             Pattern.from_letters(period, letters): count
             for letters, count in counts.items()
         }
+        engine.degradations = list(ladder.degradations)
         engine.total_s = time.perf_counter() - started
         return MiningResult(
             algorithm="parallel-hitset",
@@ -262,12 +348,16 @@ class ParallelMiner:
         backend: str | ExecutionBackend | None = None,
         min_repetitions: int = 1,
         max_letters: int | None = None,
+        resilience: ResilienceContext | None = None,
+        journal_path: str | Path | None = None,
     ) -> MultiPeriodResult:
         """Mine many periods with one worker task per period.
 
         The parallel form of Algorithm 3.3's loop: each task mines its
         whole period independently (2 scans per period).  Counts per
-        period are identical to the serial loop.
+        period are identical to the serial loop.  ``resilience`` and
+        ``journal_path`` behave as in :meth:`mine`; here each checkpointed
+        shard is one whole mined period.
         """
         min_conf = self.min_conf if min_conf is None else min_conf
         check_min_conf(min_conf)
@@ -280,6 +370,7 @@ class ParallelMiner:
         engine = EngineStats(backend=resolved.name, workers=workers)
 
         tasks: list[PeriodTask] = []
+        shards: list[SegmentShard] = []
         for index, period in enumerate(usable):
             num_segments = len(self.series) // period
             shard = SegmentShard(
@@ -289,8 +380,29 @@ class ParallelMiner:
                 num_segments=num_segments,
                 series=self.series.slice_segments(period, 0, num_segments),
             )
+            shards.append(shard)
             tasks.append((shard, min_conf, max_letters, self.encode))
-        outcomes = run_shards(resolved, mine_period_task, tasks)
+        ctx, owned_journal = _attach_journal(
+            resilience,
+            journal_path,
+            _run_key(
+                self.series,
+                shards,
+                min_conf=min_conf,
+                encode=self.encode,
+                max_letters=max_letters,
+                min_repetitions=min_repetitions,
+            ),
+        )
+        ladder = BackendLadder(resolved)
+        try:
+            outcomes = run_shards(
+                ladder, mine_period_task, tasks, ctx, phase="period"
+            )
+        finally:
+            if owned_journal is not None:
+                owned_journal.close()
+        engine.degradations = list(ladder.degradations)
 
         result = MultiPeriodResult(
             algorithm="parallel-looping[hitset]",
@@ -313,6 +425,8 @@ class ParallelMiner:
                     slots=stats.scans * shard.num_slots,
                     elapsed_s=outcome.elapsed_s,
                     retried=outcome.retried,
+                    attempts=outcome.attempts,
+                    resumed=outcome.resumed,
                 )
             )
             vocab = LetterVocabulary(vocab_letters, period=period)
@@ -341,6 +455,8 @@ class ParallelMiner:
         backend: str | ExecutionBackend | None = None,
         min_repetitions: int = 1,
         max_letters: int | None = None,
+        resilience: ResilienceContext | None = None,
+        journal_path: str | Path | None = None,
     ) -> MultiPeriodResult:
         """Mine every period in ``[low, high]`` with per-period fan-out."""
         return self.mine_periods(
@@ -350,6 +466,8 @@ class ParallelMiner:
             backend=backend,
             min_repetitions=min_repetitions,
             max_letters=max_letters,
+            resilience=resilience,
+            journal_path=journal_path,
         )
 
     # ------------------------------------------------------------------
@@ -371,6 +489,8 @@ class ParallelMiner:
                     slots=shard.num_slots,
                     elapsed_s=outcome.elapsed_s,
                     retried=outcome.retried,
+                    attempts=outcome.attempts,
+                    resumed=outcome.resumed,
                 )
             )
 

@@ -32,8 +32,39 @@ class ShardStats:
     segments: int
     slots: int
     elapsed_s: float
-    #: True when the shard failed on the pool and was re-run serially.
+    #: True when the shard failed at least once and was re-executed.
     retried: bool = False
+    #: Total executions this shard consumed (1 = clean first attempt).
+    attempts: int = 1
+    #: True when the shard's payload was replayed from a checkpoint
+    #: journal instead of being executed this run.
+    resumed: bool = False
+
+
+@dataclass(frozen=True, slots=True)
+class DegradationEvent:
+    """One rung taken down the backend degradation ladder.
+
+    Recorded when a pool breaks mid-run (e.g. ``BrokenProcessPool``) and
+    the engine demotes the remainder of the run to a weaker but sturdier
+    backend (process -> thread -> serial).
+    """
+
+    #: Phase during which the pool broke.
+    phase: str
+    #: Backend name the run was using when it broke.
+    from_backend: str
+    #: Backend name the remainder of the run fell back to.
+    to_backend: str
+    #: Exception class name that broke the pool.
+    reason: str
+
+    def describe(self) -> str:
+        """Human-readable one-liner for CLI output."""
+        return (
+            f"{self.phase}: {self.from_backend} -> {self.to_backend} "
+            f"({self.reason})"
+        )
 
 
 @dataclass(slots=True)
@@ -47,6 +78,8 @@ class EngineStats:
     merge_s: float = 0.0
     derive_s: float = 0.0
     total_s: float = 0.0
+    #: Backend demotions taken while the run was in flight, in order.
+    degradations: list[DegradationEvent] = field(default_factory=list)
 
     @property
     def num_shards(self) -> int:
@@ -70,8 +103,13 @@ class EngineStats:
 
     @property
     def shards_retried(self) -> int:
-        """Shards that degraded to the serial retry."""
+        """Shards that needed more than one execution."""
         return sum(1 for shard in self.shards if shard.retried)
+
+    @property
+    def shards_resumed(self) -> int:
+        """Shards replayed from a checkpoint journal."""
+        return sum(1 for shard in self.shards if shard.resumed)
 
     def scan_equivalents(self, series_len: int) -> float:
         """Slots scanned expressed in full passes over the series."""
@@ -81,12 +119,17 @@ class EngineStats:
 
     def summary(self) -> str:
         """One-line human summary of the run."""
-        return (
+        line = (
             f"engine[{self.backend}]: workers={self.workers} "
             f"shards={self.num_shards} slots={self.slots_scanned} "
             f"retried={self.shards_retried} "
-            f"merge={self.merge_s * 1e3:.1f}ms total={self.total_s:.3f}s"
         )
+        if self.shards_resumed:
+            line += f"resumed={self.shards_resumed} "
+        if self.degradations:
+            line += f"degraded={len(self.degradations)} "
+        line += f"merge={self.merge_s * 1e3:.1f}ms total={self.total_s:.3f}s"
+        return line
 
     def __repr__(self) -> str:
         return f"EngineStats({self.summary()})"

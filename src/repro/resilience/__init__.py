@@ -1,0 +1,45 @@
+"""Fault tolerance for the sharded mining engine.
+
+The package that turns :mod:`repro.engine` from "retry once and hope"
+into an explicit resilience model:
+
+* :mod:`~repro.resilience.policy` — bounded, classified retries with
+  deterministic jittered backoff;
+* :mod:`~repro.resilience.deadline` — wall-clock budgets and cooperative
+  cancellation;
+* :mod:`~repro.resilience.journal` — an append-only checkpoint journal
+  so killed runs resume without re-running completed shards;
+* :mod:`~repro.resilience.context` — the bundle of all of the above that
+  the engine threads through a run;
+* :mod:`~repro.resilience.chaos` — deterministic fault injection for
+  testing (imported on demand, **not** re-exported here: it subclasses
+  the engine's backend ABC, and eagerly importing it would cycle back
+  into :mod:`repro.engine`).
+
+See ``docs/resilience.md`` for the full semantics.
+"""
+
+from repro.resilience.backoff import backoff_delay, sleep
+from repro.resilience.context import ResilienceContext
+from repro.resilience.deadline import Deadline
+from repro.resilience.journal import (
+    CheckpointJournal,
+    decode_payload,
+    encode_payload,
+    series_fingerprint,
+)
+from repro.resilience.policy import DEFAULT_FATAL_TYPES, FailureAction, RetryPolicy
+
+__all__ = [
+    "DEFAULT_FATAL_TYPES",
+    "CheckpointJournal",
+    "Deadline",
+    "FailureAction",
+    "ResilienceContext",
+    "RetryPolicy",
+    "backoff_delay",
+    "decode_payload",
+    "encode_payload",
+    "series_fingerprint",
+    "sleep",
+]

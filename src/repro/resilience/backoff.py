@@ -1,0 +1,72 @@
+"""Deterministic exponential backoff — the package's only sleeping module.
+
+Every blocking sleep in the :mod:`repro` package routes through
+:func:`sleep` here, and the devtools rule ``REP601`` enforces it.  The
+point is budgeting: deadlines (:mod:`repro.resilience.deadline`) can only
+account for latency they can see, and a centralized sleep keeps every
+pause capped, logged in one place, and replaceable in tests.
+
+Jitter is *deterministic*: :func:`backoff_delay` derives it from a seeded
+:class:`random.Random` keyed by ``(seed, shard, attempt)``, so a retry
+schedule is a pure function of the policy — the same failing run backs
+off identically every time, which the chaos-equivalence suite relies on.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+
+from repro.core.errors import ResilienceError
+
+#: Multipliers mixing (seed, shard, attempt) into one RNG seed without
+#: relying on salted ``hash()``; primes keep nearby keys decorrelated.
+_SEED_MIX_A = 1_000_003
+_SEED_MIX_B = 8_191
+
+
+def backoff_delay(
+    attempt: int,
+    base_s: float,
+    cap_s: float,
+    jitter: float = 0.5,
+    seed: int = 0,
+    shard: int = 0,
+) -> float:
+    """The pause before retry ``attempt`` (1-based count of failures so far).
+
+    Exponential growth ``base_s * 2**(attempt - 1)`` capped at ``cap_s``,
+    with a deterministic jitter drawn from ``random.Random`` seeded by
+    ``(seed, shard, attempt)``: the returned delay lies in
+    ``[(1 - jitter) * d, d]``.  ``base_s == 0`` always returns ``0.0``.
+
+    >>> backoff_delay(3, base_s=0.1, cap_s=10.0, jitter=0.0)
+    0.4
+    >>> backoff_delay(2, 0.1, 10.0, seed=7) == backoff_delay(2, 0.1, 10.0, seed=7)
+    True
+    """
+    if attempt < 1:
+        raise ResilienceError(f"attempt must be >= 1, got {attempt}")
+    if base_s < 0 or cap_s < 0:
+        raise ResilienceError(
+            f"backoff times must be >= 0, got base={base_s}, cap={cap_s}"
+        )
+    if not 0.0 <= jitter <= 1.0:
+        raise ResilienceError(f"jitter must be in [0, 1], got {jitter}")
+    if base_s == 0.0:
+        return 0.0
+    delay = min(base_s * (2.0 ** (attempt - 1)), cap_s)
+    if jitter == 0.0:
+        return delay
+    rng = random.Random(seed * _SEED_MIX_A + shard * _SEED_MIX_B + attempt)
+    return delay * (1.0 - jitter * rng.random())
+
+
+def sleep(seconds: float) -> None:
+    """Block for ``seconds`` — the only sanctioned sleep in the package.
+
+    Negative or zero durations return immediately, so callers can pass a
+    deadline-clamped delay without guarding.
+    """
+    if seconds > 0:
+        time.sleep(seconds)

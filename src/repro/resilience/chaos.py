@@ -1,0 +1,208 @@
+"""Deterministic fault injection for the sharded engine.
+
+:class:`ChaosBackend` wraps any :class:`~repro.engine.executor.ExecutionBackend`
+and makes a seeded fraction of its tasks misbehave — crash, hang, or
+raise a message-less exception — *inside the worker*, exactly where real
+faults land.  Fault draws happen on the parent side from a
+:class:`random.Random` keyed by ``(seed, round, task index)``, so a given
+configuration injects the identical fault schedule on every run: the
+chaos-equivalence suite replays a schedule and asserts the mined result
+is byte-identical to the fault-free serial baseline.
+
+Faults only fire on the wrapped backend's rounds.  The retry ladder's
+in-parent serial retries call the worker function directly, so a crashed
+shard recovers on retry instead of crashing forever — mirroring the
+transient faults the resilience layer exists for.
+
+Setting ``REPRO_CHAOS_SEED`` in the environment makes
+:func:`~repro.engine.executor.resolve_backend` wrap every spec-resolved
+backend automatically (see :func:`chaos_from_env`); CI runs the engine
+suite that way.
+
+This module lives in :mod:`repro.resilience` but imports from
+:mod:`repro.engine`, the reverse of the package's usual direction — which
+is why ``repro/resilience/__init__.py`` must never import it eagerly.
+"""
+
+from __future__ import annotations
+
+import os
+import random
+from collections.abc import Callable, Sequence
+from dataclasses import dataclass, field
+
+from repro.core.errors import ResilienceError
+from repro.engine.executor import ExecutionBackend, ShardOutcome
+from repro.resilience.backoff import sleep
+from repro.resilience.deadline import Deadline
+
+#: Mixing primes for the per-(seed, round, task) fault RNG.
+_MIX_ROUND = 104_729
+_MIX_TASK = 15_485_863
+
+
+class ChaosCrash(RuntimeError):
+    """An injected worker crash (retryable, like any RuntimeError)."""
+
+
+class ChaosEmptyError(RuntimeError):
+    """An injected exception raised with *no message* — exercises the
+    ``str(error) or repr(error)`` capture fallback in the backends."""
+
+
+@dataclass(frozen=True, slots=True)
+class ChaosConfig:
+    """One fault-injection schedule: a seed plus per-fault rates.
+
+    Rates are independent probabilities carved out of a single uniform
+    draw per task, so ``crash_rate + hang_rate + empty_rate`` must stay
+    within ``[0, 1]``.
+    """
+
+    seed: int
+    crash_rate: float = 0.2
+    hang_rate: float = 0.0
+    empty_rate: float = 0.05
+    #: How long an injected hang sleeps.  Finite by design: with a shard
+    #: timeout it overruns and times out; without one it merely delays.
+    hang_s: float = 0.25
+
+    def __post_init__(self) -> None:
+        rates = (self.crash_rate, self.hang_rate, self.empty_rate)
+        if any(rate < 0 for rate in rates) or sum(rates) > 1.0:
+            raise ResilienceError(
+                f"chaos rates must be >= 0 and sum to <= 1, got {rates}"
+            )
+        if self.hang_s < 0:
+            raise ResilienceError(f"hang_s must be >= 0, got {self.hang_s}")
+
+    def fault_for(self, round_number: int, task_index: int) -> str | None:
+        """``"crash"``, ``"hang"``, ``"empty"`` or ``None`` for one task.
+
+        A pure function of ``(seed, round, task)`` — the whole point.
+        """
+        rng = random.Random(
+            self.seed * 1_000_003
+            + round_number * _MIX_ROUND
+            + task_index * _MIX_TASK
+        )
+        draw = rng.random()
+        if draw < self.crash_rate:
+            return "crash"
+        if draw < self.crash_rate + self.hang_rate:
+            return "hang"
+        if draw < self.crash_rate + self.hang_rate + self.empty_rate:
+            return "empty"
+        return None
+
+
+class _ChaosDispatch:
+    """Picklable worker wrapper applying a pre-drawn fault plan.
+
+    Tasks arrive as ``(index, original_task)`` pairs; the plan maps index
+    to fault name.  Module-level class so process backends can ship it.
+    """
+
+    def __init__(
+        self, fn: Callable, plan: dict[int, str], hang_s: float
+    ) -> None:
+        self.fn = fn
+        self.plan = plan
+        self.hang_s = hang_s
+
+    def __call__(self, indexed_task: tuple[int, object]) -> object:
+        index, task = indexed_task
+        fault = self.plan.get(index)
+        if fault == "crash":
+            raise ChaosCrash(f"injected crash on task {index}")
+        if fault == "hang":
+            sleep(self.hang_s)
+        elif fault == "empty":
+            raise ChaosEmptyError()
+        return self.fn(task)
+
+
+@dataclass
+class ChaosBackend(ExecutionBackend):
+    """A fault-injecting wrapper around any execution backend.
+
+    Transparent to callers: :attr:`name` reports the inner backend's name
+    (stats and CLI output describe the real executor), and every task's
+    eventual successful value is exactly what the inner backend would
+    have produced — chaos only adds failures for the retry machinery to
+    absorb.
+    """
+
+    inner: ExecutionBackend
+    config: ChaosConfig
+    #: Backend rounds completed; advances the fault schedule so a retry
+    #: round draws fresh faults instead of replaying the previous ones.
+    rounds: int = field(default=0, repr=False)
+
+    @property
+    def name(self) -> str:  # type: ignore[override]
+        return self.inner.name
+
+    def rewrap(self, inner: ExecutionBackend) -> "ChaosBackend":
+        """The same chaos schedule around a (demoted) inner backend."""
+        return ChaosBackend(inner=inner, config=self.config, rounds=self.rounds)
+
+    def map(
+        self,
+        fn: Callable,
+        tasks: Sequence,
+        *,
+        timeout_s: float | None = None,
+        deadline: Deadline | None = None,
+    ) -> list[ShardOutcome]:
+        round_number = self.rounds
+        self.rounds += 1
+        plan = {}
+        for index in range(len(tasks)):
+            fault = self.config.fault_for(round_number, index)
+            if fault is not None:
+                plan[index] = fault
+        dispatch = _ChaosDispatch(fn, plan, self.config.hang_s)
+        return self.inner.map(
+            dispatch,
+            list(enumerate(tasks)),
+            timeout_s=timeout_s,
+            deadline=deadline,
+        )
+
+    def __repr__(self) -> str:
+        return f"ChaosBackend(inner={self.inner!r}, config={self.config})"
+
+
+def chaos_from_env() -> ChaosConfig | None:
+    """The :class:`ChaosConfig` described by the environment, if any.
+
+    ``REPRO_CHAOS_SEED`` (an integer) switches injection on.  Optional
+    ``REPRO_CHAOS_RATES`` is ``"crash,hang,empty"`` floats (default
+    ``0.15,0,0.05``) and ``REPRO_CHAOS_HANG_S`` the injected hang length.
+    """
+    raw_seed = os.environ.get("REPRO_CHAOS_SEED", "").strip()
+    if not raw_seed:
+        return None
+    try:
+        seed = int(raw_seed)
+    except ValueError as error:
+        raise ResilienceError(
+            f"REPRO_CHAOS_SEED must be an integer, got {raw_seed!r}"
+        ) from error
+    rates_raw = os.environ.get("REPRO_CHAOS_RATES", "0.15,0,0.05")
+    try:
+        crash, hang, empty = (float(part) for part in rates_raw.split(","))
+    except ValueError as error:
+        raise ResilienceError(
+            "REPRO_CHAOS_RATES must be 'crash,hang,empty' floats, got "
+            f"{rates_raw!r}"
+        ) from error
+    hang_s = float(os.environ.get("REPRO_CHAOS_HANG_S", "0.25"))
+    return ChaosConfig(
+        seed=seed,
+        crash_rate=crash,
+        hang_rate=hang,
+        empty_rate=empty,
+        hang_s=hang_s,
+    )

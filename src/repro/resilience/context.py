@@ -1,0 +1,117 @@
+"""One bundle of resilience settings threaded through a mining run.
+
+:class:`ResilienceContext` is what :func:`repro.engine.executor.run_shards`
+and :class:`repro.engine.parallel.ParallelMiner` accept: the retry policy,
+the optional per-shard timeout, the optional wall-clock deadline, and the
+optional checkpoint journal, carried as one object so every phase of a
+run shares the same budget and journal.
+
+The context deliberately knows nothing about backends or
+:class:`~repro.engine.executor.ShardOutcome` — journal lookups hand back
+raw ``(payload, elapsed_s)`` tuples and the executor dresses them up —
+which keeps :mod:`repro.resilience` importable without touching
+:mod:`repro.engine` (the dependency points the other way).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any
+
+from repro.core.errors import ResilienceError
+from repro.resilience.deadline import Deadline
+from repro.resilience.journal import CheckpointJournal
+from repro.resilience.policy import RetryPolicy
+
+
+@dataclass(slots=True)
+class ResilienceContext:
+    """Retry, deadline, timeout, and checkpoint settings for one run."""
+
+    policy: RetryPolicy = field(default_factory=RetryPolicy)
+    #: Per-shard execution budget in seconds; ``None`` disables timeouts.
+    shard_timeout_s: float | None = None
+    #: Shared wall-clock budget for the whole run; ``None`` disables it.
+    deadline: Deadline | None = None
+    #: Open checkpoint journal; ``None`` disables checkpointing.
+    journal: CheckpointJournal | None = None
+
+    def __post_init__(self) -> None:
+        if self.shard_timeout_s is not None and self.shard_timeout_s <= 0:
+            raise ResilienceError(
+                f"shard_timeout_s must be > 0, got {self.shard_timeout_s}"
+            )
+
+    @classmethod
+    def create(
+        cls,
+        *,
+        max_attempts: int = 2,
+        backoff_base_s: float = 0.05,
+        seed: int = 0,
+        shard_timeout_s: float | None = None,
+        deadline_s: float | None = None,
+        journal_path: str | Path | None = None,
+        run_key: dict[str, Any] | None = None,
+    ) -> "ResilienceContext":
+        """The common construction path used by the CLI and miner.
+
+        Builds the policy from scalar knobs, starts the deadline clock
+        *now*, and opens (or resumes) the journal at ``journal_path`` —
+        which requires ``run_key`` so a stale journal is rejected before
+        any work runs.
+        """
+        journal = None
+        if journal_path is not None:
+            if run_key is None:
+                raise ResilienceError(
+                    "a checkpoint journal needs a run_key to validate against"
+                )
+            journal = CheckpointJournal(journal_path, run_key)
+        return cls(
+            policy=RetryPolicy(
+                max_attempts=max_attempts,
+                backoff_base_s=backoff_base_s,
+                seed=seed,
+            ),
+            shard_timeout_s=shard_timeout_s,
+            deadline=None if deadline_s is None else Deadline.start(deadline_s),
+            journal=journal,
+        )
+
+    # -- journal pass-throughs (no-ops without a journal) ----------------
+
+    def restored(self, phase: str, count: int) -> dict[int, tuple[Any, float]]:
+        """Checkpointed ``shard -> (payload, elapsed_s)`` for one phase."""
+        if self.journal is None:
+            return {}
+        found: dict[int, tuple[Any, float]] = {}
+        for shard in range(count):
+            entry = self.journal.get(phase, shard)
+            if entry is not None:
+                found[shard] = entry
+        return found
+
+    def checkpoint(
+        self, phase: str, shard: int, value: Any, elapsed_s: float
+    ) -> None:
+        """Persist one completed shard, if a journal is attached."""
+        if self.journal is not None:
+            self.journal.record(phase, shard, value, elapsed_s)
+
+    def pin_meta(self, phase: str, meta: Any) -> None:
+        """Validate phase metadata against the journal, if attached."""
+        if self.journal is not None:
+            self.journal.ensure_meta(phase, meta)
+
+    def close(self) -> None:
+        """Close the journal, if any (safe to call repeatedly)."""
+        if self.journal is not None:
+            self.journal.close()
+
+    def __enter__(self) -> "ResilienceContext":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()

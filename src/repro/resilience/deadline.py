@@ -1,0 +1,56 @@
+"""Wall-clock budgets for mining runs.
+
+A :class:`Deadline` is a monotonic-clock budget shared by every phase of
+one run: the engine checks it between retry rounds and uses
+:meth:`Deadline.remaining` to cap how long it waits on any single worker
+future, so a hung shard surfaces as a :class:`~repro.core.errors.ShardTimeout`
+instead of blocking the pool forever.  Cancellation is cooperative — a
+worker that is already computing cannot be preempted, but no *new* wait
+or retry starts once the budget is spent.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+from repro.core.errors import ResilienceError
+
+
+@dataclass(frozen=True, slots=True)
+class Deadline:
+    """A fixed wall-clock budget anchored at creation time.
+
+    Build one with :meth:`start`; ``budget_s`` is the total allowance and
+    ``started`` the :func:`time.monotonic` anchor.
+
+    >>> deadline = Deadline.start(60.0)
+    >>> deadline.expired
+    False
+    """
+
+    budget_s: float
+    started: float
+
+    @classmethod
+    def start(cls, budget_s: float) -> "Deadline":
+        """A deadline expiring ``budget_s`` seconds from now."""
+        if budget_s <= 0:
+            raise ResilienceError(f"deadline budget must be > 0, got {budget_s}")
+        return cls(budget_s=budget_s, started=time.monotonic())
+
+    def elapsed(self) -> float:
+        """Seconds spent since the deadline started."""
+        return time.monotonic() - self.started
+
+    def remaining(self) -> float:
+        """Seconds left in the budget (never negative)."""
+        return max(0.0, self.budget_s - self.elapsed())
+
+    @property
+    def expired(self) -> bool:
+        """True once the budget is fully spent."""
+        return self.remaining() <= 0.0
+
+    def __repr__(self) -> str:
+        return f"Deadline(budget_s={self.budget_s}, remaining={self.remaining():.3f})"

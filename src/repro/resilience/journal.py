@@ -1,0 +1,299 @@
+"""The checkpoint journal: restartable progress for sharded mining runs.
+
+An append-only JSONL file recording every completed shard outcome of one
+run.  A killed ``ppm mine --workers N --resume journal.jsonl`` restarts,
+replays the journal, and re-runs only the shards that never completed —
+the merged result is byte-identical to an uninterrupted run because shard
+payloads are associative state (counters and mask multisets; see
+:mod:`repro.engine.merge`) and the journal stores them losslessly.
+
+Layout (one JSON object per line)::
+
+    {"format": "repro.checkpoint/1", "run": {...run key...}}   # header
+    {"phase": "hits", "meta": {...}}                           # phase meta
+    {"phase": "f1", "shard": 0, "elapsed_s": 0.01, "payload": {...}}
+
+The **run key** fingerprints everything that shapes shard payloads — the
+series content, period(s), threshold, encode flag, and the partition plan
+— so a journal can never be resumed against a different run.  Scan-2
+payloads are bitmask counters over the run's sorted ``C_max`` letters
+(the :class:`~repro.engine.partition.EncodedShard` wire format); the
+letter order is pinned by a phase-meta line and re-validated on resume.
+
+A process killed mid-write leaves a truncated final line; loading
+tolerates exactly that (the unfinished trailing record is dropped, the
+shard simply re-runs).  Any *earlier* malformed line is corruption and
+raises :class:`~repro.core.errors.ResilienceError`.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from collections import Counter
+from pathlib import Path
+from typing import IO, Any
+
+from repro.core.errors import ResilienceError
+from repro.timeseries.feature_series import FeatureSeries
+
+#: Format tag written into every journal header.
+FORMAT_TAG = "repro.checkpoint/1"
+
+
+def series_fingerprint(series: FeatureSeries) -> str:
+    """A stable content digest of a series (order- and set-insensitive).
+
+    Hashes the canonical line-oriented text form (sorted features per
+    slot), so equal series always fingerprint equally regardless of how
+    their slots were constructed.
+    """
+    digest = hashlib.sha256()
+    for slot in series:
+        digest.update(" ".join(sorted(slot)).encode("utf-8"))
+        digest.update(b"\n")
+    return digest.hexdigest()[:16]
+
+
+# ---------------------------------------------------------------------------
+# Payload codec — every per-shard value the engine ships must round-trip.
+# ---------------------------------------------------------------------------
+
+
+def encode_payload(value: Any) -> dict[str, Any]:
+    """The JSON-ready form of one shard payload.
+
+    Supported payloads are exactly what the engine's worker functions
+    return: scan-1 letter counters, scan-2 hit counters (mask or legacy
+    letter-tuple keyed), and whole-period payloads.
+    """
+    if isinstance(value, Counter):
+        items = sorted(value.items())
+        if not items:
+            return {"kind": "masks", "items": []}
+        key = items[0][0]
+        if isinstance(key, int):
+            return {"kind": "masks", "items": [[k, c] for k, c in items]}
+        if isinstance(key, tuple) and len(key) == 2 and isinstance(key[0], int):
+            return {
+                "kind": "letters",
+                "items": [[k[0], k[1], c] for k, c in items],
+            }
+        if isinstance(key, tuple):
+            return {
+                "kind": "hit-letters",
+                "items": [
+                    [[[offset, feature] for offset, feature in hit], c]
+                    for hit, c in items
+                ],
+            }
+    if isinstance(value, tuple) and len(value) == 5:
+        period, segments, letters, rows, stats = value
+        return {
+            "kind": "period",
+            "period": period,
+            "segments": segments,
+            "letters": [[offset, feature] for offset, feature in letters],
+            "rows": [[mask, count] for mask, count in rows],
+            "stats": {
+                "scans": stats["scans"],
+                "tree_nodes": stats["tree_nodes"],
+                "hit_set_size": stats["hit_set_size"],
+                "candidate_counts": [
+                    [level, count]
+                    for level, count in sorted(stats["candidate_counts"].items())
+                ],
+            },
+        }
+    raise ResilienceError(
+        f"cannot checkpoint a payload of type {type(value).__name__}"
+    )
+
+
+def decode_payload(payload: dict[str, Any]) -> Any:
+    """Rebuild the shard payload written by :func:`encode_payload`."""
+    kind = payload.get("kind")
+    if kind == "masks":
+        return Counter({int(mask): int(c) for mask, c in payload["items"]})
+    if kind == "letters":
+        return Counter(
+            {(int(offset), str(feature)): int(c)
+             for offset, feature, c in payload["items"]}
+        )
+    if kind == "hit-letters":
+        return Counter(
+            {
+                tuple((int(offset), str(feature)) for offset, feature in hit): int(c)
+                for hit, c in payload["items"]
+            }
+        )
+    if kind == "period":
+        stats = payload["stats"]
+        return (
+            int(payload["period"]),
+            int(payload["segments"]),
+            tuple((int(offset), str(feature))
+                  for offset, feature in payload["letters"]),
+            [(int(mask), int(count)) for mask, count in payload["rows"]],
+            {
+                "scans": int(stats["scans"]),
+                "tree_nodes": int(stats["tree_nodes"]),
+                "hit_set_size": int(stats["hit_set_size"]),
+                "candidate_counts": {
+                    int(level): int(count)
+                    for level, count in stats["candidate_counts"]
+                },
+            },
+        )
+    raise ResilienceError(f"unknown checkpoint payload kind {kind!r}")
+
+
+# ---------------------------------------------------------------------------
+# The journal itself
+# ---------------------------------------------------------------------------
+
+
+class CheckpointJournal:
+    """Append-only JSONL checkpoint store for one mining run.
+
+    Opening an existing journal validates its header against ``run_key``
+    and loads every completed entry; opening a fresh path writes the
+    header.  :meth:`record` appends and flushes one line per completed
+    shard, so progress survives a ``kill -9`` up to the last whole line.
+    """
+
+    __slots__ = ("path", "run_key", "_entries", "_meta", "_handle")
+
+    def __init__(self, path: str | Path, run_key: dict[str, Any]):
+        self.path = Path(path)
+        self.run_key = run_key
+        #: ``(phase, shard) -> (decoded payload, elapsed_s)``.
+        self._entries: dict[tuple[str, int], tuple[Any, float]] = {}
+        self._meta: dict[str, Any] = {}
+        if self.path.exists() and self.path.stat().st_size > 0:
+            self._load()
+            self._handle: IO[str] | None = self.path.open(
+                "a", encoding="utf-8"
+            )
+        else:
+            self._handle = self.path.open("w", encoding="utf-8")
+            self._append({"format": FORMAT_TAG, "run": run_key})
+
+    # -- loading ---------------------------------------------------------
+
+    def _load(self) -> None:
+        lines = self.path.read_text(encoding="utf-8").split("\n")
+        if lines and lines[-1] == "":
+            lines.pop()
+        records: list[dict[str, Any]] = []
+        for number, line in enumerate(lines, start=1):
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError as error:
+                if number == len(lines):
+                    # Truncated trailing record from a killed writer: the
+                    # shard it described simply runs again.
+                    break
+                raise ResilienceError(
+                    f"{self.path}:{number}: corrupt checkpoint line: {error}"
+                ) from error
+            records.append(record)
+        if not records:
+            raise ResilienceError(
+                f"{self.path}: checkpoint journal has no readable header"
+            )
+        header = records[0]
+        if header.get("format") != FORMAT_TAG:
+            raise ResilienceError(
+                f"{self.path}: not a checkpoint journal "
+                f"(format {header.get('format')!r}, expected {FORMAT_TAG!r})"
+            )
+        if header.get("run") != self.run_key:
+            raise ResilienceError(
+                f"{self.path}: journal was recorded for a different run; "
+                "refusing to resume (series, parameters, or partition "
+                "plan changed)"
+            )
+        for record in records[1:]:
+            phase = record.get("phase")
+            if not isinstance(phase, str):
+                raise ResilienceError(
+                    f"{self.path}: checkpoint entry without a phase"
+                )
+            if "meta" in record:
+                self._meta[phase] = record["meta"]
+                continue
+            shard = int(record["shard"])
+            self._entries[(phase, shard)] = (
+                decode_payload(record["payload"]),
+                float(record.get("elapsed_s", 0.0)),
+            )
+
+    # -- writing ---------------------------------------------------------
+
+    def _append(self, record: dict[str, Any]) -> None:
+        if self._handle is None:
+            raise ResilienceError(f"{self.path}: journal is closed")
+        self._handle.write(json.dumps(record, separators=(",", ":")) + "\n")
+        self._handle.flush()
+
+    def record(self, phase: str, shard: int, value: Any, elapsed_s: float) -> None:
+        """Checkpoint one completed shard (idempotent per ``(phase, shard)``)."""
+        if (phase, shard) in self._entries:
+            return
+        self._append(
+            {
+                "phase": phase,
+                "shard": shard,
+                "elapsed_s": round(elapsed_s, 6),
+                "payload": encode_payload(value),
+            }
+        )
+        self._entries[(phase, shard)] = (value, elapsed_s)
+
+    def ensure_meta(self, phase: str, meta: Any) -> None:
+        """Pin phase metadata (e.g. scan 2's letter order) across resumes.
+
+        First call for a phase records the metadata; later calls — and
+        resumed runs — must present an equal value or the journal refuses
+        to mix incompatible payloads.
+        """
+        canonical = json.loads(json.dumps(meta))
+        existing = self._meta.get(phase)
+        if existing is None:
+            self._append({"phase": phase, "meta": canonical})
+            self._meta[phase] = canonical
+            return
+        if existing != canonical:
+            raise ResilienceError(
+                f"{self.path}: phase {phase!r} metadata changed between "
+                "runs; the journal cannot be resumed"
+            )
+
+    # -- queries ---------------------------------------------------------
+
+    def get(self, phase: str, shard: int) -> tuple[Any, float] | None:
+        """``(payload, elapsed_s)`` of a completed shard, or ``None``."""
+        return self._entries.get((phase, shard))
+
+    def completed(self, phase: str) -> int:
+        """Number of checkpointed shards of one phase."""
+        return sum(1 for key in self._entries if key[0] == phase)
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def close(self) -> None:
+        """Flush and close the underlying file (safe to call twice)."""
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+
+    def __enter__(self) -> "CheckpointJournal":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        return f"CheckpointJournal({str(self.path)!r}, entries={len(self)})"

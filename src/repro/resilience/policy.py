@@ -1,0 +1,128 @@
+"""Bounded, classified retries for shard execution.
+
+The engine used to hard-code "retry each failed shard once, serially".
+:class:`RetryPolicy` generalizes that into three explicit knobs:
+
+* **bounded attempts** — each shard gets at most ``max_attempts`` total
+  executions (the first backend attempt counts as one);
+* **exponential backoff with deterministic jitter** — pauses between
+  attempts come from :func:`repro.resilience.backoff.backoff_delay`, a
+  pure function of ``(seed, shard, attempt)``;
+* **per-exception-class classification** — deterministic input errors
+  (a malformed pattern, an invalid period) fail the same way on every
+  attempt, so retrying them only burns the deadline.  Those classes are
+  *fatal* and abort immediately; everything else (worker crashes, broken
+  pools, timeouts, I/O hiccups) is *retryable*.
+
+Classification is by exception **class name** (the string carried on
+:attr:`repro.engine.executor.ShardOutcome.error_type`) because worker
+errors cross process boundaries as strings, not live exception objects.
+Matching is exact — listing ``"ResilienceError"`` does not cover its
+subclass ``ShardTimeout``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+
+from repro.core.errors import ResilienceError
+from repro.resilience.backoff import backoff_delay
+
+#: Deterministic input/contract errors: retrying the identical shard can
+#: only reproduce them, so they abort the run on first sight.
+DEFAULT_FATAL_TYPES = frozenset(
+    {
+        "PatternError",
+        "SeriesError",
+        "MiningError",
+        "EncodingError",
+        "TaxonomyError",
+        "GeneratorError",
+        "EngineError",
+        "ResilienceError",
+    }
+)
+
+
+class FailureAction(Enum):
+    """What the retry ladder does with one classified failure."""
+
+    RETRY = "retry"
+    FAIL = "fail"
+
+
+@dataclass(frozen=True, slots=True)
+class RetryPolicy:
+    """Bounded retry schedule with deterministic jittered backoff.
+
+    Attributes
+    ----------
+    max_attempts:
+        Total executions allowed per shard (>= 1).  The default of 2 —
+        one backend attempt plus one serial retry — reproduces the
+        engine's historical behavior.
+    backoff_base_s / backoff_cap_s:
+        First-retry pause and its exponential-growth cap.  A base of 0
+        disables sleeping entirely (the test suites use this).
+    jitter:
+        Fraction of each delay randomized away, in ``[0, 1]``.
+    seed:
+        Seed for the deterministic jitter stream.
+    fatal_types:
+        Exception class names that abort instead of retrying.
+    retryable_types:
+        Names forced retryable even if listed fatal (override hook).
+    """
+
+    max_attempts: int = 2
+    backoff_base_s: float = 0.05
+    backoff_cap_s: float = 2.0
+    jitter: float = 0.5
+    seed: int = 0
+    fatal_types: frozenset[str] = DEFAULT_FATAL_TYPES
+    retryable_types: frozenset[str] = field(default_factory=frozenset)
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ResilienceError(
+                f"max_attempts must be >= 1, got {self.max_attempts}"
+            )
+        if self.backoff_base_s < 0 or self.backoff_cap_s < self.backoff_base_s:
+            raise ResilienceError(
+                "backoff must satisfy 0 <= base <= cap, got "
+                f"base={self.backoff_base_s}, cap={self.backoff_cap_s}"
+            )
+        if not 0.0 <= self.jitter <= 1.0:
+            raise ResilienceError(f"jitter must be in [0, 1], got {self.jitter}")
+
+    def classify(self, error_type: str | None) -> FailureAction:
+        """RETRY or FAIL for one failure, by exception class name.
+
+        Unknown (or missing) class names default to RETRY: transient
+        infrastructure failures come in shapes no list anticipates, and a
+        bounded retry of a deterministic error merely wastes
+        ``max_attempts - 1`` executions.
+        """
+        if error_type is None:
+            return FailureAction.RETRY
+        if error_type in self.retryable_types:
+            return FailureAction.RETRY
+        if error_type in self.fatal_types:
+            return FailureAction.FAIL
+        return FailureAction.RETRY
+
+    def delay_s(self, attempt: int, shard: int = 0) -> float:
+        """Deterministic pause before retrying after ``attempt`` failures."""
+        return backoff_delay(
+            attempt,
+            base_s=self.backoff_base_s,
+            cap_s=self.backoff_cap_s,
+            jitter=self.jitter,
+            seed=self.seed,
+            shard=shard,
+        )
+
+    def exhausted(self, attempts: int) -> bool:
+        """True once a shard has used up every allowed execution."""
+        return attempts >= self.max_attempts

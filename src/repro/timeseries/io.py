@@ -4,11 +4,19 @@ Format: one slot per line, features separated by spaces; an empty line is an
 empty slot.  Lines starting with ``#`` are comments.  The format is
 line-oriented so a series can be streamed from disk, matching the paper's
 disk-resident-database setting.
+
+Malformed content — bytes that are not UTF-8, features carrying control
+characters, or features using the reserved ``*`` wildcard — fails loudly
+with the file name and 1-based line number.  Long-running ingestion can
+instead pass ``strict=False`` plus a :class:`LoadReport`: malformed lines
+are *quarantined* (dropped from the series, with later slots shifting up)
+and described on the report for the caller to surface.
 """
 
 from __future__ import annotations
 
 from collections.abc import Iterator
+from dataclasses import dataclass, field
 from pathlib import Path
 from typing import TYPE_CHECKING
 
@@ -17,6 +25,49 @@ from repro.timeseries.feature_series import FeatureSeries
 
 if TYPE_CHECKING:
     from repro.timeseries.events import EventDatabase
+
+
+@dataclass(frozen=True, slots=True)
+class QuarantinedLine:
+    """One malformed series line set aside by a ``strict=False`` load."""
+
+    path: str
+    #: 1-based line number in the source file.
+    line: int
+    reason: str
+    #: The offending content (repr-safe, truncated).
+    content: str
+
+    def describe(self) -> str:
+        """``file:line: reason`` for logs and CLI warnings."""
+        return f"{self.path}:{self.line}: {self.reason} ({self.content})"
+
+
+@dataclass(slots=True)
+class LoadReport:
+    """Side-channel record of everything a lenient load quarantined."""
+
+    quarantined: list[QuarantinedLine] = field(default_factory=list)
+
+    @property
+    def clean(self) -> bool:
+        """True when nothing was quarantined."""
+        return not self.quarantined
+
+
+def _feature_problem(feature: str) -> str | None:
+    """Why a feature token is unusable, or ``None`` if it is fine."""
+    if "*" in feature:
+        return "feature uses the reserved wildcard character '*'"
+    if any(ord(ch) < 32 or ord(ch) == 127 for ch in feature):
+        return "feature contains control characters"
+    return None
+
+
+def _snippet(raw: bytes) -> str:
+    """A short, printable excerpt of a raw line for error reports."""
+    text = raw.decode("utf-8", errors="backslashreplace")
+    return repr(text if len(text) <= 60 else text[:57] + "...")
 
 
 def save_series(series: FeatureSeries, path: str | Path) -> None:
@@ -29,25 +80,85 @@ def save_series(series: FeatureSeries, path: str | Path) -> None:
             handle.write("\n")
 
 
-def iter_slot_lines(path: str | Path) -> Iterator[frozenset[str]]:
-    """Stream slots from a series file without materializing the series."""
+def iter_slot_lines(
+    path: str | Path,
+    strict: bool = True,
+    report: LoadReport | None = None,
+) -> Iterator[frozenset[str]]:
+    """Stream slots from a series file without materializing the series.
+
+    Malformed lines raise :class:`~repro.core.errors.SeriesError` naming
+    ``file:line``; with ``strict=False`` they are skipped instead and, if
+    ``report`` is given, recorded there as :class:`QuarantinedLine`
+    entries.  The file is read as bytes and decoded per line so even an
+    encoding error points at its exact line.
+    """
     source = Path(path)
     if not source.exists():
         raise SeriesError(f"series file not found: {source}")
-    with source.open("r", encoding="utf-8") as handle:
-        for line in handle:
-            line = line.rstrip("\n")
+    with source.open("rb") as handle:
+        for number, raw in enumerate(handle, start=1):
+            raw = raw.rstrip(b"\n").rstrip(b"\r")
+            try:
+                line = raw.decode("utf-8")
+            except UnicodeDecodeError as error:
+                problem = (
+                    f"line is not valid UTF-8 "
+                    f"({error.reason} at byte {error.start})"
+                )
+                if strict:
+                    raise SeriesError(
+                        f"{source}:{number}: {problem}"
+                    ) from error
+                if report is not None:
+                    report.quarantined.append(
+                        QuarantinedLine(
+                            path=str(source),
+                            line=number,
+                            reason=problem,
+                            content=_snippet(raw),
+                        )
+                    )
+                continue
             if line.startswith("#"):
                 continue
             if not line.strip():
                 yield frozenset()
-            else:
-                yield frozenset(line.split())
+                continue
+            features = line.split()
+            problems = [
+                problem
+                for problem in map(_feature_problem, features)
+                if problem is not None
+            ]
+            if problems:
+                if strict:
+                    raise SeriesError(f"{source}:{number}: {problems[0]}")
+                if report is not None:
+                    report.quarantined.append(
+                        QuarantinedLine(
+                            path=str(source),
+                            line=number,
+                            reason=problems[0],
+                            content=_snippet(raw),
+                        )
+                    )
+                continue
+            yield frozenset(features)
 
 
-def load_series(path: str | Path) -> FeatureSeries:
-    """Read a series previously written by :func:`save_series`."""
-    return FeatureSeries(iter_slot_lines(path))
+def load_series(
+    path: str | Path,
+    strict: bool = True,
+    report: LoadReport | None = None,
+) -> FeatureSeries:
+    """Read a series previously written by :func:`save_series`.
+
+    ``strict`` and ``report`` behave as in :func:`iter_slot_lines`:
+    the default fails fast with ``file:line`` context, ``strict=False``
+    quarantines malformed lines onto ``report`` and loads the rest.
+    """
+    return FeatureSeries(iter_slot_lines(path, strict=strict, report=report))
 
 
 def load_numeric_csv(

@@ -230,3 +230,69 @@ class TestJsonOutput:
             ]
         )
         assert code == 2
+
+
+class TestResilienceFlags:
+    def test_resume_roundtrip_reports_resumed_shards(
+        self, series_file, tmp_path, capsys
+    ):
+        journal = tmp_path / "mine.jsonl"
+        args = [
+            "mine", str(series_file),
+            "--period", "7", "--min-conf", "0.6",
+            "--workers", "2",
+            "--resume", str(journal),
+        ]
+        assert main(args) == 0
+        first = capsys.readouterr().out
+        assert journal.exists()
+        assert "resumed=" not in first
+
+        assert main(args) == 0
+        second = capsys.readouterr().out
+        assert "resumed=" in second
+        # The mined patterns are identical either way.
+        patterns = lambda out: [  # noqa: E731
+            line
+            for line in out.splitlines()
+            if line.startswith("  ") and not line.startswith("  [")
+        ]
+        assert patterns(first) == patterns(second)
+
+    def test_retry_and_timeout_flags_accepted(self, series_file, capsys):
+        code = main(
+            [
+                "mine", str(series_file),
+                "--period", "7", "--min-conf", "0.6",
+                "--max-retries", "3", "--shard-timeout", "30",
+                "--deadline", "60",
+            ]
+        )
+        assert code == 0
+        assert "period 7:" in capsys.readouterr().out
+
+    def test_maximal_rejects_resilience_flags(
+        self, series_file, tmp_path, capsys
+    ):
+        code = main(
+            [
+                "mine", str(series_file),
+                "--period", "7", "--maximal",
+                "--resume", str(tmp_path / "j.jsonl"),
+            ]
+        )
+        assert code == 2
+        assert "maximal" in capsys.readouterr().err
+
+    def test_lenient_flag_quarantines_and_warns(self, tmp_path, capsys):
+        path = tmp_path / "series.txt"
+        path.write_text("a b\n*\n" + "a b\nb\nc\n" * 40)
+        strict = main(["mine", str(path), "--period", "3"])
+        assert strict == 1
+        assert "series.txt:2" in capsys.readouterr().err
+
+        lenient = main(["mine", str(path), "--period", "3", "--lenient"])
+        assert lenient == 0
+        captured = capsys.readouterr()
+        assert "warning: quarantined" in captured.err
+        assert "series.txt:2" in captured.err

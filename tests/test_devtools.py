@@ -563,3 +563,130 @@ class TestSelfCheck:
 
         path = REPO_ROOT / "src" / "repro" / "engine" / "worker.py"
         assert module_name_of(path) == "repro.engine.worker"
+
+
+# ---------------------------------------------------------------------------
+# Resilience rules (REP6xx)
+# ---------------------------------------------------------------------------
+
+
+class TestResilienceRules:
+    def test_stray_time_sleep_flagged(self):
+        source = """
+        import time
+
+        def wait():
+            time.sleep(1.0)
+        """
+        assert findings_of(source, module="repro.engine.executor") == [
+            ("REP601", 5)
+        ]
+
+    def test_aliased_module_import_flagged(self):
+        source = """
+        import time as clock
+
+        def wait():
+            clock.sleep(0.5)
+        """
+        assert findings_of(source, module="repro.core.util") == [("REP601", 5)]
+
+    def test_from_import_sleep_flagged(self):
+        source = """
+        from time import sleep
+
+        def wait():
+            sleep(0.5)
+        """
+        assert findings_of(source, module="repro.core.util") == [("REP601", 5)]
+
+    def test_sanctioned_backoff_module_exempt(self):
+        source = """
+        import time
+
+        def sleep(seconds):
+            if seconds > 0:
+                time.sleep(seconds)
+        """
+        assert (
+            findings_of(source, module="repro.resilience.backoff") == []
+        )
+
+    def test_non_repro_package_exempt(self):
+        source = """
+        import time
+
+        def wait():
+            time.sleep(1.0)
+        """
+        assert findings_of(source, module="somelib.util") == []
+
+    def test_unrelated_sleep_name_not_flagged(self):
+        source = """
+        def sleep(seconds):
+            return seconds
+
+        def wait():
+            sleep(1.0)
+        """
+        assert findings_of(source, module="repro.core.util") == []
+
+    def test_unbounded_retry_loop_flagged(self):
+        source = """
+        def poll(fetch):
+            while True:
+                try:
+                    fetch()
+                except ValueError:
+                    pass
+        """
+        assert findings_of(source, module="repro.engine.executor") == [
+            ("REP602", 3)
+        ]
+
+    def test_loop_with_break_in_handler_clean(self):
+        source = """
+        def poll(fetch):
+            while True:
+                try:
+                    fetch()
+                except ValueError:
+                    break
+        """
+        assert findings_of(source, module="repro.engine.executor") == []
+
+    def test_loop_with_reraise_clean(self):
+        source = """
+        def poll(fetch):
+            while True:
+                try:
+                    fetch()
+                except ValueError:
+                    raise
+        """
+        assert findings_of(source, module="repro.engine.executor") == []
+
+    def test_loop_with_return_escape_clean(self):
+        source = """
+        def poll(fetch):
+            while True:
+                try:
+                    return fetch()
+                except ValueError:
+                    pass
+                return None
+        """
+        assert findings_of(source, module="repro.engine.executor") == []
+
+    def test_bounded_while_not_flagged(self):
+        source = """
+        def poll(fetch, policy):
+            attempts = 0
+            while attempts < 5:
+                try:
+                    fetch()
+                except ValueError:
+                    pass
+                attempts += 1
+        """
+        assert findings_of(source, module="repro.engine.executor") == []

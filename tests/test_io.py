@@ -130,3 +130,67 @@ class TestCsvLoading:
         path.write_text("time,other\n1.0,x\n")
         with pytest.raises(SeriesError):
             load_events_csv(path)
+
+
+class TestMalformedLines:
+    """Strict loads fail with file:line; lenient loads quarantine."""
+
+    def test_bad_utf8_names_file_and_line(self, tmp_path):
+        path = tmp_path / "series.txt"
+        path.write_bytes(b"a b\n\xff\xfe broken\nc\n")
+        with pytest.raises(SeriesError, match=r"series\.txt:2: .*UTF-8"):
+            load_series(path)
+
+    def test_control_characters_name_file_and_line(self, tmp_path):
+        path = tmp_path / "series.txt"
+        path.write_text("a\nb\x07\nc\n")
+        with pytest.raises(SeriesError, match=r"series\.txt:2: .*control"):
+            load_series(path)
+
+    def test_reserved_wildcard_names_file_and_line(self, tmp_path):
+        path = tmp_path / "series.txt"
+        path.write_text("a\n*\n")
+        with pytest.raises(SeriesError, match=r"series\.txt:2: .*wildcard"):
+            load_series(path)
+
+    def test_lenient_load_quarantines_and_reports(self, tmp_path):
+        from repro.timeseries.io import LoadReport
+
+        path = tmp_path / "series.txt"
+        path.write_bytes(b"a b\n\xff bad\nc\nd*\ne\n")
+        report = LoadReport()
+        series = load_series(path, strict=False, report=report)
+        # Quarantined lines are dropped: later slots shift up.
+        assert [set(slot) for slot in series] == [{"a", "b"}, {"c"}, {"e"}]
+        assert not report.clean
+        assert [(q.line, q.path) for q in report.quarantined] == [
+            (2, str(path)),
+            (4, str(path)),
+        ]
+        assert "UTF-8" in report.quarantined[0].reason
+        assert "wildcard" in report.quarantined[1].reason
+        described = report.quarantined[1].describe()
+        assert described.startswith(f"{path}:4:")
+        assert "d*" in described
+
+    def test_lenient_load_without_report_just_skips(self, tmp_path):
+        path = tmp_path / "series.txt"
+        path.write_text("a\n*\nb\n")
+        series = load_series(path, strict=False)
+        assert [set(slot) for slot in series] == [{"a"}, {"b"}]
+
+    def test_clean_file_keeps_report_clean(self, tmp_path):
+        from repro.timeseries.io import LoadReport
+
+        path = tmp_path / "series.txt"
+        save_series(FeatureSeries.from_symbols("abab"), path)
+        report = LoadReport()
+        series = load_series(path, strict=False, report=report)
+        assert report.clean
+        assert len(series) == 4
+
+    def test_crlf_lines_do_not_trip_control_check(self, tmp_path):
+        path = tmp_path / "series.txt"
+        path.write_bytes(b"a\r\nb\r\n")
+        series = load_series(path)
+        assert [set(slot) for slot in series] == [{"a"}, {"b"}]
