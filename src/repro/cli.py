@@ -102,6 +102,35 @@ def _build_parser() -> argparse.ArgumentParser:
         ),
     )
     mine.add_argument(
+        "--kernel",
+        choices=("batched", "legacy"),
+        default="batched",
+        help=(
+            "counting kernel: 'batched' answers every candidate level from "
+            "one superset-sum pass; 'legacy' keeps the per-candidate walks "
+            "(identical results; for bisecting regressions)"
+        ),
+    )
+    mine.add_argument(
+        "--cache-dir",
+        metavar="DIR",
+        help=(
+            "persist scan results (keyed by series fingerprint and period) "
+            "so re-mining the same series at a different --min-conf answers "
+            "from the cache without scanning; see docs/kernels.md"
+        ),
+    )
+    mine.add_argument(
+        "--profile",
+        action="store_true",
+        help="print per-stage wall times and cache counters after mining",
+    )
+    mine.add_argument(
+        "--profile-json",
+        metavar="PATH",
+        help="also write the profile as JSON (implies --profile collection)",
+    )
+    mine.add_argument(
         "--resume",
         metavar="JOURNAL",
         help=(
@@ -314,6 +343,27 @@ def _run_mine(args: argparse.Namespace) -> int:
             file=sys.stderr,
         )
         return 2
+    if args.cache_dir and args.kernel == "legacy":
+        print(
+            "--cache-dir requires the batched kernel (drop --kernel legacy)",
+            file=sys.stderr,
+        )
+        return 2
+    wants_profile = args.profile or args.profile_json is not None
+    if (args.cache_dir or wants_profile) and args.period is None:
+        print(
+            "--cache-dir and --profile require --period", file=sys.stderr
+        )
+        return 2
+    if (args.cache_dir or wants_profile) and (
+        args.maximal or args.algorithm != "hitset"
+    ):
+        print(
+            "--cache-dir and --profile apply to hitset mining only "
+            "(not --maximal or --algorithm apriori)",
+            file=sys.stderr,
+        )
+        return 2
     series = _load_mine_series(args)
     miner = PartialPeriodicMiner(
         series, min_conf=args.min_conf, algorithm=args.algorithm
@@ -321,6 +371,16 @@ def _run_mine(args: argparse.Namespace) -> int:
     started = time.perf_counter()
     encode = not args.no_encode
     resilience = _resilience_from_args(args)
+    cache = None
+    if args.cache_dir:
+        from repro.kernels.cache import CountCache
+
+        cache = CountCache(args.cache_dir)
+    profile = None
+    if wants_profile:
+        from repro.kernels.profile import MiningProfile
+
+        profile = MiningProfile()
     if args.period is not None:
         if args.maximal:
             result = miner.mine_maximal(args.period, encode=encode)
@@ -330,12 +390,26 @@ def _run_mine(args: argparse.Namespace) -> int:
                 workers=args.workers,
                 backend=args.backend,
                 encode=encode,
+                kernel=args.kernel,
+                cache=cache,
+                profile=profile,
                 resilience=resilience,
                 journal_path=args.resume,
             )
         _print_result(result, args.limit, args.maximal)
         if result.engine is not None:
             _print_engine(result.engine)
+        if cache is not None:
+            print(f"  [cache {cache.stats.summary()}]")
+        if profile is not None and args.profile:
+            print(profile.table())
+        if profile is not None and args.profile_json:
+            import json
+
+            with open(args.profile_json, "w", encoding="utf-8") as handle:
+                json.dump(profile.to_json(), handle, indent=2)
+                handle.write("\n")
+            print(f"profile written to {args.profile_json}")
         if args.json:
             from repro.core.serialize import save_result
 
@@ -352,6 +426,7 @@ def _run_mine(args: argparse.Namespace) -> int:
             workers=args.workers,
             backend=args.backend,
             encode=encode,
+            kernel=args.kernel,
             resilience=resilience,
             journal_path=args.resume,
         )

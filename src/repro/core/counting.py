@@ -124,16 +124,24 @@ def count_candidate_masks(
 
     ``masks`` are candidate letter sets over ``encoder``'s vocabulary; the
     result maps each distinct mask to its frequency count.
+
+    The scan collapses segments to distinct masks first, then answers the
+    whole candidate set in one batched pass
+    (:func:`repro.kernels.batched.batched_count_masks`) — never the
+    candidates-times-segments inner loop this function started as.
     """
+    # Local import: repro.kernels pulls in higher layers (resilience) and
+    # counting sits near the bottom of the package import graph.
+    from repro.kernels.batched import batched_count_masks
+
     ordered = list(dict.fromkeys(masks))
-    raw = [0] * len(ordered)
+    if not ordered:
+        return {}
     encode = encoder.encode_segment
-    for segment in series.segments(period):
-        segment_mask = encode(segment)
-        for index, mask in enumerate(ordered):
-            if not mask & ~segment_mask:
-                raw[index] += 1
-    return dict(zip(ordered, raw))
+    distinct: Counter = Counter(
+        encode(segment) for segment in series.segments(period)
+    )
+    return batched_count_masks(distinct.items(), ordered)
 
 
 def brute_force_counts(

@@ -8,16 +8,163 @@ max-pattern ``C_max``.  Scan 2 registers, for every period segment, its hit
 (the maximal subpattern of ``C_max`` true in the segment) in a
 max-subpattern tree.  The frequency count of every pattern is then derived
 from the tree alone (Algorithm 4.2) — no further passes over the data.
+
+Both scans run on the batched kernels by default (``kernel="batched"``):
+scan 2 encodes into a contiguous :class:`~repro.kernels.store.SegmentStore`
+and the derivation answers every candidate level from one superset-sum
+pass.  A :class:`~repro.kernels.cache.CountCache` removes the scans
+entirely on re-queries of the same series/period (the paper's §4.2
+re-mining scenario): the cached scan-1 letter counts serve any
+``min_conf``, and the cached scan-2 hit table serves any equal-or-higher
+``min_conf`` by projection.  ``kernel="legacy"`` keeps the original
+per-candidate path as the escape hatch and equivalence oracle.
 """
 
 from __future__ import annotations
 
+from contextlib import nullcontext
+from typing import TYPE_CHECKING, ContextManager
+
+from repro.core.counting import (
+    frequent_letter_set,
+    letter_counts_for_segments,
+    min_count,
+)
 from repro.core.errors import MiningError
 from repro.core.maxpattern import FrequentOnePatterns, find_frequent_one_patterns
 from repro.core.pattern import Pattern
 from repro.core.result import MiningResult, MiningStats
 from repro.tree.max_subpattern_tree import MaxSubpatternTree
 from repro.timeseries.feature_series import FeatureSeries
+
+if TYPE_CHECKING:
+    from repro.kernels.cache import CountCache
+    from repro.kernels.profile import MiningProfile
+
+#: The selectable counting kernels (mirrors :data:`repro.kernels.KERNELS`).
+_KERNELS = ("batched", "legacy")
+
+
+def _check_kernel(kernel: str) -> None:
+    if kernel not in _KERNELS:
+        raise MiningError(
+            f"unknown kernel {kernel!r}; use 'batched' or 'legacy'"
+        )
+
+
+def _stage(
+    profile: "MiningProfile | None", name: str, items: int = 0
+) -> ContextManager:
+    """A profile stage context, or a no-op when profiling is off."""
+    if profile is None:
+        return nullcontext()
+    return profile.stage(name, items=items)
+
+
+def _scan1(
+    series: FeatureSeries,
+    period: int,
+    min_conf: float,
+    cache: "CountCache | None",
+    cache_key: object,
+    profile: "MiningProfile | None",
+    stats: MiningStats,
+) -> FrequentOnePatterns:
+    """Scan 1, consulting the count cache for the full letter counts.
+
+    Without a cache this is :func:`find_frequent_one_patterns` verbatim.
+    With one, the *unfiltered* letter counts are fetched or computed and
+    stored, so a future re-query at any ``min_conf`` rebuilds its own F1
+    from the cached counts without a scan.
+    """
+    if cache is None:
+        with _stage(profile, "scan1"):
+            one_patterns = find_frequent_one_patterns(series, period, min_conf)
+        stats.scans += 1
+        if profile is not None:
+            profile.add_items("scan1", one_patterns.num_periods)
+        return one_patterns
+    from repro.kernels.cache import CacheKey
+
+    assert isinstance(cache_key, CacheKey)
+    num_periods = series.num_periods(period)
+    if num_periods == 0:
+        raise MiningError(
+            f"series of length {len(series)} has no whole period of {period}"
+        )
+    letter_counts = cache.get_letter_counts(cache_key)
+    if letter_counts is None:
+        if profile is not None:
+            profile.count("cache_misses")
+        with _stage(profile, "scan1", items=num_periods):
+            letter_counts = letter_counts_for_segments(series.segments(period))
+        stats.scans += 1
+        cache.put_letter_counts(cache_key, letter_counts)
+    elif profile is not None:
+        profile.count("cache_hits")
+    threshold = min_count(min_conf, num_periods)
+    return FrequentOnePatterns(
+        period=period,
+        num_periods=num_periods,
+        threshold=threshold,
+        letters=frequent_letter_set(letter_counts, threshold),
+    )
+
+
+def _scan2(
+    series: FeatureSeries,
+    one_patterns: FrequentOnePatterns,
+    encode: bool,
+    kernel: str,
+    cache: "CountCache | None",
+    cache_key: object,
+    profile: "MiningProfile | None",
+    stats: MiningStats,
+) -> MaxSubpatternTree:
+    """Scan 2: the populated max-subpattern tree, from cache when possible.
+
+    The batched kernel encodes the series into a contiguous
+    :class:`~repro.kernels.store.SegmentStore` and inserts once per
+    distinct hit; the legacy kernel keeps the original per-segment
+    insertion.  A cache hit rebuilds the tree from the memoized hit table
+    — zero scans — and a miss stores the freshly built table.
+    """
+    tree = MaxSubpatternTree(one_patterns.max_pattern)
+    letter_order = tree.vocab.letters
+    if cache is not None:
+        from repro.kernels.cache import CacheKey
+
+        assert isinstance(cache_key, CacheKey)
+        hit_table = cache.get_hit_table(cache_key, letter_order)
+        if hit_table is not None:
+            if profile is not None:
+                profile.count("cache_hits")
+            with _stage(profile, "tree", items=len(hit_table)):
+                for mask, count in hit_table.items():
+                    tree.insert_mask(mask, count=count)
+            return tree
+        if profile is not None:
+            profile.count("cache_misses")
+    if encode and kernel == "batched":
+        from repro.kernels.store import SegmentStore
+
+        with _stage(profile, "scan2", items=one_patterns.num_periods):
+            store = SegmentStore.from_series(
+                series, one_patterns.period, tree.vocab
+            )
+            hits = store.hit_counter()
+        with _stage(profile, "tree", items=len(hits)):
+            for mask, count in hits.items():
+                tree.insert_mask(mask, count=count)
+        if profile is not None:
+            profile.count("distinct_hits", len(hits))
+    else:
+        with _stage(profile, "scan2", items=one_patterns.num_periods):
+            tree.insert_all_segments(series, encode=encode)
+    stats.scans += 1
+    if cache is not None:
+        cache.put_hit_table(cache_key, letter_order, tree.stored_hits())
+    return tree
 
 
 def mine_single_period_hitset(
@@ -26,6 +173,9 @@ def mine_single_period_hitset(
     min_conf: float,
     max_letters: int | None = None,
     encode: bool = True,
+    kernel: str = "batched",
+    cache: "CountCache | None" = None,
+    profile: "MiningProfile | None" = None,
 ) -> MiningResult:
     """Find all frequent partial periodic patterns of one period (Alg. 3.2).
 
@@ -47,18 +197,34 @@ def mine_single_period_hitset(
         keeps the legacy per-segment letter-set insertion (the CLI's
         ``--no-encode`` escape hatch for bisecting regressions).  Results
         are identical either way; still exactly two scans.
+    kernel:
+        ``"batched"`` (default) runs scan 2 on the contiguous segment
+        store and the derivation on the single-pass superset-sum kernel;
+        ``"legacy"`` keeps the original per-candidate paths (escape hatch
+        and equivalence oracle).  Results are identical.
+    cache:
+        Optional :class:`~repro.kernels.cache.CountCache`.  Cold queries
+        populate it; re-queries of the same series and period answer from
+        it without scanning (any ``min_conf`` for scan 1; equal-or-higher
+        ``min_conf`` for scan 2, by projection).
+    profile:
+        Optional :class:`~repro.kernels.profile.MiningProfile` accumulating
+        per-stage wall times and cache counters.
 
     Returns
     -------
     MiningResult
         Identical frequent set and counts to Algorithm 3.1 (a tested
-        invariant), obtained with exactly two scans.
+        invariant), obtained with at most two scans — fewer on cache hits.
     """
     if max_letters is not None and max_letters < 1:
         raise MiningError(f"max_letters must be >= 1, got {max_letters}")
+    _check_kernel(kernel)
     stats = MiningStats()
-    one_patterns = find_frequent_one_patterns(series, period, min_conf)
-    stats.scans = 1
+    cache_key = cache.key_for(series, period) if cache is not None else None
+    one_patterns = _scan1(
+        series, period, min_conf, cache, cache_key, profile, stats
+    )
     if one_patterns.is_empty:
         return MiningResult(
             algorithm="hitset",
@@ -69,16 +235,22 @@ def mine_single_period_hitset(
             stats=stats,
         )
 
-    tree = MaxSubpatternTree(one_patterns.max_pattern)
-    tree.insert_all_segments(series, encode=encode)
-    stats.scans = 2
+    tree = _scan2(
+        series, one_patterns, encode, kernel, cache, cache_key, profile, stats
+    )
     stats.tree_nodes = tree.node_count
     stats.hit_set_size = tree.hit_set_size
 
-    letter_counts, candidate_counts = tree.derive_frequent(
-        one_patterns.threshold, one_patterns.letters, max_letters=max_letters
-    )
+    with _stage(profile, "derive"):
+        letter_counts, candidate_counts = tree.derive_frequent(
+            one_patterns.threshold,
+            one_patterns.letters,
+            max_letters=max_letters,
+            kernel=kernel,
+        )
     stats.candidate_counts = candidate_counts
+    if profile is not None:
+        profile.add_items("derive", sum(candidate_counts.values()))
     patterns = {
         Pattern.from_letters(period, letters): count
         for letters, count in letter_counts.items()
@@ -98,6 +270,7 @@ def build_hit_tree(
     period: int,
     min_conf: float,
     encode: bool = True,
+    kernel: str = "batched",
 ) -> tuple[MaxSubpatternTree, FrequentOnePatterns]:
     """Run only the two scans and return the populated tree plus F1.
 
@@ -106,10 +279,13 @@ def build_hit_tree(
     Returns ``(tree, one_patterns)``; raises via
     :func:`~repro.core.maxpattern.find_frequent_one_patterns` on an invalid
     period and :class:`~repro.core.errors.MiningError` when F1 is empty.
-    ``encode`` selects the scan-2 path exactly as in
+    ``encode`` and ``kernel`` select the scan-2 path exactly as in
     :func:`mine_single_period_hitset`.
     """
+    _check_kernel(kernel)
     one_patterns = find_frequent_one_patterns(series, period, min_conf)
-    tree = MaxSubpatternTree(one_patterns.max_pattern)
-    tree.insert_all_segments(series, encode=encode)
+    stats = MiningStats(scans=1)
+    tree = _scan2(
+        series, one_patterns, encode, kernel, None, None, None, stats
+    )
     return tree, one_patterns

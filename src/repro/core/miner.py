@@ -30,6 +30,8 @@ if TYPE_CHECKING:
 
     from repro.analysis.periodogram import PeriodScore
     from repro.core.constraints import MiningConstraints
+    from repro.kernels.cache import CountCache
+    from repro.kernels.profile import MiningProfile
     from repro.resilience.context import ResilienceContext
 
 #: The single-period algorithms selectable by name.
@@ -84,6 +86,9 @@ class PartialPeriodicMiner:
         workers: int | None = None,
         backend: str = "auto",
         encode: bool = True,
+        kernel: str = "batched",
+        cache: CountCache | None = None,
+        profile: MiningProfile | None = None,
         resilience: ResilienceContext | None = None,
         journal_path: str | Path | None = None,
     ) -> MiningResult:
@@ -93,7 +98,11 @@ class PartialPeriodicMiner:
         the parallel engine (:class:`repro.engine.ParallelMiner`); the
         frequent set and counts are identical to the serial run.
         ``encode=False`` routes every path through the legacy letter-set
-        kernels (the CLI's ``--no-encode`` escape hatch).
+        kernels (the CLI's ``--no-encode`` escape hatch), and
+        ``kernel="legacy"`` the per-candidate counting paths
+        (``--kernel legacy``).  ``cache`` memoizes scan results across
+        queries and ``profile`` collects per-stage timings — both hit-set
+        only; the Apriori path ignores them.
 
         ``resilience`` (a :class:`repro.resilience.ResilienceContext`) and
         ``journal_path`` (checkpoint/resume) always route through the
@@ -120,10 +129,23 @@ class PartialPeriodicMiner:
                 workers=workers if workers is not None else 1,
                 backend=backend,
                 encode=encode,
-            ).mine(period, resilience=resilience, journal_path=journal_path)
+                kernel=kernel,
+            ).mine(
+                period,
+                cache=cache,
+                profile=profile,
+                resilience=resilience,
+                journal_path=journal_path,
+            )
         if algorithm == "hitset":
             return mine_single_period_hitset(
-                self.series, period, min_conf, encode=encode
+                self.series,
+                period,
+                min_conf,
+                encode=encode,
+                kernel=kernel,
+                cache=cache,
+                profile=profile,
             )
         if algorithm == "apriori":
             return mine_single_period_apriori(
@@ -166,6 +188,7 @@ class PartialPeriodicMiner:
         workers: int | None = None,
         backend: str = "auto",
         encode: bool = True,
+        kernel: str = "batched",
         resilience: ResilienceContext | None = None,
         journal_path: str | Path | None = None,
     ) -> MultiPeriodResult:
@@ -192,6 +215,7 @@ class PartialPeriodicMiner:
                 workers=workers if workers is not None else 1,
                 backend=backend,
                 encode=encode,
+                kernel=kernel,
             ).mine_period_range(
                 low,
                 high,
@@ -207,6 +231,7 @@ class PartialPeriodicMiner:
             shared=shared,
             min_repetitions=min_repetitions,
             encode=encode,
+            kernel=kernel,
         )
 
     def mine_periods(
@@ -216,6 +241,7 @@ class PartialPeriodicMiner:
         shared: bool = True,
         min_repetitions: int = 1,
         encode: bool = True,
+        kernel: str = "batched",
     ) -> MultiPeriodResult:
         """All frequent patterns for an explicit collection of periods."""
         min_conf = self.min_conf if min_conf is None else min_conf
@@ -226,6 +252,7 @@ class PartialPeriodicMiner:
                 min_conf,
                 min_repetitions=min_repetitions,
                 encode=encode,
+                kernel=kernel,
             )
         return mine_periods_looping(
             self.series,
@@ -234,6 +261,7 @@ class PartialPeriodicMiner:
             algorithm=self.algorithm,
             min_repetitions=min_repetitions,
             encode=encode,
+            kernel=kernel,
         )
 
     def suggest_periods(

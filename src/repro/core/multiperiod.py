@@ -140,20 +140,19 @@ def mine_periods_looping(
     algorithm: str = "hitset",
     min_repetitions: int = 1,
     encode: bool = True,
+    kernel: str = "batched",
 ) -> MultiPeriodResult:
     """Algorithm 3.3: loop the single-period miner over each period.
 
     ``algorithm`` selects the inner miner: ``"hitset"`` (2 scans per
     period) or ``"apriori"`` (up to the longest-pattern length per period).
-    ``encode`` is forwarded to the inner miner (``--no-encode`` hatch).
+    ``encode`` and ``kernel`` are forwarded to the hit-set miner (the
+    ``--no-encode`` / ``--kernel legacy`` escape hatches); the Apriori
+    miner has no kernel switch.
     """
     check_min_conf(min_conf)
     usable = _validated_periods(series, periods, min_repetitions)
-    if algorithm == "hitset":
-        miner = mine_single_period_hitset
-    elif algorithm == "apriori":
-        miner = mine_single_period_apriori
-    else:
+    if algorithm not in ("hitset", "apriori"):
         raise MiningError(
             f"unknown algorithm {algorithm!r}; use 'hitset' or 'apriori'"
         )
@@ -161,7 +160,14 @@ def mine_periods_looping(
         algorithm=f"looping[{algorithm}]", min_conf=min_conf
     )
     for period in usable:
-        result = miner(series, period, min_conf, encode=encode)
+        if algorithm == "hitset":
+            result = mine_single_period_hitset(
+                series, period, min_conf, encode=encode, kernel=kernel
+            )
+        else:
+            result = mine_single_period_apriori(
+                series, period, min_conf, encode=encode
+            )
         outcome.results[period] = result
         outcome.scans += result.stats.scans
     return outcome
@@ -173,6 +179,7 @@ def mine_periods_shared(
     min_conf: float,
     min_repetitions: int = 1,
     encode: bool = True,
+    kernel: str = "batched",
 ) -> MultiPeriodResult:
     """Algorithm 3.4: shared mining of all periods in two scans total.
 
@@ -244,7 +251,7 @@ def mine_periods_shared(
         stats.tree_nodes = tree.node_count
         stats.hit_set_size = tree.hit_set_size
         counts, candidate_counts = tree.derive_frequent(
-            thresholds[period], f1_sets[period]
+            thresholds[period], f1_sets[period], kernel=kernel
         )
         stats.candidate_counts = candidate_counts
         patterns = {
@@ -322,6 +329,7 @@ def mine_period_range(
     shared: bool = True,
     min_repetitions: int = 1,
     encode: bool = True,
+    kernel: str = "batched",
 ) -> MultiPeriodResult:
     """Convenience wrapper: mine every period in ``[low, high]``."""
     periods = period_range(low, high)
@@ -332,6 +340,7 @@ def mine_period_range(
             min_conf,
             min_repetitions=min_repetitions,
             encode=encode,
+            kernel=kernel,
         )
     return mine_periods_looping(
         series,
@@ -339,4 +348,5 @@ def mine_period_range(
         min_conf,
         min_repetitions=min_repetitions,
         encode=encode,
+        kernel=kernel,
     )

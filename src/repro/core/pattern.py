@@ -24,6 +24,7 @@ L-length 3 and letter count 4.
 from __future__ import annotations
 
 from collections.abc import Iterable, Sequence
+from functools import lru_cache
 from typing import TYPE_CHECKING, Union
 
 from repro.core.errors import PatternError
@@ -39,6 +40,9 @@ PositionLike = Union[str, None, Iterable[str]]
 
 #: The don't-care marker used in string renderings.
 DONT_CARE = "*"
+
+#: Shared empty position — most positions of a mined pattern are ``*``.
+_EMPTY_POSITION: frozenset[str] = frozenset()
 
 
 def _normalize_position(value: PositionLike) -> frozenset[str]:
@@ -116,6 +120,24 @@ class Pattern:
     # ------------------------------------------------------------------
 
     @classmethod
+    def _from_normalized(
+        cls,
+        positions: tuple[frozenset[str], ...],
+        letters: frozenset[Letter],
+    ) -> "Pattern":
+        """Trusted constructor: both views already built and validated.
+
+        Result materialization turns thousands of letter sets into patterns
+        at once; skipping per-position re-normalization there keeps pattern
+        assembly out of the mining profile.
+        """
+        pattern = cls.__new__(cls)
+        pattern._positions = positions
+        pattern._letters = letters
+        pattern._hash = hash((positions,))
+        return pattern
+
+    @classmethod
     def from_letters(cls, period: int, letters: Iterable[Letter]) -> "Pattern":
         """Build a pattern from its letter-set view.
 
@@ -129,14 +151,10 @@ class Pattern:
         """
         if period < 1:
             raise PatternError(f"period must be >= 1, got {period}")
-        positions: list[set[str]] = [set() for _ in range(period)]
-        for offset, feature in letters:
-            if not 0 <= offset < period:
-                raise PatternError(
-                    f"letter offset {offset} out of range for period {period}"
-                )
-            positions[offset].add(feature)
-        return cls(positions)
+        letter_set = (
+            letters if isinstance(letters, frozenset) else frozenset(letters)
+        )
+        return _pattern_from_letter_set(cls, period, letter_set)
 
     @classmethod
     def from_string(cls, text: str) -> "Pattern":
@@ -405,6 +423,37 @@ class Pattern:
 
     def __repr__(self) -> str:
         return f"Pattern({str(self)!r})"
+
+
+@lru_cache(maxsize=1 << 16)
+def _pattern_from_letter_set(
+    cls: type[Pattern], period: int, letters: frozenset[Letter]
+) -> Pattern:
+    """Validated letter-set construction behind an interning cache.
+
+    Result materialization and re-queries rebuild the very same patterns
+    over and over (both miners of a Figure-2 run emit identical result
+    sets, and every re-query at a new ``min_conf`` re-derives a subset), so
+    identical ``(period, letter set)`` requests share one immutable
+    instance.  Invalid inputs raise and are never cached.
+    """
+    grouped: dict[int, set[str]] = {}
+    for offset, feature in letters:
+        if not 0 <= offset < period:
+            raise PatternError(
+                f"letter offset {offset} out of range for period {period}"
+            )
+        if not isinstance(feature, str) or not feature:
+            raise PatternError(
+                f"features must be non-empty strings, got {feature!r}"
+            )
+        if feature == DONT_CARE:
+            raise PatternError("'*' cannot be used as a feature name")
+        grouped.setdefault(offset, set()).add(feature)
+    position_list: list[frozenset[str]] = [_EMPTY_POSITION] * period
+    for offset, features in grouped.items():
+        position_list[offset] = frozenset(features)
+    return cls._from_normalized(tuple(position_list), letters)
 
 
 def letters_to_pattern(period: int, letters: Iterable[Letter]) -> Pattern:

@@ -10,7 +10,9 @@ they guard:
 * :mod:`.hygiene` — REP4xx, public-API and hot-path hygiene;
 * :mod:`.encoding` — REP5xx, the bitmask-kernel contract of the encoded
   tree/engine hot paths;
-* :mod:`.resilience` — REP6xx, budgeted sleeping and bounded retries.
+* :mod:`.resilience` — REP6xx, budgeted sleeping and bounded retries;
+* :mod:`.kernels` — REP7xx, batched counting (no per-candidate probe
+  loops outside the legacy oracle).
 """
 
 from repro.devtools.rules import (  # noqa: F401  (imports register rules)
@@ -19,6 +21,7 @@ from repro.devtools.rules import (  # noqa: F401  (imports register rules)
     fork_safety,
     hygiene,
     immutability,
+    kernels,
     resilience,
 )
 
@@ -28,5 +31,6 @@ __all__ = [
     "fork_safety",
     "hygiene",
     "immutability",
+    "kernels",
     "resilience",
 ]

@@ -65,7 +65,7 @@ class LetterVocabulary:
     [(0, 'a'), (1, 'b')]
     """
 
-    __slots__ = ("_letters", "_ids", "_period")
+    __slots__ = ("_letters", "_ids", "_period", "_decode_memo")
 
     def __init__(
         self,
@@ -77,6 +77,10 @@ class LetterVocabulary:
         self._period = period
         self._letters: list[Letter] = []
         self._ids: dict[Letter, int] = {}
+        #: Memoized decode_mask results.  A letter's bit never changes once
+        #: interned (the vocabulary is append-only), so decoded sets stay
+        #: valid forever; the memo is bounded by the distinct masks queried.
+        self._decode_memo: dict[int, frozenset[Letter]] = {}
         for letter in letters:
             self.intern(letter)
 
@@ -208,8 +212,16 @@ class LetterVocabulary:
         return mask
 
     def decode_mask(self, mask: int) -> frozenset[Letter]:
-        """The letter set of a bitmask (the inverse of :meth:`encode_letters`)."""
-        return frozenset(self.iter_mask(mask))
+        """The letter set of a bitmask (the inverse of :meth:`encode_letters`).
+
+        Memoized: derivations decode the same frequent masks over and over
+        (every level, every re-query), so repeat decodes are one dict hit.
+        """
+        decoded = self._decode_memo.get(mask)
+        if decoded is None:
+            decoded = frozenset(self.iter_mask(mask))
+            self._decode_memo[mask] = decoded
+        return decoded
 
     def decode_sorted(self, mask: int) -> tuple[Letter, ...]:
         """The letters of a bitmask as a sorted tuple."""

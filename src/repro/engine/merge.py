@@ -16,7 +16,7 @@ letter against :func:`repro.core.hitset.mine_single_period_hitset`.
 from __future__ import annotations
 
 from collections import Counter
-from collections.abc import Iterable, Sequence
+from collections.abc import Iterable, Mapping, Sequence
 from functools import reduce
 
 from repro.core.errors import EngineError
@@ -50,9 +50,13 @@ def merge_hit_counters(counters: Iterable[Counter]) -> Counter:
 def hits_to_tree(
     period: int,
     letter_order: Sequence[Letter],
-    hit_counter: Counter,
+    hit_counter: Mapping[int, int],
 ) -> MaxSubpatternTree:
     """Materialize a hit-mask counter as a max-subpattern tree.
+
+    ``hit_counter`` is any mask-to-count mapping — a scan-2 ``Counter``
+    from the workers or a plain dict loaded from the
+    :class:`~repro.kernels.cache.CountCache`.
 
     One :meth:`~repro.tree.max_subpattern_tree.MaxSubpatternTree.insert_mask`
     per *distinct* mask — on periodic data distinct hits are far fewer than

@@ -62,6 +62,9 @@ from repro.engine.worker import (
     count_shard_letters,
     mine_period_task,
 )
+from repro.kernels import KERNELS
+from repro.kernels.cache import CountCache
+from repro.kernels.profile import MiningProfile
 from repro.timeseries.feature_series import FeatureSeries, as_feature_series
 
 
@@ -154,6 +157,11 @@ class ParallelMiner:
         Default ``True`` ships scan 2 through the bitmask kernels;
         ``False`` routes workers and merge through the legacy letter-set
         path (the ``--no-encode`` escape hatch).  Results are identical.
+    kernel:
+        ``"batched"`` (default) derives the frequent set on the
+        single-pass superset-sum kernel; ``"legacy"`` keeps the original
+        per-candidate walk (the ``--kernel legacy`` escape hatch).
+        Results are identical.
 
     Examples
     --------
@@ -173,8 +181,13 @@ class ParallelMiner:
         backend: str | ExecutionBackend = "auto",
         chunk_size: int | None = None,
         encode: bool = True,
+        kernel: str = "batched",
     ):
         check_min_conf(min_conf)
+        if kernel not in KERNELS:
+            raise EngineError(
+                f"unknown kernel {kernel!r}; choose from {KERNELS}"
+            )
         self.series = _plain_series(series)
         self.min_conf = min_conf
         self.workers = default_workers() if workers is None else workers
@@ -183,6 +196,7 @@ class ParallelMiner:
         self.backend = backend
         self.chunk_size = chunk_size
         self.encode = encode
+        self.kernel = kernel
 
     # ------------------------------------------------------------------
     # Single-period mining (sharded Algorithm 3.2)
@@ -196,6 +210,8 @@ class ParallelMiner:
         backend: str | ExecutionBackend | None = None,
         chunk_size: int | None = None,
         max_letters: int | None = None,
+        cache: CountCache | None = None,
+        profile: MiningProfile | None = None,
         resilience: ResilienceContext | None = None,
         journal_path: str | Path | None = None,
     ) -> MiningResult:
@@ -205,6 +221,12 @@ class ParallelMiner:
         :func:`~repro.core.hitset.mine_single_period_hitset`; the result
         additionally carries :attr:`~repro.core.result.MiningResult.engine`
         with the per-shard ledger.
+
+        ``cache`` (a :class:`~repro.kernels.cache.CountCache`) short-
+        circuits whole fan-outs: a cached scan skips its worker phase
+        entirely and ``stats.scans`` counts only the fan-outs that actually
+        ran.  ``profile`` accumulates per-stage wall times and cache
+        counters alongside the engine ledger.
 
         ``resilience`` supplies the retry policy, per-shard timeout, and
         wall-clock deadline (see :mod:`repro.resilience`); ``journal_path``
@@ -244,26 +266,54 @@ class ParallelMiner:
                 period=period,
                 min_conf=min_conf,
                 encode=self.encode,
+                kernel=self.kernel,
             ),
+        )
+        cache_key = (
+            cache.key_for(self.series, period) if cache is not None else None
         )
         ladder = BackendLadder(resolved)
         engine = EngineStats(backend=resolved.name, workers=workers)
         engine.partition_s = time.perf_counter() - started
+        if profile is not None:
+            profile.add_stage(
+                "partition", engine.partition_s, items=len(shards)
+            )
+        stats = MiningStats()
         try:
             # ----- Scan 1: per-shard letter counters -> F1 ---------------
-            outcomes = run_shards(
-                ladder, count_shard_letters, shards, ctx, phase="f1"
+            letter_counts = (
+                cache.get_letter_counts(cache_key)
+                if cache is not None
+                else None
             )
-            self._record(engine, "f1", shards, outcomes)
-            merge_started = time.perf_counter()
-            letter_counts = merge_counters(
-                outcome.value for outcome in outcomes
-            )
-            engine.merge_s += time.perf_counter() - merge_started
+            if cache is not None and profile is not None:
+                profile.count(
+                    "cache_hits" if letter_counts is not None else "cache_misses"
+                )
+            if letter_counts is None:
+                scan_started = time.perf_counter()
+                outcomes = run_shards(
+                    ladder, count_shard_letters, shards, ctx, phase="f1"
+                )
+                self._record(engine, "f1", shards, outcomes)
+                if profile is not None:
+                    profile.add_stage(
+                        "scan1",
+                        time.perf_counter() - scan_started,
+                        items=num_periods,
+                    )
+                merge_started = time.perf_counter()
+                letter_counts = merge_counters(
+                    outcome.value for outcome in outcomes
+                )
+                engine.merge_s += time.perf_counter() - merge_started
+                stats.scans += 1
+                if cache is not None:
+                    cache.put_letter_counts(cache_key, letter_counts)
             threshold = min_count(min_conf, num_periods)
             f1 = frequent_letter_set(letter_counts, threshold)
 
-            stats = MiningStats(scans=1)
             if not f1:
                 engine.degradations = list(ladder.degradations)
                 engine.total_s = time.perf_counter() - started
@@ -279,46 +329,78 @@ class ParallelMiner:
 
             # ----- Scan 2: per-shard hits -> partial trees -> merged tree
             letter_order = tuple(sorted(f1))
-            if ctx is not None:
-                # Scan-2 payloads are bitmasks over this exact ordering;
-                # a resumed journal must have been built against it.
-                ctx.pin_meta(
-                    "hits",
-                    [[offset, feature] for offset, feature in letter_order],
+            tree = None
+            if cache is not None:
+                hit_table = cache.get_hit_table(cache_key, letter_order)
+                if profile is not None:
+                    profile.count(
+                        "cache_hits" if hit_table is not None else "cache_misses"
+                    )
+                if hit_table is not None:
+                    merge_started = time.perf_counter()
+                    tree = hits_to_tree(period, letter_order, hit_table)
+                    engine.merge_s += time.perf_counter() - merge_started
+            if tree is None:
+                if ctx is not None:
+                    # Scan-2 payloads are bitmasks over this exact ordering;
+                    # a resumed journal must have been built against it.
+                    ctx.pin_meta(
+                        "hits",
+                        [[offset, feature] for offset, feature in letter_order],
+                    )
+                hit_worker = (
+                    collect_shard_hits
+                    if self.encode
+                    else collect_shard_hits_legacy
                 )
-            hit_worker = (
-                collect_shard_hits if self.encode else collect_shard_hits_legacy
-            )
-            to_tree = hits_to_tree if self.encode else hits_to_tree_letters
-            outcomes = run_shards(
-                ladder,
-                hit_worker,
-                [(shard, letter_order) for shard in shards],
-                ctx,
-                phase="hits",
-            )
-            self._record(engine, "hits", shards, outcomes)
+                to_tree = hits_to_tree if self.encode else hits_to_tree_letters
+                scan_started = time.perf_counter()
+                outcomes = run_shards(
+                    ladder,
+                    hit_worker,
+                    [(shard, letter_order) for shard in shards],
+                    ctx,
+                    phase="hits",
+                )
+                self._record(engine, "hits", shards, outcomes)
+                if profile is not None:
+                    profile.add_stage(
+                        "scan2",
+                        time.perf_counter() - scan_started,
+                        items=num_periods,
+                    )
+                merge_started = time.perf_counter()
+                tree = merge_trees(
+                    [
+                        to_tree(period, letter_order, outcome.value)
+                        for outcome in outcomes
+                    ]
+                )
+                engine.merge_s += time.perf_counter() - merge_started
+                stats.scans += 1
+                if cache is not None:
+                    cache.put_hit_table(
+                        cache_key, letter_order, tree.stored_hits()
+                    )
         finally:
             if owned_journal is not None:
                 owned_journal.close()
-        merge_started = time.perf_counter()
-        tree = merge_trees(
-            [
-                to_tree(period, letter_order, outcome.value)
-                for outcome in outcomes
-            ]
-        )
-        engine.merge_s += time.perf_counter() - merge_started
-        stats.scans = 2
         stats.tree_nodes = tree.node_count
         stats.hit_set_size = tree.hit_set_size
 
         # ----- Derivation (Algorithm 4.2, parent-side) -------------------
         derive_started = time.perf_counter()
         counts, candidate_counts = tree.derive_frequent(
-            threshold, f1, max_letters=max_letters
+            threshold, f1, max_letters=max_letters, kernel=self.kernel
         )
         engine.derive_s = time.perf_counter() - derive_started
+        if profile is not None:
+            profile.add_stage("merge", engine.merge_s)
+            profile.add_stage(
+                "derive",
+                engine.derive_s,
+                items=sum(candidate_counts.values()),
+            )
         stats.candidate_counts = candidate_counts
         patterns = {
             Pattern.from_letters(period, letters): count
@@ -381,7 +463,9 @@ class ParallelMiner:
                 series=self.series.slice_segments(period, 0, num_segments),
             )
             shards.append(shard)
-            tasks.append((shard, min_conf, max_letters, self.encode))
+            tasks.append(
+                (shard, min_conf, max_letters, self.encode, self.kernel)
+            )
         ctx, owned_journal = _attach_journal(
             resilience,
             journal_path,
@@ -390,6 +474,7 @@ class ParallelMiner:
                 shards,
                 min_conf=min_conf,
                 encode=self.encode,
+                kernel=self.kernel,
                 max_letters=max_letters,
                 min_repetitions=min_repetitions,
             ),
@@ -409,7 +494,7 @@ class ParallelMiner:
             min_conf=min_conf,
             engine=engine,
         )
-        for (shard, _, _, _), outcome in zip(tasks, outcomes):
+        for (shard, _, _, _, _), outcome in zip(tasks, outcomes):
             period, num_periods, vocab_letters, payload, stat_values = outcome.value
             stats = MiningStats(
                 scans=stat_values["scans"],

@@ -20,6 +20,18 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+# Re-exported here because the rest of the run accounting lives in this
+# module; the class itself is kernel-layer (used by serial miners too).
+from repro.kernels.profile import MiningProfile, StageTiming
+
+__all__ = [
+    "DegradationEvent",
+    "EngineStats",
+    "MiningProfile",
+    "ShardStats",
+    "StageTiming",
+]
+
 
 @dataclass(slots=True)
 class ShardStats:

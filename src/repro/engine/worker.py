@@ -8,9 +8,10 @@ result deterministic regardless of scheduling order.
 
 The scan kernels are the shared encoding stack: scan 1 is
 :func:`repro.core.counting.letter_counts_for_segments` and scan 2 encodes
-the shard once against the run's ``C_max`` vocabulary
-(:func:`repro.engine.partition.encode_shard`), collapsing identical hits
-in a ``Counter`` keyed by the mask.  Decoding back to letter sets happens
+the shard once into a contiguous
+:class:`~repro.kernels.store.SegmentStore` against the run's ``C_max``
+vocabulary, collapsing identical hits in a ``Counter`` keyed by the
+mask.  Decoding back to letter sets happens
 once per *distinct* hit at merge time
 (:func:`repro.engine.merge.hits_to_tree`), not once per segment.
 """
@@ -22,7 +23,8 @@ from collections import Counter
 from repro.core.counting import letter_counts_for_segments, min_count
 from repro.core.pattern import Letter
 from repro.encoding.vocabulary import LetterVocabulary
-from repro.engine.partition import SegmentShard, encode_shard
+from repro.engine.partition import SegmentShard
+from repro.kernels.store import SegmentStore
 
 #: Scan-1 task: just the shard (the period rides on it).
 LetterTask = SegmentShard
@@ -32,8 +34,9 @@ LetterTask = SegmentShard
 HitTask = tuple[SegmentShard, tuple[Letter, ...]]
 
 #: Per-period task: shard covering the whole period, threshold, letter
-#: cap, and the encode flag (``--no-encode`` escape hatch).
-PeriodTask = tuple[SegmentShard, float, "int | None", bool]
+#: cap, the encode flag (``--no-encode`` escape hatch), and the counting
+#: kernel name (``batched`` / ``legacy``).
+PeriodTask = tuple[SegmentShard, float, "int | None", bool, str]
 
 #: Per-period payload: period, segment count, the worker's sorted C_max
 #: vocabulary as a letter tuple, ``(mask, count)`` rows over that
@@ -63,11 +66,10 @@ def collect_shard_hits(task: HitTask) -> Counter:
     """
     shard, letter_order = task
     vocab = LetterVocabulary(letter_order, period=shard.period)
-    hits: Counter = Counter()
-    for mask in encode_shard(shard, vocab).masks:
-        if mask & (mask - 1):
-            hits[mask] += 1
-    return hits
+    # One scan into a contiguous SegmentStore, then one pass over its
+    # *distinct* masks — identical totals to counting segment by segment.
+    store = SegmentStore.from_series(shard.series, shard.period, vocab)
+    return store.hit_counter()
 
 
 def collect_shard_hits_legacy(task: HitTask) -> Counter:
@@ -106,7 +108,7 @@ def mine_period_task(task: PeriodTask) -> PeriodPayload:
     masks over it, stats as a plain dict) so the payload pickles cheaply
     and the parent rebuilds ``Pattern`` objects once.
     """
-    shard, min_conf, max_letters, encode = task
+    shard, min_conf, max_letters, encode, kernel = task
     period = shard.period
     letter_counts = count_shard_letters(shard)
     threshold = min_count(min_conf, shard.num_segments)
@@ -130,7 +132,7 @@ def mine_period_task(task: PeriodTask) -> PeriodPayload:
         hit_counter = collect_shard_hits_legacy((shard, letter_order))
         tree = hits_to_tree_letters(period, letter_order, hit_counter)
     counts, candidate_counts = tree.derive_frequent(
-        threshold, f1, max_letters=max_letters
+        threshold, f1, max_letters=max_letters, kernel=kernel
     )
     stats.update(
         scans=2,

@@ -1,0 +1,51 @@
+"""Batched counting kernels and the cross-query count cache.
+
+The performance layer under every miner:
+
+* :mod:`~repro.kernels.batched` — single-pass candidate counting: the
+  dense superset-sum table and the sparse projection kernel that replace
+  the legacy per-candidate walks of Algorithm 4.2;
+* :mod:`~repro.kernels.store` — :class:`SegmentStore`, the contiguous
+  ``array``-backed buffer of encoded segments shared by scan 1, scan 2 and
+  verification;
+* :mod:`~repro.kernels.cache` — :class:`CountCache`, memoized scan results
+  keyed by (series fingerprint, period, letter-order hash) so re-mining at
+  a different ``min_conf`` never rescans the data;
+* :mod:`~repro.kernels.profile` — :class:`MiningProfile`, the per-stage
+  wall-time/cache-counter ledger behind ``ppm mine --profile``.
+
+Every kernel is an exact drop-in: the legacy paths remain selectable
+(``kernel="legacy"`` / ``--kernel legacy``) as the equivalence oracle, and
+the randomized sweep in ``tests/test_kernels.py`` holds batched == legacy
+== brute force.  See ``docs/kernels.md``.
+"""
+
+from repro.kernels.batched import (
+    MAX_TABLE_BITS,
+    SubmaskCountTable,
+    batched_count_masks,
+    derive_frequent_masks,
+    project_hit_counts,
+)
+from repro.kernels.cache import CacheKey, CacheStats, CountCache, letters_hash
+from repro.kernels.profile import MiningProfile, StageTiming
+from repro.kernels.store import SegmentStore
+
+#: The selectable counting kernels; "batched" is the default everywhere.
+KERNELS = ("batched", "legacy")
+
+__all__ = [
+    "KERNELS",
+    "MAX_TABLE_BITS",
+    "CacheKey",
+    "CacheStats",
+    "CountCache",
+    "MiningProfile",
+    "SegmentStore",
+    "StageTiming",
+    "SubmaskCountTable",
+    "batched_count_masks",
+    "derive_frequent_masks",
+    "letters_hash",
+    "project_hit_counts",
+]

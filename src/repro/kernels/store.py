@@ -1,0 +1,242 @@
+"""The contiguous segment store — one flat buffer of encoded segments.
+
+Scan 1, scan 2 and brute-force verification all consume the same
+information: the bitmask of every whole period segment over some
+vocabulary.  :class:`SegmentStore` materializes that once into a contiguous
+``array('Q')`` buffer (a Python ``list`` of ints only when the vocabulary
+overflows 64 bits), so that
+
+* the buffer pickles as one compact bytes blob instead of per-segment
+  objects — shard payloads and cross-process hand-off ship the raw array;
+* repeated counting passes (hit collection, candidate verification, letter
+  counting) iterate machine ints with zero per-segment allocation;
+* the distinct-mask multiset — the complete scan-2 state of Algorithm 3.2
+  — is computed once and memoized, after which every consumer works on
+  ``O(distinct hits)`` rows instead of ``O(segments)``.
+
+A store is built per ``(series, period, vocabulary)`` and is then shared by
+every stage of that query — and, through
+:class:`~repro.kernels.cache.CountCache`, its derived tables outlive the
+query entirely.
+"""
+
+from __future__ import annotations
+
+from array import array
+from collections import Counter
+from collections.abc import Iterable, Iterator, Sequence
+
+from repro.core.errors import EncodingError
+from repro.core.pattern import Letter
+from repro.encoding.codec import SegmentEncoder
+from repro.encoding.vocabulary import LetterVocabulary
+from repro.kernels.batched import batched_count_masks
+from repro.timeseries.feature_series import FeatureSeries
+
+#: Vocabulary widths up to this many letters pack into an ``array('Q')``;
+#: wider vocabularies fall back to a plain list of Python ints.
+PACKED_MAX_BITS = 64
+
+
+def _restore_packed(
+    letters: tuple[Letter, ...], period: int, raw: bytes
+) -> "SegmentStore":
+    """Unpickle helper: rebuild a packed store from its raw buffer."""
+    masks = array("Q")
+    masks.frombytes(raw)
+    vocab = LetterVocabulary(letters, period=period)
+    return SegmentStore(vocab, period, masks, _prebuilt=True)
+
+
+def _restore_wide(
+    letters: tuple[Letter, ...], period: int, masks: tuple[int, ...]
+) -> "SegmentStore":
+    """Unpickle helper: rebuild a wide (>64-letter) store."""
+    vocab = LetterVocabulary(letters, period=period)
+    return SegmentStore(vocab, period, list(masks), _prebuilt=True)
+
+
+class SegmentStore:
+    """Encoded whole segments of one period in a contiguous buffer.
+
+    Examples
+    --------
+    >>> series = FeatureSeries.from_symbols("abdabcabd")
+    >>> store = SegmentStore.from_series(series, 3)
+    >>> len(store), store.distinct_count
+    (3, 2)
+    >>> store.count_mask(store.vocab.encode_letters([(0, "a"), (1, "b")]))
+    3
+    """
+
+    __slots__ = ("_vocab", "_period", "_masks", "_distinct", "_packed")
+
+    def __init__(
+        self,
+        vocab: LetterVocabulary,
+        period: int,
+        masks: "array[int] | list[int] | Iterable[int]",
+        _prebuilt: bool = False,
+    ):
+        if period < 1:
+            raise EncodingError(f"period must be >= 1, got {period}")
+        self._vocab = vocab
+        self._period = period
+        if _prebuilt:
+            self._masks = masks  # type: ignore[assignment]
+        elif len(vocab) <= PACKED_MAX_BITS:
+            self._masks = array("Q", masks)
+        else:
+            self._masks = list(masks)
+        self._packed = isinstance(self._masks, array)
+        self._distinct: Counter | None = None
+
+    @classmethod
+    def from_series(
+        cls,
+        series: FeatureSeries,
+        period: int,
+        vocab: LetterVocabulary | None = None,
+    ) -> "SegmentStore":
+        """Encode every whole segment of a series into one buffer.
+
+        With an explicit vocabulary (the usual case: the sorted ``C_max``
+        letters) this is exactly one scan and letters outside the
+        vocabulary are dropped — encoding *is* the hit projection.  Without
+        one, the full sorted vocabulary of the series is built first (one
+        extra pass).
+        """
+        if vocab is None:
+            from repro.encoding.codec import vocabulary_of_series
+
+            vocab = vocabulary_of_series(series, period)
+        encoder = SegmentEncoder(vocab, period)
+        encode = encoder.encode_segment
+        return cls(
+            vocab,
+            period,
+            (encode(segment) for segment in series.segments(period)),
+        )
+
+    # ------------------------------------------------------------------
+    # Buffer accessors
+    # ------------------------------------------------------------------
+
+    @property
+    def vocab(self) -> LetterVocabulary:
+        """The vocabulary fixing the bit order of every stored mask."""
+        return self._vocab
+
+    @property
+    def period(self) -> int:
+        """The period the series was segmented by."""
+        return self._period
+
+    @property
+    def packed(self) -> bool:
+        """True when the buffer is a contiguous ``array('Q')``."""
+        return self._packed
+
+    @property
+    def nbytes(self) -> int:
+        """Size of the mask buffer in bytes (packed stores only)."""
+        if isinstance(self._masks, array):
+            return len(self._masks) * self._masks.itemsize
+        return sum(mask.bit_length() // 8 + 1 for mask in self._masks)
+
+    def __len__(self) -> int:
+        return len(self._masks)
+
+    def __iter__(self) -> Iterator[int]:
+        return iter(self._masks)
+
+    def __getitem__(self, index: int) -> int:
+        return self._masks[index]
+
+    def __reduce__(self):  # type: ignore[override]
+        if isinstance(self._masks, array):
+            return (
+                _restore_packed,
+                (self._vocab.letters, self._period, self._masks.tobytes()),
+            )
+        return (
+            _restore_wide,
+            (self._vocab.letters, self._period, tuple(self._masks)),
+        )
+
+    # ------------------------------------------------------------------
+    # Counting kernels — every pass below runs on the flat buffer
+    # ------------------------------------------------------------------
+
+    @property
+    def distinct_count(self) -> int:
+        """Number of distinct segment masks (any bit count)."""
+        return len(self.distinct_counts())
+
+    def distinct_counts(self) -> Counter:
+        """Multiset of distinct segment masks, memoized.
+
+        The collapse from ``O(segments)`` to ``O(distinct masks)`` rows is
+        what every batched consumer builds on; on periodic data distinct
+        masks are orders of magnitude fewer than segments.
+        """
+        if self._distinct is None:
+            self._distinct = Counter(self._masks)
+        return self._distinct
+
+    def letter_counts(self) -> Counter:
+        """Scan-1 state: the count of every vocabulary letter.
+
+        Runs on the distinct-mask memo — one bit walk per distinct mask,
+        not per segment.
+        """
+        bit_totals: dict[int, int] = {}
+        for mask, count in self.distinct_counts().items():
+            while mask:
+                low = mask & -mask
+                bit_totals[low] = bit_totals.get(low, 0) + count
+                mask ^= low
+        vocab = self._vocab
+        counts: Counter = Counter()
+        for low, total in bit_totals.items():
+            counts[vocab[low.bit_length() - 1]] = total
+        return counts
+
+    def hit_counter(self, min_letters: int = 2) -> Counter:
+        """Scan-2 state: distinct masks with at least ``min_letters`` bits.
+
+        When the store's vocabulary is the sorted ``C_max`` letters this is
+        exactly the max-subpattern tree's mergeable content — feed it to
+        ``insert_mask`` once per distinct hit.
+        """
+        return Counter(
+            {
+                mask: count
+                for mask, count in self.distinct_counts().items()
+                if mask.bit_count() >= min_letters
+            }
+        )
+
+    def count_mask(self, mask: int) -> int:
+        """Frequency count of one candidate mask (over distinct rows)."""
+        return sum(
+            count
+            for stored, count in self.distinct_counts().items()
+            if not mask & ~stored
+        )
+
+    def count_masks(self, masks: Sequence[int]) -> dict[int, int]:
+        """Batched frequency counts of many candidates in one pass.
+
+        Delegates to :func:`~repro.kernels.batched.batched_count_masks`
+        over the distinct-mask rows — the store-level form of the verify
+        loop that used to test every candidate against every segment.
+        """
+        return batched_count_masks(self.distinct_counts().items(), list(masks))
+
+    def __repr__(self) -> str:
+        return (
+            f"SegmentStore(segments={len(self._masks)}, "
+            f"period={self._period}, letters={len(self._vocab)}, "
+            f"packed={self._packed})"
+        )

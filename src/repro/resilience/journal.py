@@ -46,8 +46,13 @@ def series_fingerprint(series: FeatureSeries) -> str:
 
     Hashes the canonical line-oriented text form (sorted features per
     slot), so equal series always fingerprint equally regardless of how
-    their slots were constructed.
+    their slots were constructed.  Delegates to
+    :meth:`~repro.timeseries.feature_series.FeatureSeries.content_digest`,
+    which memoizes the pass on the (immutable) series, so run-key and
+    count-cache identity checks are free after the first.
     """
+    if isinstance(series, FeatureSeries):
+        return series.content_digest()
     digest = hashlib.sha256()
     for slot in series:
         digest.update(" ".join(sorted(slot)).encode("utf-8"))

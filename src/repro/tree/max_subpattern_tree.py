@@ -36,6 +36,12 @@ from repro.core.errors import EncodingError, MiningError, PatternError
 from repro.core.pattern import Letter, Pattern
 from repro.encoding.codec import SegmentEncoder
 from repro.encoding.vocabulary import LetterVocabulary
+from repro.kernels.batched import (
+    MAX_TABLE_BITS,
+    SubmaskCountTable,
+    batched_count_masks,
+    derive_frequent_masks,
+)
 from repro.tree.node import MaxSubpatternNode
 from repro.timeseries.feature_series import FeatureSeries, Segment
 
@@ -67,6 +73,10 @@ class MaxSubpatternTree:
         "_root",
         "_index",
         "_total_hits",
+        "_hit_set_size",
+        "_stored_rows",
+        "_hit_memo",
+        "_count_table",
     )
 
     def __init__(self, max_pattern: Pattern):
@@ -83,6 +93,17 @@ class MaxSubpatternTree:
         #: Index of every existing node by its missing-letter bitmask.
         self._index: dict[int, MaxSubpatternNode] = {0: self._root}
         self._total_hits = 0
+        #: Nodes with non-zero count, maintained on insert (O(1) reads).
+        self._hit_set_size = 0
+        #: Memoized ``(missing_mask, count)`` rows of non-zero nodes;
+        #: invalidated by any insert/merge (see :meth:`_insert_missing_mask`).
+        self._stored_rows: list[tuple[int, int]] | None = None
+        #: Memoized :meth:`hit_counts` result, same invalidation.
+        self._hit_memo: dict[frozenset[Letter], int] | None = None
+        #: Memoized superset-sum table over the full C_max universe, same
+        #: invalidation; serves every batched count/derivation until the
+        #: next insert (see :meth:`_superset_table`).
+        self._count_table: SubmaskCountTable | None = None
 
     # ------------------------------------------------------------------
     # Structure accessors
@@ -110,8 +131,12 @@ class MaxSubpatternTree:
 
     @property
     def hit_set_size(self) -> int:
-        """Nodes with a non-zero count — the size of the hit set."""
-        return sum(1 for node in self._index.values() if node.count)
+        """Nodes with a non-zero count — the size of the hit set.
+
+        Maintained incrementally on insertion; reading it never scans the
+        index.
+        """
+        return self._hit_set_size
 
     @property
     def total_hits(self) -> int:
@@ -195,12 +220,22 @@ class MaxSubpatternTree:
     def _insert_missing_mask(
         self, missing_mask: int, count: int
     ) -> MaxSubpatternNode:
-        """Bump the node of a missing-mask, creating its path if absent."""
+        """Bump the node of a missing-mask, creating its path if absent.
+
+        The single mutation point of the tree (``insert``/``insert_mask``/
+        ``merge`` all land here), so it is also where the memoized hit
+        state invalidates.
+        """
         node = self._index.get(missing_mask)
         if node is None:
             node = self._create_path(missing_mask)
+        if not node.count:
+            self._hit_set_size += 1
         node.count += count
         self._total_hits += count
+        self._stored_rows = None
+        self._hit_memo = None
+        self._count_table = None
         return node
 
     def _create_path(self, missing_mask: int) -> MaxSubpatternNode:
@@ -322,20 +357,55 @@ class MaxSubpatternTree:
                 self._insert_missing_mask(node.missing_mask, node.count)
         return self
 
+    def _missing_rows(self) -> list[tuple[int, int]]:
+        """Memoized ``(missing_mask, count)`` rows of the non-zero nodes.
+
+        Built once per tree state and shared by every counting entry point
+        — repeated ``count_of_mask`` calls and the legacy derivation no
+        longer rescan the index per query.
+        """
+        rows = self._stored_rows
+        if rows is None:
+            rows = [
+                (node.missing_mask, node.count)
+                for node in self._index.values()
+                if node.count
+            ]
+            self._stored_rows = rows
+        return rows
+
+    def stored_hits(self) -> dict[int, int]:
+        """The stored hits as ``{hit mask: count}`` over :attr:`vocab`.
+
+        The bitmask twin of :meth:`hit_counts` — the table the
+        :class:`~repro.kernels.cache.CountCache` memoizes and the batched
+        kernels consume.
+        """
+        full_mask = self._full_mask
+        return {
+            full_mask & ~missing: count
+            for missing, count in self._missing_rows()
+        }
+
     def hit_counts(self) -> dict[frozenset[Letter], int]:
         """The stored hits as ``{pattern letters: exact-hit count}``.
 
         Only nodes with a non-zero count appear; this is the complete
         mergeable state of the tree (rebuilding a tree from it and merging
-        is equivalent to merging the tree itself).
+        is equivalent to merging the tree itself).  The decoded mapping is
+        memoized until the next insert/merge; callers get a fresh shallow
+        copy each time.
         """
-        vocab = self._vocab
-        full_mask = self._full_mask
-        return {
-            vocab.decode_mask(full_mask & ~node.missing_mask): node.count
-            for node in self._index.values()
-            if node.count
-        }
+        memo = self._hit_memo
+        if memo is None:
+            vocab = self._vocab
+            full_mask = self._full_mask
+            memo = {
+                vocab.decode_mask(full_mask & ~missing): count
+                for missing, count in self._missing_rows()
+            }
+            self._hit_memo = memo
+        return dict(memo)
 
     # ------------------------------------------------------------------
     # Ancestors
@@ -412,19 +482,58 @@ class MaxSubpatternTree:
     def count_of_mask(self, mask: int) -> int:
         """Bitmask form of :meth:`count_of` — the hot lookup.
 
-        One ``candidate & missing == 0`` disjointness test per stored node.
+        One ``candidate & missing == 0`` disjointness test per stored
+        (memoized) row.  Batch queries over a whole candidate set should
+        use :meth:`count_masks` instead, which never loops candidates
+        times stored rows.
         """
         total = 0
-        for node in self._index.values():
-            if node.count and not mask & node.missing_mask:
-                total += node.count
+        for missing_mask, count in self._missing_rows():
+            if not mask & missing_mask:
+                total += count
         return total
+
+    def _superset_table(self) -> SubmaskCountTable | None:
+        """Memoized superset-sum table over the full C_max universe.
+
+        Built on first batched count/derivation and reused until the next
+        insert/merge (the same invalidation as the other memos), so
+        repeated derivations — threshold sweeps, re-queries — pay the table
+        build once.  ``None`` when C_max is too wide for a dense table; the
+        callers then fall back to the sparse projection kernel.
+        """
+        if self._full_mask.bit_count() > MAX_TABLE_BITS:
+            return None
+        table = self._count_table
+        if table is None:
+            table = SubmaskCountTable.from_hits(
+                self.stored_hits().items(), self._full_mask
+            )
+            self._count_table = table
+        return table
+
+    def count_masks(self, masks: Iterable[int]) -> dict[int, int]:
+        """Counts of a whole candidate mask set in one bottom-up pass.
+
+        The batched form of :meth:`count_of_mask`: answers from the
+        memoized full-universe superset-sum table when C_max fits one,
+        falling back to :func:`repro.kernels.batched.batched_count_masks`
+        (the sparse projection kernel) otherwise — never a loop of
+        candidates times stored rows.
+        """
+        table = self._superset_table()
+        if table is not None:
+            return table.counts(masks)
+        return batched_count_masks(
+            self.stored_hits().items(), list(masks)
+        )
 
     def derive_frequent(
         self,
         threshold: int,
         f1_counts: Mapping[Letter, int],
         max_letters: int | None = None,
+        kernel: str = "batched",
     ) -> tuple[dict[frozenset[Letter], int], dict[int, int]]:
         """Algorithm 4.2: all frequent patterns from the hit counts.
 
@@ -433,6 +542,12 @@ class MaxSubpatternTree:
         and are counted against the stored hits.  The whole derivation runs
         on bitmasks (candidate generation included); results decode to
         letter sets once, on return.
+
+        ``kernel`` selects the counting strategy: ``"batched"`` (default)
+        answers every level from one superset-sum pass over the stored
+        hits (:func:`repro.kernels.batched.derive_frequent_masks`);
+        ``"legacy"`` keeps the original per-candidate loop as the escape
+        hatch and equivalence oracle.  Outputs are identical.
 
         ``max_letters`` optionally caps the derived pattern size.  The
         complete frequent set is exponential on degenerate inputs (e.g. a
@@ -447,17 +562,55 @@ class MaxSubpatternTree:
             the cost statistics.
         """
         vocab = self._vocab
-        mask_counts: dict[int, int] = {}
-        for letter, count in f1_counts.items():
-            mask_counts[vocab.bit_of(letter)] = count
-        candidate_counts = {1: len(f1_counts)}
+        f1_bit_counts = {
+            vocab.bit_of(letter): count for letter, count in f1_counts.items()
+        }
+        if kernel == "batched":
+            # The memoized full-universe table always covers F1 (F1 letters
+            # are C_max letters), so the hit rows are only materialized
+            # when no dense table exists.
+            table = self._superset_table()
+            hits = (
+                () if table is not None else self.stored_hits().items()
+            )
+            mask_counts, candidate_counts = derive_frequent_masks(
+                hits,
+                threshold,
+                f1_bit_counts,
+                max_letters=max_letters,
+                table=table,
+            )
+        elif kernel == "legacy":
+            mask_counts, candidate_counts = self._derive_frequent_legacy(
+                threshold, f1_bit_counts, max_letters
+            )
+        else:
+            raise MiningError(
+                f"unknown kernel {kernel!r}; use 'batched' or 'legacy'"
+            )
+        counts = {
+            vocab.decode_mask(mask): count
+            for mask, count in mask_counts.items()
+        }
+        return counts, candidate_counts
+
+    def _derive_frequent_legacy(
+        self,
+        threshold: int,
+        f1_bit_counts: Mapping[int, int],
+        max_letters: int | None,
+    ) -> tuple[dict[int, int], dict[int, int]]:
+        """The original per-candidate derivation loop (equivalence oracle).
+
+        One pass over the stored rows per candidate — the quadratic shape
+        the batched kernel replaces; kept verbatim so ``--kernel legacy``
+        bisects kernel regressions and the tests can hold the two equal.
+        """
+        mask_counts = dict(f1_bit_counts)
+        candidate_counts = {1: len(f1_bit_counts)}
         frequent_level = set(mask_counts)
         level = 1
-        stored = [
-            (node.missing_mask, node.count)
-            for node in self._index.values()
-            if node.count
-        ]
+        stored = self._missing_rows()
         while frequent_level:
             if max_letters is not None and level >= max_letters:
                 break
@@ -469,17 +622,14 @@ class MaxSubpatternTree:
             frequent_level = set()
             for candidate in candidates:
                 total = 0
+                # repro: the per-candidate scan the batched kernel avoids.
                 for missing_mask, count in stored:
                     if not candidate & missing_mask:
                         total += count
                 if total >= threshold:
                     mask_counts[candidate] = total
                     frequent_level.add(candidate)
-        counts = {
-            vocab.decode_mask(mask): count
-            for mask, count in mask_counts.items()
-        }
-        return counts, candidate_counts
+        return mask_counts, candidate_counts
 
     # ------------------------------------------------------------------
     # Internals

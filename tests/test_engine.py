@@ -181,7 +181,7 @@ class TestTreeMerge:
         for node in whole.nodes():
             pattern = whole.pattern_of(node)
             if pattern.letter_count >= 2:
-                assert merged.count_of(pattern) == whole.count_of(pattern)
+                assert merged.count_of(pattern) == whole.count_of(pattern)  # repro: ignore[REP701] -- per-pattern oracle probe, not a counting hot path
 
     def test_merge_against_brute_force_oracle(self):
         series = random_series(12, length=44)
@@ -191,7 +191,7 @@ class TestTreeMerge:
         oracle = brute_force_counts(series, period)
         for letters, count in oracle.items():
             if len(letters) >= 2 and letters <= cmax.letters:
-                assert merged.count_of_letters(letters) == count, letters
+                assert merged.count_of_letters(letters) == count, letters  # repro: ignore[REP701] -- per-pattern oracle probe, not a counting hot path
 
     def test_merge_is_commutative(self):
         series = random_series(13, length=36)

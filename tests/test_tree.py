@@ -238,7 +238,7 @@ class TestCounting:
         tree.insert_all_segments(series)
         oracle = counts_to_patterns(5, brute_force_counts(series, 5))
         for sub in CMAX.subpatterns(min_letters=2):
-            assert tree.count_of(sub) == oracle.get(sub, 0), str(sub)
+            assert tree.count_of(sub) == oracle.get(sub, 0), str(sub)  # repro: ignore[REP701] -- per-pattern oracle probe, not a counting hot path
 
 
 class TestDerivation:
