@@ -1,0 +1,372 @@
+"""Throughput and latency of the serving tier under concurrent load.
+
+Three phases, mirroring the server's three answer paths:
+
+* ``cold`` — every request is a first sight: a fresh mine (two data
+  scans) on a series the caches have never seen.  Measured sequentially
+  so the numbers are pure mining latency, not queueing.
+* ``warm`` — exact repeats of the cold queries: every request answers
+  from the bounded result-cache LRU without touching the mining path.
+* ``coalesced`` — one storm: ~1k concurrent clients ask about the *same*
+  series and period at mixed ``min_conf`` thresholds.  Single-flight
+  collapses them onto a handful of scans; everyone still receives exact
+  results (the equivalence itself is pinned by ``tests/test_serve.py``).
+
+The load is driven straight through :meth:`MiningApp.handle` on one
+event loop — the same pipeline a socket request walks, minus kernel
+socket buffers — so the numbers isolate the serving logic and stay
+stable on shared CI hosts.  The socket path is exercised end-to-end by
+the CI serve-smoke job instead.
+
+Run standalone (writes ``BENCH_serve.json`` at the repo root)::
+
+    PYTHONPATH=src python benchmarks/bench_serve.py            # full
+    PYTHONPATH=src python benchmarks/bench_serve.py --quick    # CI smoke
+
+Acceptance bars: the coalesced storm executes scans ≪ requests (bounded
+by distinct thresholds, not clients), and warm p99 sits at least 10x
+below cold p99 (full runs; ``--check`` applies the CI-safe subset).
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import json
+import sys
+import time
+from pathlib import Path
+
+from repro.serve import MiningApp, Request, ServeConfig
+from repro.synth.workloads import (
+    FIGURE2_MIN_CONF,
+    FIGURE2_PERIOD,
+    figure2_series,
+)
+
+LENGTH_FULL = 100_000
+LENGTH_QUICK = 12_000
+
+#: Cold-population size: distinct series the cold phase mines.
+COLD_SERIES_FULL = 16
+COLD_SERIES_QUICK = 6
+
+#: Clients in the coalesced storm.
+CLIENTS_FULL = 1_000
+CLIENTS_QUICK = 200
+
+#: Warm repeats of the cold queries.
+WARM_REQUESTS_FULL = 2_000
+WARM_REQUESTS_QUICK = 400
+
+#: Mixed thresholds of the storm.  The order matters: the first client
+#: leads the flight, so thresholds *below* the leader's are deliberately
+#: placed later — they exercise the widening scan-2 path (one extra scan
+#: per distinct lower threshold) instead of leading a wide table that
+#: turns every follower into a pure projection.
+STORM_THRESHOLDS = (0.75, FIGURE2_MIN_CONF, 0.9, 0.5)
+
+#: Full-run acceptance: warm p99 at least this far below cold p99.
+WARM_SPEEDUP_BUDGET = 10.0
+
+#: CI-safe warm-latency bar (absolute, generous for shared hosts).
+WARM_P99_BUDGET_MS = 50.0
+
+
+def _percentile(samples: list[float], q: float) -> float:
+    """The q-th percentile (nearest-rank) of a non-empty sample list."""
+    ranked = sorted(samples)
+    index = min(len(ranked) - 1, max(0, round(q / 100.0 * len(ranked)) - 1))
+    return ranked[index]
+
+
+def _mine_request(name: str, period: int, min_conf: float, tenant: str) -> Request:
+    body = json.dumps(
+        {"series": name, "period": period, "min_conf": min_conf}
+    ).encode()
+    return Request(
+        method="POST", path="/mine", headers={"x-tenant": tenant}, body=body
+    )
+
+
+async def _timed(app: MiningApp, request: Request) -> float:
+    started = time.perf_counter()
+    status, payload = await app.handle(request)
+    if status != 200:
+        raise AssertionError(f"benchmark request failed: {status} {payload}")
+    return (time.perf_counter() - started) * 1e3
+
+
+def _phase_row(phase: str, latencies_ms: list[float], wall_s: float, scans: int) -> dict:
+    return {
+        "phase": phase,
+        "requests": len(latencies_ms),
+        "req_per_s": round(len(latencies_ms) / wall_s, 1),
+        "p50_ms": round(_percentile(latencies_ms, 50), 3),
+        "p99_ms": round(_percentile(latencies_ms, 99), 3),
+        "scans": scans,
+    }
+
+
+def run_benchmark(
+    length: int = LENGTH_FULL,
+    cold_series: int = COLD_SERIES_FULL,
+    clients: int = CLIENTS_FULL,
+    warm_requests: int = WARM_REQUESTS_FULL,
+    seed: int = 0,
+) -> dict:
+    """Measure the three serving paths on one in-process application."""
+    app = MiningApp(
+        ServeConfig(
+            concurrency=4,
+            request_timeout_s=None,
+            rate_limit=None,
+            # The bench intentionally floods the server; admission
+            # control is measured by its own tests, not here.
+            max_pending=max(clients, warm_requests),
+        )
+    )
+    names = []
+    for index in range(cold_series):
+        synthetic = figure2_series(6, length=length, seed=seed + index)
+        names.append(
+            app.registry.add(f"bench-{index}", synthetic.series).name
+        )
+    period, min_conf = FIGURE2_PERIOD, FIGURE2_MIN_CONF
+    phases: list[dict] = []
+
+    async def drive() -> None:
+        # -- cold: sequential first-sight mines ------------------------
+        scans_before = app.counters["scans_executed"]
+        cold_latencies = []
+        wall = time.perf_counter()
+        for name in names:
+            cold_latencies.append(
+                await _timed(app, _mine_request(name, period, min_conf, "cold"))
+            )
+        phases.append(
+            _phase_row(
+                "cold",
+                cold_latencies,
+                time.perf_counter() - wall,
+                app.counters["scans_executed"] - scans_before,
+            )
+        )
+
+        # -- warm: exact repeats, all concurrent -----------------------
+        scans_before = app.counters["scans_executed"]
+        wall = time.perf_counter()
+        warm_latencies = await asyncio.gather(
+            *(
+                _timed(
+                    app,
+                    _mine_request(
+                        names[i % len(names)], period, min_conf, "warm"
+                    ),
+                )
+                for i in range(warm_requests)
+            )
+        )
+        phases.append(
+            _phase_row(
+                "warm",
+                list(warm_latencies),
+                time.perf_counter() - wall,
+                app.counters["scans_executed"] - scans_before,
+            )
+        )
+
+        # -- coalesced: one storm on a never-mined series --------------
+        storm = figure2_series(6, length=length, seed=seed + cold_series)
+        app.registry.add("storm", storm.series)
+        scans_before = app.counters["scans_executed"]
+        wall = time.perf_counter()
+        storm_latencies = await asyncio.gather(
+            *(
+                _timed(
+                    app,
+                    _mine_request(
+                        "storm",
+                        period,
+                        STORM_THRESHOLDS[i % len(STORM_THRESHOLDS)],
+                        f"tenant-{i % 8}",
+                    ),
+                )
+                for i in range(clients)
+            )
+        )
+        phases.append(
+            _phase_row(
+                "coalesced",
+                list(storm_latencies),
+                time.perf_counter() - wall,
+                app.counters["scans_executed"] - scans_before,
+            )
+        )
+
+    try:
+        asyncio.run(drive())
+    finally:
+        app.close()
+
+    by_phase = {row["phase"]: row for row in phases}
+    storm_scans = by_phase["coalesced"]["scans"]
+    speedup = by_phase["cold"]["p99_ms"] / max(
+        by_phase["warm"]["p99_ms"], 1e-9
+    )
+    return {
+        "benchmark": "serve",
+        "workload": {
+            "generator": "figure2/table1",
+            "length": length,
+            "period": period,
+            "min_conf": min_conf,
+            "storm_thresholds": list(STORM_THRESHOLDS),
+            "cold_series": cold_series,
+            "storm_clients": clients,
+            "warm_requests": warm_requests,
+            "seed": seed,
+        },
+        "phases": phases,
+        "coalescing": {
+            "requests": clients,
+            "scans_executed": storm_scans,
+            "scan_bound": 2 * len(set(STORM_THRESHOLDS)),
+            "coalescing_ratio": round(clients / max(storm_scans, 1), 1),
+        },
+        "warm_vs_cold_p99_speedup": round(speedup, 1),
+        "warm_speedup_budget": WARM_SPEEDUP_BUDGET,
+        "within_budget": (
+            speedup >= WARM_SPEEDUP_BUDGET
+            and storm_scans <= 2 * len(set(STORM_THRESHOLDS))
+        ),
+    }
+
+
+def print_report(outcome: dict) -> None:
+    workload = outcome["workload"]
+    print(
+        f"serve: LENGTH={workload['length']} p={workload['period']} "
+        f"{workload['storm_clients']} storm clients at "
+        f"{len(workload['storm_thresholds'])} thresholds"
+    )
+    print(
+        f"{'phase':<11} {'requests':>8} {'req/s':>9} "
+        f"{'p50 ms':>9} {'p99 ms':>9} {'scans':>6}"
+    )
+    for row in outcome["phases"]:
+        print(
+            f"{row['phase']:<11} {row['requests']:>8} {row['req_per_s']:>9} "
+            f"{row['p50_ms']:>9} {row['p99_ms']:>9} {row['scans']:>6}"
+        )
+    coalescing = outcome["coalescing"]
+    print(
+        f"coalescing: {coalescing['requests']} requests -> "
+        f"{coalescing['scans_executed']} scans "
+        f"({coalescing['coalescing_ratio']}x, bound "
+        f"{coalescing['scan_bound']})"
+    )
+    print(
+        f"warm p99 speedup over cold: {outcome['warm_vs_cold_p99_speedup']}x "
+        f"(budget {outcome['warm_speedup_budget']}x, "
+        f"{'OK' if outcome['within_budget'] else 'UNDER'})"
+    )
+
+
+def check_report(outcome: dict) -> None:
+    """The CI-safe acceptance subset: structure, not wall-clock ratios."""
+    coalescing = outcome["coalescing"]
+    assert coalescing["scans_executed"] <= coalescing["scan_bound"], (
+        f"storm executed {coalescing['scans_executed']} scans, "
+        f"bound {coalescing['scan_bound']}"
+    )
+    by_phase = {row["phase"]: row for row in outcome["phases"]}
+    assert by_phase["warm"]["scans"] == 0, "warm repeats re-scanned"
+    assert by_phase["warm"]["p99_ms"] <= WARM_P99_BUDGET_MS, (
+        f"warm p99 {by_phase['warm']['p99_ms']}ms over "
+        f"{WARM_P99_BUDGET_MS}ms budget"
+    )
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="serving-tier throughput/latency: cold vs warm vs coalesced"
+    )
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help=f"small workload (LENGTH={LENGTH_QUICK}, "
+        f"{CLIENTS_QUICK} storm clients), no JSON unless --json is given",
+    )
+    parser.add_argument(
+        "--length", type=int, help="series length (overrides --quick default)"
+    )
+    parser.add_argument(
+        "--clients", type=int, help="storm client count"
+    )
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help="assert the CI-safe acceptance bars after the run",
+    )
+    parser.add_argument(
+        "--json",
+        metavar="PATH",
+        default=None,
+        help="where to write the JSON report "
+        "(default: BENCH_serve.json next to the repo, full runs only)",
+    )
+    args = parser.parse_args(argv)
+
+    outcome = run_benchmark(
+        length=args.length or (LENGTH_QUICK if args.quick else LENGTH_FULL),
+        cold_series=COLD_SERIES_QUICK if args.quick else COLD_SERIES_FULL,
+        clients=args.clients
+        or (CLIENTS_QUICK if args.quick else CLIENTS_FULL),
+        warm_requests=(
+            WARM_REQUESTS_QUICK if args.quick else WARM_REQUESTS_FULL
+        ),
+    )
+    print_report(outcome)
+
+    json_path = args.json
+    if json_path is None and not args.quick:
+        json_path = Path(__file__).resolve().parent.parent / "BENCH_serve.json"
+    if json_path is not None:
+        Path(json_path).write_text(
+            json.dumps(outcome, indent=2) + "\n", encoding="utf-8"
+        )
+        print(f"report written to {json_path}")
+    if args.check:
+        check_report(outcome)
+        print("acceptance bars: OK")
+    return 0
+
+
+# -- pytest smoke ------------------------------------------------------------
+
+
+def test_serve_coalescing_collapses_scans(report):
+    """Scans stay bounded by thresholds while clients scale; warm never
+    rescans.  Wall-clock ratios are left to the committed full run."""
+    outcome = run_benchmark(
+        length=8_000, cold_series=4, clients=120, warm_requests=200
+    )
+    check_report(outcome)
+    report(
+        f"Serve: {outcome['coalescing']['requests']} storm clients -> "
+        f"{outcome['coalescing']['scans_executed']} scans "
+        f"({outcome['coalescing']['coalescing_ratio']}x coalescing)",
+        ["phase", "requests", "req/s", "p50 ms", "p99 ms", "scans"],
+        [
+            (
+                row["phase"], row["requests"], row["req_per_s"],
+                row["p50_ms"], row["p99_ms"], row["scans"],
+            )
+            for row in outcome["phases"]
+        ],
+    )
+
+
+if __name__ == "__main__":
+    sys.exit(main())

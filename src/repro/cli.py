@@ -34,6 +34,73 @@ from repro.synth.generator import SyntheticSpec
 from repro.timeseries.io import load_series, save_series
 
 
+def add_mining_args(
+    parser: argparse.ArgumentParser,
+    workers_help: str | None = None,
+) -> None:
+    """Install the mining-parameter options shared by ``mine`` and ``serve``.
+
+    Both subcommands drive the same engine, so their knobs must stay in
+    lockstep: confidence threshold, counting kernel, cache directory,
+    engine workers/backend, the legacy-encoding escape hatch, and lenient
+    loading.  ``workers_help`` overrides the ``--workers`` description
+    where the sharding context differs.
+    """
+    parser.add_argument("--min-conf", type=float, default=0.5)
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help=workers_help
+        or (
+            "mine on the parallel engine with this many workers "
+            "(hitset only; >1 shards the series, results are identical "
+            "to the serial run)"
+        ),
+    )
+    parser.add_argument(
+        "--backend",
+        choices=("auto", "serial", "thread", "process"),
+        default="auto",
+        help="parallel execution backend used when --workers > 1",
+    )
+    parser.add_argument(
+        "--no-encode",
+        action="store_true",
+        help=(
+            "mine on the legacy letter-set kernels instead of the interned "
+            "bitmask kernels (identical results; for bisecting regressions)"
+        ),
+    )
+    parser.add_argument(
+        "--kernel",
+        choices=("batched", "legacy"),
+        default="batched",
+        help=(
+            "counting kernel: 'batched' answers every candidate level from "
+            "one superset-sum pass; 'legacy' keeps the per-candidate walks "
+            "(identical results; for bisecting regressions)"
+        ),
+    )
+    parser.add_argument(
+        "--cache-dir",
+        metavar="DIR",
+        help=(
+            "persist scan results (keyed by series fingerprint and period) "
+            "so re-mining the same series at a different --min-conf answers "
+            "from the cache without scanning; see docs/kernels.md"
+        ),
+    )
+    parser.add_argument(
+        "--lenient",
+        action="store_true",
+        help=(
+            "quarantine malformed series lines instead of failing the load "
+            "(quarantined lines are reported on stderr)"
+        ),
+    )
+
+
 def _build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="ppm",
@@ -64,61 +131,18 @@ def _build_parser() -> argparse.ArgumentParser:
         metavar=("LOW", "HIGH"),
         help="inclusive period range (shared two-scan mining)",
     )
-    mine.add_argument("--min-conf", type=float, default=0.5)
+    add_mining_args(mine)
     mine.add_argument(
         "--algorithm", choices=("hitset", "apriori"), default="hitset"
     )
     mine.add_argument(
         "--maximal", action="store_true", help="print only maximal patterns"
     )
-    mine.add_argument(
-        "--workers",
-        type=int,
-        default=1,
-        help=(
-            "mine on the parallel engine with this many workers "
-            "(hitset only; >1 shards the series, results are identical "
-            "to the serial run)"
-        ),
-    )
-    mine.add_argument(
-        "--backend",
-        choices=("auto", "serial", "thread", "process"),
-        default="auto",
-        help="parallel execution backend used when --workers > 1",
-    )
     mine.add_argument("--limit", type=int, default=25)
     mine.add_argument(
         "--json",
         metavar="PATH",
         help="also write the result as JSON (single-period mining only)",
-    )
-    mine.add_argument(
-        "--no-encode",
-        action="store_true",
-        help=(
-            "mine on the legacy letter-set kernels instead of the interned "
-            "bitmask kernels (identical results; for bisecting regressions)"
-        ),
-    )
-    mine.add_argument(
-        "--kernel",
-        choices=("batched", "legacy"),
-        default="batched",
-        help=(
-            "counting kernel: 'batched' answers every candidate level from "
-            "one superset-sum pass; 'legacy' keeps the per-candidate walks "
-            "(identical results; for bisecting regressions)"
-        ),
-    )
-    mine.add_argument(
-        "--cache-dir",
-        metavar="DIR",
-        help=(
-            "persist scan results (keyed by series fingerprint and period) "
-            "so re-mining the same series at a different --min-conf answers "
-            "from the cache without scanning; see docs/kernels.md"
-        ),
     )
     mine.add_argument(
         "--profile",
@@ -160,13 +184,87 @@ def _build_parser() -> argparse.ArgumentParser:
             "off by the deadline can be finished by rerunning"
         ),
     )
-    mine.add_argument(
-        "--lenient",
-        action="store_true",
-        help=(
-            "quarantine malformed series lines instead of failing the load "
-            "(quarantined lines are reported on stderr)"
+    serve = commands.add_parser(
+        "serve",
+        help="run the multi-tenant mining service",
+        description=(
+            "Long-running HTTP/JSON query server over a pool of loaded "
+            "series: admission control, query coalescing, per-tenant "
+            "quotas, and a shared count cache; see docs/serve.md"
         ),
+    )
+    add_mining_args(
+        serve,
+        workers_help=(
+            "engine workers used for each query (>1 shards every mine "
+            "across the parallel engine)"
+        ),
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument(
+        "--port",
+        type=int,
+        default=8765,
+        help="listening port (0 picks a free port and prints it)",
+    )
+    serve.add_argument(
+        "--series",
+        action="append",
+        default=[],
+        metavar="NAME=PATH",
+        help="preload a series file under a name (repeatable)",
+    )
+    serve.add_argument(
+        "--concurrency",
+        type=int,
+        default=4,
+        help="worker threads answering requests",
+    )
+    serve.add_argument(
+        "--max-pending",
+        type=int,
+        default=64,
+        help="admission bound: further requests are refused with 429",
+    )
+    serve.add_argument(
+        "--request-timeout",
+        type=float,
+        default=30.0,
+        metavar="SECONDS",
+        help="per-request deadline (0 disables; exceeded requests get 504)",
+    )
+    serve.add_argument(
+        "--rate",
+        type=float,
+        metavar="RPS",
+        help="per-tenant sustained requests/second (default: unlimited)",
+    )
+    serve.add_argument(
+        "--burst",
+        type=int,
+        default=8,
+        help="per-tenant burst allowance on top of --rate",
+    )
+    serve.add_argument(
+        "--cache-max-entries",
+        type=int,
+        default=256,
+        help="LRU bound on the shared count cache (0 = unbounded)",
+    )
+    serve.add_argument(
+        "--tenant-cache-share",
+        type=int,
+        metavar="N",
+        help=(
+            "count-cache entries one tenant may own before its own oldest "
+            "is evicted (default: no per-tenant share)"
+        ),
+    )
+    serve.add_argument(
+        "--result-cache-entries",
+        type=int,
+        default=1024,
+        help="LRU bound on the serialized-result cache (0 disables it)",
     )
 
     suggest = commands.add_parser(
@@ -442,6 +540,61 @@ def _run_mine(args: argparse.Namespace) -> int:
     return 0
 
 
+def _run_serve(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from repro.serve.app import MiningApp, ServeConfig
+    from repro.serve.server import MiningServer
+
+    config = ServeConfig(
+        min_conf=args.min_conf,
+        kernel=args.kernel,
+        encode=not args.no_encode,
+        mine_workers=args.workers,
+        backend=args.backend,
+        concurrency=args.concurrency,
+        max_pending=args.max_pending,
+        request_timeout_s=(
+            None if args.request_timeout == 0 else args.request_timeout
+        ),
+        rate_limit=args.rate,
+        rate_burst=args.burst,
+        cache_dir=args.cache_dir,
+        cache_max_entries=(
+            None if args.cache_max_entries == 0 else args.cache_max_entries
+        ),
+        tenant_cache_share=args.tenant_cache_share,
+        result_cache_entries=args.result_cache_entries,
+        lenient=args.lenient,
+    )
+    app = MiningApp(config)
+    for item in args.series:
+        name, sep, path = item.partition("=")
+        if not sep or not name or not path:
+            print(
+                f"--series expects NAME=PATH, got {item!r}", file=sys.stderr
+            )
+            return 2
+        loaded = app.registry.load(name, path, lenient=args.lenient)
+        print(
+            f"loaded {loaded.name}: {loaded.slots} slots "
+            f"(fingerprint {loaded.fingerprint})"
+        )
+
+    async def _serve() -> None:
+        server = MiningServer(app, host=args.host, port=args.port)
+        await server.start()
+        print(f"ppm serve listening on http://{server.address}")
+        print("POST /mine | GET /series /stats /healthz | POST /shutdown")
+        await server.serve_forever()
+
+    try:
+        asyncio.run(_serve())
+    except KeyboardInterrupt:
+        print("interrupted; shutting down", file=sys.stderr)
+    return 0
+
+
 def _run_suggest(args: argparse.Namespace) -> int:
     series = load_series(args.input)
     low, high = args.period_range
@@ -568,6 +721,7 @@ def main(argv: Sequence[str] | None = None) -> int:
     handlers = {
         "generate": _run_generate,
         "mine": _run_mine,
+        "serve": _run_serve,
         "suggest": _run_suggest,
         "rules": _run_rules,
         "cycles": _run_cycles,

@@ -51,3 +51,8 @@ class ResilienceError(ReproError):
 class ShardTimeout(ResilienceError):
     """A shard overran its per-task timeout, or a run exhausted its
     wall-clock deadline before every shard completed."""
+
+
+class ServeError(ReproError):
+    """Raised by :mod:`repro.serve`: malformed requests, unknown series
+    names, or a server asked to run in an unusable configuration."""

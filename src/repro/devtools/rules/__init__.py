@@ -12,7 +12,9 @@ they guard:
   tree/engine hot paths;
 * :mod:`.resilience` — REP6xx, budgeted sleeping and bounded retries;
 * :mod:`.kernels` — REP7xx, batched counting (no per-candidate probe
-  loops outside the legacy oracle).
+  loops outside the legacy oracle);
+* :mod:`.serve` — REP8xx, the serving tier's event-loop contract (no
+  blocking calls inside coroutines).
 """
 
 from repro.devtools.rules import (  # noqa: F401  (imports register rules)
@@ -23,6 +25,7 @@ from repro.devtools.rules import (  # noqa: F401  (imports register rules)
     immutability,
     kernels,
     resilience,
+    serve,
 )
 
 __all__ = [
@@ -33,4 +36,5 @@ __all__ = [
     "immutability",
     "kernels",
     "resilience",
+    "serve",
 ]

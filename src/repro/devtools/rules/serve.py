@@ -1,0 +1,122 @@
+"""Serving-tier rules (REP8xx).
+
+The serving layer runs on one asyncio event loop: a single blocking call
+inside an ``async def`` stalls *every* connection, not just its own —
+latency spikes that profile as mysterious p99 cliffs.  REP801 makes the
+contract mechanical: under :mod:`repro.serve`, coroutine bodies may not
+call ``time.sleep``, synchronous file I/O (``open``, :class:`pathlib.Path`
+read/write helpers, ``os`` file-manipulation calls), or ``subprocess``.
+Blocking work belongs on the worker pool — wrap it in a plain function
+and dispatch it with ``loop.run_in_executor`` (which is why nested
+synchronous ``def`` bodies inside a coroutine are exempt: they are the
+executor payloads).
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterator
+
+from repro.devtools.context import ModuleContext, dotted_name
+from repro.devtools.findings import Finding, Severity
+from repro.devtools.registry import Rule, register
+
+#: The package whose coroutines the rule polices.
+SERVE_PACKAGE = "repro.serve"
+
+#: Dotted calls that block the thread outright.
+BLOCKING_DOTTED_PREFIXES = ("subprocess.",)
+BLOCKING_DOTTED = frozenset(
+    {
+        "time.sleep",
+        "os.replace",
+        "os.rename",
+        "os.remove",
+        "os.unlink",
+        "os.makedirs",
+        "os.mkdir",
+        "shutil.copy",
+        "shutil.copyfile",
+        "shutil.move",
+        "shutil.rmtree",
+    }
+)
+
+#: Method names that are synchronous file I/O wherever they appear
+#: (pathlib.Path helpers and raw handle reads/writes).
+BLOCKING_METHODS = frozenset(
+    {
+        "read_text",
+        "write_text",
+        "read_bytes",
+        "write_bytes",
+    }
+)
+
+
+def _blocking_reason(call: ast.Call) -> str | None:
+    """Why one call expression blocks the event loop, or ``None``."""
+    func = call.func
+    if isinstance(func, ast.Name) and func.id == "open":
+        return "open() performs synchronous file I/O"
+    dotted = dotted_name(func)
+    if dotted is not None:
+        if dotted in BLOCKING_DOTTED:
+            return f"{dotted}() blocks the event loop"
+        if dotted.startswith(BLOCKING_DOTTED_PREFIXES):
+            return f"{dotted}() runs a subprocess synchronously"
+    if isinstance(func, ast.Attribute) and func.attr in BLOCKING_METHODS:
+        return f".{func.attr}() performs synchronous file I/O"
+    return None
+
+
+def _async_body_calls(fn: ast.AsyncFunctionDef) -> Iterator[ast.Call]:
+    """Every call that executes on the coroutine's own thread of control.
+
+    Nested synchronous functions are skipped — they are not executed by
+    the coroutine directly (the legitimate pattern is defining an
+    executor payload inline).  Nested ``async def`` bodies are *not*
+    skipped: they run on the same loop.
+    """
+    stack: list[ast.AST] = list(fn.body)
+    while stack:
+        node = stack.pop()
+        if isinstance(node, (ast.FunctionDef, ast.Lambda)):
+            continue
+        if isinstance(node, ast.Call):
+            yield node
+        stack.extend(ast.iter_child_nodes(node))
+
+
+@register
+class BlockingCallInCoroutineRule(Rule):
+    """REP801: blocking call inside an ``async def`` under repro.serve."""
+
+    id = "REP801"
+    name = "blocking-call-in-coroutine"
+    severity = Severity.ERROR
+    rationale = (
+        "The serving tier is one event loop; time.sleep, synchronous file "
+        "I/O, or subprocess calls inside a coroutine stall every in-flight "
+        "request at once. Blocking work must run on the worker pool via "
+        "loop.run_in_executor (nested sync def bodies are exempt as "
+        "executor payloads)."
+    )
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        if not ctx.in_package(SERVE_PACKAGE):
+            return
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.AsyncFunctionDef):
+                continue
+            for call in _async_body_calls(node):
+                reason = _blocking_reason(call)
+                if reason is not None:
+                    yield self.finding(
+                        ctx,
+                        call.lineno,
+                        call.col_offset,
+                        f"{reason} inside coroutine {node.name}(); "
+                        "dispatch it to the worker pool with "
+                        "loop.run_in_executor",
+                    )

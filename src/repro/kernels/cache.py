@@ -26,15 +26,26 @@ and is a legitimate miss.
 
 With ``cache_dir`` set, entries persist as one JSON file per key and
 survive the process, giving ``ppm mine --cache-dir`` warm starts.
+
+The cache is safe to share across threads (``repro.serve`` mines on a
+thread pool): every public method holds one reentrant lock, persisted
+writes go through a per-writer temporary file renamed into place, and a
+writer that loses a rename race simply leaves the winner's file — both
+wrote equivalent content for the same key.  ``max_entries`` bounds the
+cache in LRU order; eviction drops the entry from memory *and* disk and
+reports it through ``on_evict``, which is how the serving layer keeps
+its per-tenant ledgers in sync.
 """
 
 from __future__ import annotations
 
 import hashlib
+import itertools
 import json
 import os
-from collections import Counter
-from collections.abc import Iterable, Mapping, Sequence
+import threading
+from collections import Counter, OrderedDict
+from collections.abc import Callable, Iterable, Mapping, Sequence
 from dataclasses import dataclass, field
 from pathlib import Path
 
@@ -83,6 +94,8 @@ class CacheStats:
     stores: int = 0
     #: Hits that were answered by projecting a superset-order table.
     projected: int = 0
+    #: Entries dropped by the ``max_entries`` LRU bound or ``evict()``.
+    evictions: int = 0
 
     @property
     def lookups(self) -> int:
@@ -99,7 +112,7 @@ class CacheStats:
         return (
             f"cache: hits={self.hits} misses={self.misses} "
             f"stores={self.stores} projected={self.projected} "
-            f"hit_rate={self.hit_rate:.2f}"
+            f"evictions={self.evictions} hit_rate={self.hit_rate:.2f}"
         )
 
 
@@ -127,11 +140,26 @@ class CountCache:
     True
     """
 
-    def __init__(self, cache_dir: "str | Path | None" = None):
-        self._entries: dict[CacheKey, _CacheEntry] = {}
+    def __init__(
+        self,
+        cache_dir: "str | Path | None" = None,
+        max_entries: int | None = None,
+        on_evict: Callable[[CacheKey], None] | None = None,
+    ):
+        if max_entries is not None and max_entries < 1:
+            raise MiningError(
+                f"max_entries must be >= 1, got {max_entries}"
+            )
+        #: LRU order: oldest-touched entry first.
+        self._entries: OrderedDict[CacheKey, _CacheEntry] = OrderedDict()
         self._dir = None if cache_dir is None else Path(cache_dir)
         if self._dir is not None:
             self._dir.mkdir(parents=True, exist_ok=True)
+        self.max_entries = max_entries
+        self.on_evict = on_evict
+        self._lock = threading.RLock()
+        #: Distinguishes concurrent writers' temporary files (with the pid).
+        self._tmp_seq = itertools.count()
         self.stats = CacheStats()
 
     # ------------------------------------------------------------------
@@ -164,21 +192,24 @@ class CountCache:
 
     def get_letter_counts(self, key: CacheKey) -> Counter | None:
         """The full (unfiltered) letter counts of a key, or ``None``."""
-        entry = self._load(key)
-        if entry is None or entry.letter_counts is None:
-            self.stats.misses += 1
-            return None
-        self.stats.hits += 1
-        return Counter(entry.letter_counts)
+        with self._lock:
+            entry = self._load(key)
+            if entry is None or entry.letter_counts is None:
+                self.stats.misses += 1
+                return None
+            self.stats.hits += 1
+            return Counter(entry.letter_counts)
 
     def put_letter_counts(
         self, key: CacheKey, counts: Mapping[Letter, int]
     ) -> None:
         """Store the full letter counts of a key (and persist if enabled)."""
-        entry = self._entry(key)
-        entry.letter_counts = Counter(counts)
-        self.stats.stores += 1
-        self._persist(key, entry)
+        with self._lock:
+            entry = self._entry(key)
+            entry.letter_counts = Counter(counts)
+            self.stats.stores += 1
+            self._persist(key, entry)
+            self._enforce_bound()
 
     # ------------------------------------------------------------------
     # Hit tables (scan-2 state)
@@ -193,25 +224,27 @@ class CountCache:
         projecting the narrowest cached superset table (see the module
         docstring for why the projection is exact).
         """
-        entry = self._load(key)
-        order = tuple(letter_order)
-        if entry is not None:
-            table_hash = letters_hash(order)
-            cached = entry.hit_tables.get(table_hash)
-            if cached is not None:
-                self.stats.hits += 1
-                return dict(cached[1])
-            projected = self._project_from_superset(entry, order)
-            if projected is not None:
-                # Memoize the projection so the next identical re-query is
-                # a direct hit, and persist it alongside the source table.
-                entry.hit_tables[table_hash] = (order, projected)
-                self._persist(key, entry)
-                self.stats.hits += 1
-                self.stats.projected += 1
-                return dict(projected)
-        self.stats.misses += 1
-        return None
+        with self._lock:
+            entry = self._load(key)
+            order = tuple(letter_order)
+            if entry is not None:
+                table_hash = letters_hash(order)
+                cached = entry.hit_tables.get(table_hash)
+                if cached is not None:
+                    self.stats.hits += 1
+                    return dict(cached[1])
+                projected = self._project_from_superset(entry, order)
+                if projected is not None:
+                    # Memoize the projection so the next identical re-query
+                    # is a direct hit, and persist it alongside the source
+                    # table.
+                    entry.hit_tables[table_hash] = (order, projected)
+                    self._persist(key, entry)
+                    self.stats.hits += 1
+                    self.stats.projected += 1
+                    return dict(projected)
+            self.stats.misses += 1
+            return None
 
     def put_hit_table(
         self,
@@ -220,11 +253,13 @@ class CountCache:
         table: Mapping[int, int],
     ) -> None:
         """Store a hit table for one letter order (and persist if enabled)."""
-        entry = self._entry(key)
-        order = tuple(letter_order)
-        entry.hit_tables[letters_hash(order)] = (order, dict(table))
-        self.stats.stores += 1
-        self._persist(key, entry)
+        with self._lock:
+            entry = self._entry(key)
+            order = tuple(letter_order)
+            entry.hit_tables[letters_hash(order)] = (order, dict(table))
+            self.stats.stores += 1
+            self._persist(key, entry)
+            self._enforce_bound()
 
     @staticmethod
     def _project_from_superset(
@@ -265,17 +300,64 @@ class CountCache:
     @property
     def entry_count(self) -> int:
         """Entries currently held in memory."""
-        return len(self._entries)
+        with self._lock:
+            return len(self._entries)
+
+    def keys(self) -> list[CacheKey]:
+        """The in-memory keys, least-recently-used first."""
+        with self._lock:
+            return list(self._entries)
 
     def clear(self) -> None:
-        """Drop every entry, in memory and (when persisting) on disk."""
-        self._entries.clear()
-        if self._dir is not None:
-            for path in self._dir.glob("*-p*.json"):
+        """Drop every entry, in memory and (when persisting) on disk.
+
+        Unlike :meth:`evict`, clearing does not fire ``on_evict`` — it is
+        a whole-cache reset, not a policy decision about one entry.
+        """
+        with self._lock:
+            self._entries.clear()
+            if self._dir is not None:
+                for path in self._dir.glob("*-p*.json"):
+                    try:
+                        path.unlink()
+                    except OSError:
+                        pass
+
+    def evict(self, key: CacheKey) -> bool:
+        """Drop one entry from memory and disk; ``True`` if it existed.
+
+        Fires ``on_evict`` and counts toward ``stats.evictions`` — this is
+        the hook the serving layer's quota policy calls to reclaim a
+        specific tenant's entry.
+        """
+        with self._lock:
+            existed = self._entries.pop(key, None) is not None
+            if self._dir is not None:
                 try:
-                    path.unlink()
+                    (self._dir / key.file_name).unlink()
+                    existed = True
                 except OSError:
                     pass
+            if existed:
+                self.stats.evictions += 1
+                if self.on_evict is not None:
+                    self.on_evict(key)
+            return existed
+
+    def _enforce_bound(self) -> None:
+        """Evict least-recently-used entries down to ``max_entries``."""
+        if self.max_entries is None:
+            return
+        while len(self._entries) > self.max_entries:
+            key, _ = self._entries.popitem(last=False)
+            if self._dir is not None:
+                try:
+                    (self._dir / key.file_name).unlink()
+                except OSError:
+                    pass
+            self.stats.evictions += 1
+            if self.on_evict is not None:
+                self.on_evict(key)
 
     def _entry(self, key: CacheKey) -> _CacheEntry:
         loaded = self._load(key)
@@ -286,9 +368,13 @@ class CountCache:
         return entry
 
     def _load(self, key: CacheKey) -> _CacheEntry | None:
-        """The entry of a key, reading it from disk on first touch."""
+        """The entry of a key, reading it from disk on first touch.
+
+        Every successful lookup refreshes the key's LRU position.
+        """
         entry = self._entries.get(key)
         if entry is not None:
+            self._entries.move_to_end(key)
             return entry
         if self._dir is None:
             return None
@@ -315,10 +401,21 @@ class CountCache:
             table = {int(mask): int(count) for mask, count in item["rows"]}
             entry.hit_tables[letters_hash(order)] = (order, table)
         self._entries[key] = entry
+        self._enforce_bound()
         return entry
 
     def _persist(self, key: CacheKey, entry: _CacheEntry) -> None:
-        """Write one entry atomically (write-to-temp, rename into place)."""
+        """Write one entry atomically (write-to-temp, rename into place).
+
+        The temporary name carries the pid and a per-cache sequence
+        number, so concurrent writers — other threads of this process or
+        other processes sharing ``cache_dir`` — never collide on the same
+        temporary file.  ``os.replace`` then makes the final rename
+        atomic; a writer that loses the race simply replaces the winner's
+        file with equivalent content for the same key, and any OS-level
+        failure (a full or vanished cache directory, a permission flip)
+        degrades to an in-memory-only entry rather than failing the mine.
+        """
         if self._dir is None:
             return
         payload: dict = {
@@ -341,9 +438,17 @@ class CountCache:
             for order, table in entry.hit_tables.values()
         ]
         path = self._dir / key.file_name
-        tmp = path.with_suffix(".tmp")
-        tmp.write_text(json.dumps(payload), encoding="utf-8")
-        os.replace(tmp, path)
+        tmp = path.with_name(
+            f"{path.name}.{os.getpid()}.{next(self._tmp_seq)}.tmp"
+        )
+        try:
+            tmp.write_text(json.dumps(payload), encoding="utf-8")
+            os.replace(tmp, path)
+        except OSError:
+            try:
+                tmp.unlink()
+            except OSError:
+                pass
 
     def __repr__(self) -> str:
         return f"CountCache(entries={self.entry_count}, {self.stats.summary()})"

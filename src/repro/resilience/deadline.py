@@ -7,14 +7,25 @@ future, so a hung shard surfaces as a :class:`~repro.core.errors.ShardTimeout`
 instead of blocking the pool forever.  Cancellation is cooperative — a
 worker that is already computing cannot be preempted, but no *new* wait
 or retry starts once the budget is spent.
+
+The same object serves async callers (:mod:`repro.serve` hands every
+request its own deadline): :meth:`Deadline.check` is the cheap
+raise-if-expired probe for use between awaits, and :meth:`Deadline.bound`
+caps any awaitable at the remaining budget, surfacing exhaustion as
+:class:`~repro.core.errors.ShardTimeout` exactly like the engine's
+synchronous waits do.
 """
 
 from __future__ import annotations
 
+import asyncio
 import time
 from dataclasses import dataclass
+from typing import Awaitable, TypeVar
 
-from repro.core.errors import ResilienceError
+from repro.core.errors import ResilienceError, ShardTimeout
+
+T = TypeVar("T")
 
 
 @dataclass(frozen=True, slots=True)
@@ -51,6 +62,41 @@ class Deadline:
     def expired(self) -> bool:
         """True once the budget is fully spent."""
         return self.remaining() <= 0.0
+
+    def check(self, label: str = "operation") -> None:
+        """Raise :class:`ShardTimeout` if the budget is already spent.
+
+        The polling form for cooperative async code: call it between
+        awaits so a long handler stops promptly once its request deadline
+        passes instead of finishing work nobody is waiting for.
+        """
+        if self.expired:
+            raise ShardTimeout(
+                f"{label} exceeded its deadline "
+                f"(budget {self.budget_s:.3f}s spent)"
+            )
+
+    async def bound(self, awaitable: Awaitable[T], label: str = "operation") -> T:
+        """Await something, but only for the remaining budget.
+
+        Wraps :func:`asyncio.wait_for` with :meth:`remaining` and converts
+        the cancellation into :class:`ShardTimeout`, so async callers get
+        the same exception surface as the engine's synchronous
+        future-waits.  An already-expired deadline raises without
+        scheduling the awaitable's first step (closing a bare coroutine
+        so it does not warn about never being awaited).
+        """
+        if self.expired:
+            if asyncio.iscoroutine(awaitable):
+                awaitable.close()
+            self.check(label)
+        try:
+            return await asyncio.wait_for(awaitable, timeout=self.remaining())
+        except asyncio.TimeoutError:
+            raise ShardTimeout(
+                f"{label} exceeded its deadline "
+                f"(budget {self.budget_s:.3f}s spent)"
+            ) from None
 
     def __repr__(self) -> str:
         return f"Deadline(budget_s={self.budget_s}, remaining={self.remaining():.3f})"

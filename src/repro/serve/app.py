@@ -1,0 +1,509 @@
+"""The mining application: routes, admission, coalescing, quotas.
+
+:class:`MiningApp` is the server's brain, deliberately separated from
+the socket layer so the whole request pipeline is testable by calling
+:meth:`MiningApp.handle` with a :class:`~repro.serve.protocol.Request` —
+no ports, no sleeps, no flakes.
+
+One ``/mine`` request flows through five gates, in order:
+
+1. **validation** — malformed bodies and unknown series answer 400/404
+   before any resource is charged;
+2. **tenant quota** — the per-tenant token bucket refuses over-rate
+   tenants with 429 (``reason: "rate-limit"``);
+3. **admission** — a bounded pending counter refuses work past
+   ``max_pending`` with 429 (``reason: "saturated"``): backpressure, not
+   an unbounded queue;
+4. **result cache** — an exact ``(fingerprint, period, min_conf)``
+   repeat answers from a bounded LRU of serialized results without
+   touching the mining path (content-addressed, so it can never serve a
+   stale answer: editing a series changes its fingerprint);
+5. **single-flight mining** — concurrent misses on the same
+   ``(fingerprint, period)`` coalesce; the leader's scans populate the
+   shared :class:`~repro.kernels.cache.CountCache` and followers re-query
+   it (exact, per the cache's projection rule).
+
+Mining itself runs on a worker thread pool bounded by ``concurrency``;
+the per-request :class:`~repro.resilience.Deadline` caps the whole
+journey — queueing included — surfacing as 504.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from collections import OrderedDict
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+from repro.core.errors import (
+    MiningError,
+    ReproError,
+    ServeError,
+    ShardTimeout,
+)
+from repro.core.miner import PartialPeriodicMiner
+from repro.core.serialize import result_to_dict
+from repro.kernels.cache import CountCache
+from repro.kernels.profile import MiningProfile
+from repro.resilience.deadline import Deadline
+from repro.serve.coalesce import SingleFlight
+from repro.serve.protocol import Request, error_payload
+from repro.serve.quotas import TenantCacheLedger, TenantQuotas
+from repro.serve.registry import SeriesRegistry
+
+if TYPE_CHECKING:
+    from repro.core.result import MiningResult
+    from repro.kernels.cache import CacheKey
+
+
+@dataclass(slots=True)
+class ServeConfig:
+    """Everything ``ppm serve`` can tune, with service-shaped defaults."""
+
+    #: Default confidence threshold when a request omits ``min_conf``.
+    min_conf: float = 0.5
+    #: Counting kernel for every mine (mirrors ``ppm mine --kernel``).
+    kernel: str = "batched"
+    #: False routes mining through the legacy letter-set kernels.
+    encode: bool = True
+    #: Per-query engine workers (mirrors ``ppm mine --workers``).
+    mine_workers: int = 1
+    #: Engine backend when ``mine_workers > 1``.
+    backend: str = "auto"
+    #: Worker threads answering requests (the service's parallelism).
+    concurrency: int = 4
+    #: Admission bound: requests in flight past this are refused with 429.
+    max_pending: int = 64
+    #: Per-request wall-clock budget; ``None`` disables deadlines.
+    request_timeout_s: float | None = 30.0
+    #: Per-tenant sustained requests/second; ``None`` disables limiting.
+    rate_limit: float | None = None
+    #: Per-tenant burst allowance on top of the sustained rate.
+    rate_burst: int = 8
+    #: Directory persisting the count cache across restarts.
+    cache_dir: str | None = None
+    #: LRU bound on the shared count cache (``None`` = unbounded).
+    cache_max_entries: int | None = 256
+    #: Count-cache entries one tenant may own before its own oldest is
+    #: evicted to make room (``None`` = no per-tenant share).
+    tenant_cache_share: int | None = None
+    #: Bound on the serialized-result LRU (0 disables it).
+    result_cache_entries: int = 1024
+    #: Quarantine malformed lines when loading series files.
+    lenient: bool = False
+
+    def validate(self) -> None:
+        """Fail fast on configurations the server cannot run."""
+        if self.concurrency < 1:
+            raise ServeError(
+                f"concurrency must be >= 1, got {self.concurrency}"
+            )
+        if self.max_pending < 1:
+            raise ServeError(
+                f"max_pending must be >= 1, got {self.max_pending}"
+            )
+        if self.mine_workers < 1:
+            raise ServeError(
+                f"mine_workers must be >= 1, got {self.mine_workers}"
+            )
+        if self.result_cache_entries < 0:
+            raise ServeError(
+                "result_cache_entries must be >= 0, got "
+                f"{self.result_cache_entries}"
+            )
+        if self.request_timeout_s is not None and self.request_timeout_s <= 0:
+            raise ServeError(
+                "request_timeout_s must be > 0, got "
+                f"{self.request_timeout_s}"
+            )
+        if self.tenant_cache_share is not None and self.tenant_cache_share < 1:
+            raise ServeError(
+                "tenant_cache_share must be >= 1, got "
+                f"{self.tenant_cache_share}"
+            )
+
+
+class MiningApp:
+    """Route table plus all serving state for one mining service."""
+
+    def __init__(self, config: ServeConfig | None = None) -> None:
+        self.config = config or ServeConfig()
+        self.config.validate()
+        self.registry = SeriesRegistry()
+        self.ledger = TenantCacheLedger()
+        self.cache = CountCache(
+            cache_dir=self.config.cache_dir,
+            max_entries=self.config.cache_max_entries,
+            on_evict=self.ledger.forget,
+        )
+        self.quotas = TenantQuotas(
+            self.config.rate_limit, self.config.rate_burst
+        )
+        self.flights = SingleFlight()
+        self.profile = MiningProfile()
+        #: Set by ``POST /shutdown``; the server drains and exits on it.
+        self.shutdown_event = asyncio.Event()
+        self._executor = ThreadPoolExecutor(
+            max_workers=self.config.concurrency,
+            thread_name_prefix="ppm-serve",
+        )
+        self._results: OrderedDict[tuple, dict] = OrderedDict()
+        self._started = time.monotonic()
+        self._pending = 0
+        self._running = 0
+        self.counters = {
+            "served": 0,
+            "mined": 0,
+            "rejected_busy": 0,
+            "rejected_quota": 0,
+            "timeouts": 0,
+            "client_errors": 0,
+            "server_errors": 0,
+            "result_cache_hits": 0,
+            "scans_executed": 0,
+        }
+
+    # ------------------------------------------------------------------
+    # Routing
+    # ------------------------------------------------------------------
+
+    async def handle(self, request: Request) -> tuple[int, dict]:
+        """Answer one request: ``(status, JSON payload)``."""
+        try:
+            return await self._route(request)
+        except ServeError as error:
+            self.counters["client_errors"] += 1
+            return 400, error_payload(str(error))
+        except MiningError as error:
+            self.counters["client_errors"] += 1
+            return 400, error_payload(str(error))
+        except ReproError as error:
+            self.counters["server_errors"] += 1
+            return 500, error_payload(str(error))
+
+    async def _route(self, request: Request) -> tuple[int, dict]:
+        method, path = request.method, request.path.rstrip("/") or "/"
+        if path == "/healthz" and method == "GET":
+            return 200, self._healthz()
+        if path == "/stats" and method == "GET":
+            return 200, self.stats()
+        if path == "/series" and method == "GET":
+            return 200, {"series": self.registry.describe()}
+        if path == "/series" and method == "POST":
+            return await self._load_series(request)
+        if path.startswith("/series/") and method == "DELETE":
+            return self._unload_series(path.removeprefix("/series/"))
+        if path == "/mine" and method == "POST":
+            return await self._mine(request)
+        if path == "/shutdown" and method == "POST":
+            self.shutdown_event.set()
+            return 202, {"status": "shutting down"}
+        if path in ("/", "/healthz", "/stats", "/series", "/mine", "/shutdown"):
+            self.counters["client_errors"] += 1
+            return 405, error_payload(f"{method} not allowed on {path}")
+        self.counters["client_errors"] += 1
+        return 404, error_payload(f"no route for {method} {path}")
+
+    # ------------------------------------------------------------------
+    # Introspection endpoints
+    # ------------------------------------------------------------------
+
+    def _healthz(self) -> dict:
+        return {
+            "status": "ok",
+            "series_loaded": len(self.registry),
+            "uptime_s": round(time.monotonic() - self._started, 3),
+        }
+
+    def stats(self) -> dict:
+        """The ``GET /stats`` document: queues, caches, tenants, timings."""
+        cache = self.cache.stats
+        return {
+            "requests": dict(self.counters),
+            "queue": {
+                "pending": self._pending,
+                "running": self._running,
+                "max_pending": self.config.max_pending,
+                "concurrency": self.config.concurrency,
+            },
+            "coalescing": self.flights.snapshot(),
+            "count_cache": {
+                "entries": self.cache.entry_count,
+                "hits": cache.hits,
+                "misses": cache.misses,
+                "stores": cache.stores,
+                "projected": cache.projected,
+                "evictions": cache.evictions,
+                "hit_rate": round(cache.hit_rate, 4),
+            },
+            "result_cache": {
+                "entries": len(self._results),
+                "hits": self.counters["result_cache_hits"],
+                "max_entries": self.config.result_cache_entries,
+            },
+            "tenants": {
+                "quota": self.quotas.snapshot(),
+                "cache_owned": self.ledger.snapshot(),
+            },
+            "profile": self.profile.to_json(),
+            "series_loaded": len(self.registry),
+            "uptime_s": round(time.monotonic() - self._started, 3),
+        }
+
+    # ------------------------------------------------------------------
+    # Series management
+    # ------------------------------------------------------------------
+
+    async def _load_series(self, request: Request) -> tuple[int, dict]:
+        body = request.json()
+        name = body.get("name")
+        path = body.get("path")
+        if not isinstance(name, str) or not isinstance(path, str):
+            raise ServeError(
+                "POST /series needs JSON string fields 'name' and 'path'"
+            )
+        lenient = bool(body.get("lenient", self.config.lenient))
+        loop = asyncio.get_running_loop()
+        loaded = await loop.run_in_executor(
+            self._executor, self.registry.load, name, path, lenient
+        )
+        return 200, {"loaded": loaded.describe()}
+
+    def _unload_series(self, name: str) -> tuple[int, dict]:
+        try:
+            unloaded = self.registry.unload(name)
+        except ServeError as error:
+            self.counters["client_errors"] += 1
+            return 404, error_payload(str(error))
+        return 200, {"unloaded": unloaded.describe()}
+
+    # ------------------------------------------------------------------
+    # Mining
+    # ------------------------------------------------------------------
+
+    async def _mine(self, request: Request) -> tuple[int, dict]:
+        started = time.perf_counter()
+        body = request.json()
+        name = body.get("series")
+        if not isinstance(name, str):
+            raise ServeError("POST /mine needs a JSON string field 'series'")
+        period = body.get("period")
+        if not isinstance(period, int) or isinstance(period, bool):
+            raise ServeError("POST /mine needs a JSON integer field 'period'")
+        min_conf = body.get("min_conf", self.config.min_conf)
+        if not isinstance(min_conf, (int, float)) or isinstance(
+            min_conf, bool
+        ):
+            raise ServeError("'min_conf' must be a number")
+        min_conf = float(min_conf)
+        tenant = request.tenant
+
+        try:
+            loaded = self.registry.get(name)
+        except ServeError as error:
+            self.counters["client_errors"] += 1
+            return 404, error_payload(str(error))
+
+        if not self.quotas.allow(tenant):
+            self.counters["rejected_quota"] += 1
+            return 429, {
+                "error": f"tenant {tenant!r} is over its request rate",
+                "reason": "rate-limit",
+                "tenant": tenant,
+            }
+        if self._pending >= self.config.max_pending:
+            self.counters["rejected_busy"] += 1
+            return 429, {
+                "error": (
+                    f"server saturated ({self._pending} requests pending); "
+                    "retry later"
+                ),
+                "reason": "saturated",
+            }
+
+        self._pending += 1
+        try:
+            deadline = (
+                None
+                if self.config.request_timeout_s is None
+                else Deadline.start(self.config.request_timeout_s)
+            )
+            work = self._mine_admitted(
+                loaded.fingerprint, loaded.series, name, period, min_conf,
+                tenant, started,
+            )
+            if deadline is None:
+                return await work
+            return await deadline.bound(work, "mine request")
+        except ShardTimeout:
+            self.counters["timeouts"] += 1
+            return 504, {
+                "error": (
+                    "request exceeded its deadline of "
+                    f"{self.config.request_timeout_s}s"
+                ),
+                "reason": "deadline",
+            }
+        finally:
+            self._pending -= 1
+
+    async def _mine_admitted(
+        self,
+        fingerprint: str,
+        series: object,
+        name: str,
+        period: int,
+        min_conf: float,
+        tenant: str,
+        started: float,
+    ) -> tuple[int, dict]:
+        """The post-admission pipeline: result cache, coalescing, mining."""
+        result_key = (fingerprint, period, min_conf, self.config.kernel)
+        cached = self._result_cache_get(result_key)
+        if cached is not None:
+            return 200, self._respond(
+                cached, name, fingerprint, tenant, started,
+                scans=0, coalesced=False, from_result_cache=True,
+            )
+
+        flight_key = (fingerprint, period)
+        async with self.flights.hold(flight_key) as waited:
+            if waited:
+                # The leader may have produced this exact document while
+                # this request queued on the flight lock.
+                cached = self._result_cache_get(result_key)
+                if cached is not None:
+                    return 200, self._respond(
+                        cached, name, fingerprint, tenant, started,
+                        scans=0, coalesced=True, from_result_cache=True,
+                    )
+            cache_key = self.cache.key_for(series, period)
+            self._enforce_tenant_share(tenant, cache_key)
+            profile = MiningProfile()
+            loop = asyncio.get_running_loop()
+            self._running += 1
+            try:
+                result = await loop.run_in_executor(
+                    self._executor,
+                    self._mine_blocking,
+                    series,
+                    period,
+                    min_conf,
+                    profile,
+                )
+            finally:
+                self._running -= 1
+            self._merge_profile(profile)
+            scans = result.stats.scans
+            self.counters["mined"] += 1
+            self.counters["scans_executed"] += scans
+            if scans:
+                self.ledger.charge(tenant, cache_key)
+            document = result_to_dict(result)
+            self._result_cache_put(result_key, document)
+            return 200, self._respond(
+                document, name, fingerprint, tenant, started,
+                scans=scans, coalesced=waited, from_result_cache=False,
+            )
+
+    def _mine_blocking(
+        self,
+        series: object,
+        period: int,
+        min_conf: float,
+        profile: MiningProfile,
+    ) -> "MiningResult":
+        """One mine on a worker thread (the only blocking code path)."""
+        miner = PartialPeriodicMiner(series, min_conf=min_conf)
+        return miner.mine(
+            period,
+            workers=self.config.mine_workers,
+            backend=self.config.backend,
+            encode=self.config.encode,
+            kernel=self.config.kernel,
+            cache=self.cache,
+            profile=profile,
+        )
+
+    def _enforce_tenant_share(self, tenant: str, cache_key: "CacheKey") -> None:
+        """Evict the tenant's own oldest entries before it adds a new one."""
+        share = self.config.tenant_cache_share
+        if share is None or self.ledger.owner_of(cache_key) == tenant:
+            return
+        while self.ledger.owner_count(tenant) >= share:
+            oldest = self.ledger.oldest(tenant)
+            if oldest is None:  # pragma: no cover - count>0 implies a key
+                break
+            self.cache.evict(oldest)
+
+    def _respond(
+        self,
+        document: dict,
+        name: str,
+        fingerprint: str,
+        tenant: str,
+        started: float,
+        scans: int,
+        coalesced: bool,
+        from_result_cache: bool,
+    ) -> dict:
+        self.counters["served"] += 1
+        return {
+            "result": document,
+            "serve": {
+                "series": name,
+                "fingerprint": fingerprint,
+                "tenant": tenant,
+                "scans": scans,
+                "coalesced": coalesced,
+                "from_result_cache": from_result_cache,
+                "elapsed_ms": round(
+                    (time.perf_counter() - started) * 1e3, 3
+                ),
+            },
+        }
+
+    # ------------------------------------------------------------------
+    # Result cache (bounded LRU of serialized results)
+    # ------------------------------------------------------------------
+
+    def _result_cache_get(self, key: tuple) -> dict | None:
+        if self.config.result_cache_entries == 0:
+            return None
+        document = self._results.get(key)
+        if document is None:
+            return None
+        self._results.move_to_end(key)
+        self.counters["result_cache_hits"] += 1
+        return document
+
+    def _result_cache_put(self, key: tuple, document: dict) -> None:
+        if self.config.result_cache_entries == 0:
+            return
+        self._results[key] = document
+        self._results.move_to_end(key)
+        while len(self._results) > self.config.result_cache_entries:
+            self._results.popitem(last=False)
+
+    # ------------------------------------------------------------------
+    # Profile aggregation and lifecycle
+    # ------------------------------------------------------------------
+
+    def _merge_profile(self, profile: MiningProfile) -> None:
+        """Fold one request's stage timings into the service aggregate.
+
+        Requests each carry their own :class:`MiningProfile` (the class
+        is not thread-safe) and merge on the event-loop thread.
+        """
+        for timing in profile.stages:
+            self.profile.add_stage(
+                timing.name, timing.elapsed_s, items=timing.items
+            )
+        for counter, amount in profile.counters.items():
+            self.profile.count(counter, amount)
+
+    def close(self) -> None:
+        """Release the worker pool (idempotent)."""
+        self._executor.shutdown(wait=False)

@@ -1,0 +1,92 @@
+"""Single-flight query coalescing.
+
+When a thousand clients ask about the same series and period at once,
+only the first should pay for the scans.  :class:`SingleFlight` holds
+one :class:`asyncio.Lock` per in-flight key — here the key is the
+``(series fingerprint, period)`` pair, exactly the
+:class:`~repro.kernels.cache.CacheKey` identity — so concurrent requests
+on the same key run one at a time: the leader scans and populates the
+shared :class:`~repro.kernels.cache.CountCache`, and every follower then
+answers from the cache (zero scans for an equal-or-higher ``min_conf``
+via the projection rule; at most one extra scan-2 for a lower one, which
+widens the cached table for everyone after it).
+
+Requests on *different* keys never contend — the lock table is per-key
+and entries are dropped as soon as the last holder releases, so the
+table stays as small as the in-flight set.
+
+The coalescing is exact, not approximate: followers re-derive their own
+results from the cache under their own ``min_conf``, so every client
+receives byte-identical output to a direct serial mine (a tested
+invariant — see ``tests/test_serve.py``).
+"""
+
+from __future__ import annotations
+
+import asyncio
+from collections.abc import AsyncIterator, Hashable
+from contextlib import asynccontextmanager
+from dataclasses import dataclass, field
+
+
+@dataclass(slots=True)
+class _Flight:
+    """One in-flight key: its lock and how many requests reference it."""
+
+    lock: asyncio.Lock = field(default_factory=asyncio.Lock)
+    refs: int = 0
+
+
+class SingleFlight:
+    """Per-key serialization with coalescing statistics.
+
+    Not thread-safe by design: it lives on the event loop, where mutation
+    between awaits is already atomic.
+    """
+
+    def __init__(self) -> None:
+        self._flights: dict[Hashable, _Flight] = {}
+        #: Requests that found their key already in flight and waited.
+        self.coalesced = 0
+        #: Requests that led their key (acquired the lock without waiting).
+        self.led = 0
+
+    @asynccontextmanager
+    async def hold(self, key: Hashable) -> AsyncIterator[bool]:
+        """Hold the key's lock for one request.
+
+        Yields ``True`` when this request *coalesced* — the key was
+        already in flight, so by the time the lock is ours the leader has
+        finished and the cache is warm.  Callers use the flag to re-check
+        their fast paths before doing any work.
+        """
+        flight = self._flights.get(key)
+        if flight is None:
+            flight = _Flight()
+            self._flights[key] = flight
+        flight.refs += 1
+        waited = flight.lock.locked()
+        if waited:
+            self.coalesced += 1
+        else:
+            self.led += 1
+        try:
+            async with flight.lock:
+                yield waited
+        finally:
+            flight.refs -= 1
+            if flight.refs == 0:
+                self._flights.pop(key, None)
+
+    @property
+    def in_flight(self) -> int:
+        """Keys currently holding at least one request."""
+        return len(self._flights)
+
+    def snapshot(self) -> dict[str, int]:
+        """Counters for ``/stats``."""
+        return {
+            "coalesced": self.coalesced,
+            "led": self.led,
+            "in_flight": self.in_flight,
+        }

@@ -1,0 +1,190 @@
+"""A minimal HTTP/1.1 layer over asyncio streams.
+
+The serving tier deliberately avoids third-party web frameworks — the
+deployment story of the reproduction is "python and the standard
+library" — so this module implements the small slice of HTTP/1.1 the
+mining service needs: request-line + header parsing, ``Content-Length``
+bodies, JSON responses, and keep-alive.  It is not a general web server;
+chunked transfer encoding, multipart bodies, and HTTP/2 are out of
+scope, and anything outside the supported slice fails as a clean 400.
+
+Everything here is transport: no routing, no mining, no state.  The
+application layer (:mod:`repro.serve.app`) consumes :class:`Request`
+objects and produces ``(status, payload)`` pairs; this module turns the
+wire into the former and the latter back into the wire.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from dataclasses import dataclass, field
+from urllib.parse import parse_qsl, urlsplit
+
+from repro.core.errors import ServeError
+
+#: Largest accepted request body; a mining request is a few hundred bytes,
+#: so anything near this bound is a client error, not a workload.
+MAX_BODY_BYTES = 1 << 20
+
+#: Largest accepted header section (request line included).
+MAX_HEADER_BYTES = 32 * 1024
+
+#: Maximum header count per request.
+MAX_HEADER_COUNT = 64
+
+#: Reason phrases for every status the service emits.
+STATUS_REASONS = {
+    200: "OK",
+    202: "Accepted",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    408: "Request Timeout",
+    413: "Payload Too Large",
+    429: "Too Many Requests",
+    500: "Internal Server Error",
+    503: "Service Unavailable",
+    504: "Gateway Timeout",
+}
+
+#: Header identifying the requesting tenant; absent means this tenant.
+TENANT_HEADER = "x-tenant"
+DEFAULT_TENANT = "public"
+
+
+class ProtocolError(ServeError):
+    """A request the HTTP layer cannot parse or refuses to accept."""
+
+
+@dataclass(slots=True)
+class Request:
+    """One parsed HTTP request.
+
+    Header names are lower-cased at parse time; query values keep the
+    last occurrence of a repeated key.
+    """
+
+    method: str
+    path: str
+    query: dict[str, str] = field(default_factory=dict)
+    headers: dict[str, str] = field(default_factory=dict)
+    body: bytes = b""
+
+    @property
+    def tenant(self) -> str:
+        """The requesting tenant (the ``X-Tenant`` header, or a default)."""
+        return self.headers.get(TENANT_HEADER, DEFAULT_TENANT).strip() or (
+            DEFAULT_TENANT
+        )
+
+    @property
+    def keep_alive(self) -> bool:
+        """Whether the connection should stay open after the response."""
+        return self.headers.get("connection", "keep-alive").lower() != "close"
+
+    def json(self) -> dict:
+        """The request body parsed as a JSON object.
+
+        An empty body reads as an empty object so endpoints with all-
+        optional parameters accept bare POSTs.
+        """
+        if not self.body:
+            return {}
+        try:
+            payload = json.loads(self.body)
+        except json.JSONDecodeError as error:
+            raise ProtocolError(f"request body is not valid JSON: {error}")
+        if not isinstance(payload, dict):
+            raise ProtocolError("request body must be a JSON object")
+        return payload
+
+
+async def read_request(reader: asyncio.StreamReader) -> Request | None:
+    """Parse one request off a stream; ``None`` on a clean end-of-stream.
+
+    Raises :class:`ProtocolError` for malformed or oversized input — the
+    connection handler answers 400 and closes.
+    """
+    try:
+        request_line = await reader.readline()
+    except (asyncio.LimitOverrunError, ValueError):
+        raise ProtocolError("request line too long")
+    if not request_line:
+        return None
+    try:
+        text = request_line.decode("ascii").strip()
+    except UnicodeDecodeError:
+        raise ProtocolError("request line is not ASCII")
+    if not text:
+        return None
+    parts = text.split()
+    if len(parts) != 3 or not parts[2].startswith("HTTP/1."):
+        raise ProtocolError(f"malformed request line: {text!r}")
+    method, target, _version = parts
+    split = urlsplit(target)
+    query = dict(parse_qsl(split.query, keep_blank_values=True))
+
+    headers: dict[str, str] = {}
+    header_bytes = 0
+    while True:
+        try:
+            line = await reader.readline()
+        except (asyncio.LimitOverrunError, ValueError):
+            raise ProtocolError("header line too long")
+        if line in (b"\r\n", b"\n", b""):
+            break
+        header_bytes += len(line)
+        if header_bytes > MAX_HEADER_BYTES or len(headers) >= MAX_HEADER_COUNT:
+            raise ProtocolError("header section too large")
+        try:
+            decoded = line.decode("latin-1").strip()
+        except UnicodeDecodeError:  # pragma: no cover - latin-1 never fails
+            raise ProtocolError("undecodable header line")
+        name, sep, value = decoded.partition(":")
+        if not sep:
+            raise ProtocolError(f"malformed header line: {decoded!r}")
+        headers[name.strip().lower()] = value.strip()
+
+    body = b""
+    length_text = headers.get("content-length", "0")
+    try:
+        length = int(length_text)
+    except ValueError:
+        raise ProtocolError(f"bad Content-Length: {length_text!r}")
+    if length < 0 or length > MAX_BODY_BYTES:
+        raise ProtocolError(f"unacceptable Content-Length: {length}")
+    if length:
+        try:
+            body = await reader.readexactly(length)
+        except asyncio.IncompleteReadError:
+            raise ProtocolError("connection closed mid-body")
+    return Request(
+        method=method.upper(),
+        path=split.path or "/",
+        query=query,
+        headers=headers,
+        body=body,
+    )
+
+
+def response_bytes(
+    status: int, payload: object, keep_alive: bool = True
+) -> bytes:
+    """Serialize one JSON response, headers included."""
+    body = json.dumps(payload).encode("utf-8")
+    reason = STATUS_REASONS.get(status, "Unknown")
+    connection = "keep-alive" if keep_alive else "close"
+    head = (
+        f"HTTP/1.1 {status} {reason}\r\n"
+        f"Content-Type: application/json\r\n"
+        f"Content-Length: {len(body)}\r\n"
+        f"Connection: {connection}\r\n"
+        "\r\n"
+    )
+    return head.encode("ascii") + body
+
+
+def error_payload(message: str) -> dict:
+    """The uniform JSON body of every non-2xx response."""
+    return {"error": message}

@@ -1,0 +1,182 @@
+"""Per-tenant fairness: request rate limits and cache-share ledgers.
+
+Two resources need protecting in a multi-tenant server.  The worker pool
+is guarded by a classic token bucket per tenant — sustained rate plus a
+burst allowance, refilled continuously on the monotonic clock.  The
+shared :class:`~repro.kernels.cache.CountCache` is guarded by a
+:class:`TenantCacheLedger`: every cache entry remembers which tenant's
+cold mine created it, and when a tenant is at its share the *tenant's
+own* least-recently-created entry is evicted before the new one is
+admitted — a noisy tenant cycling through many series recycles its own
+warm state instead of flushing everyone else's.
+
+Clocks are injectable so the tests are deterministic; nothing here
+sleeps (rule REP801 — the bucket refuses instead of waiting).
+"""
+
+from __future__ import annotations
+
+import time
+from collections import OrderedDict
+from collections.abc import Callable
+from typing import TYPE_CHECKING
+
+from repro.core.errors import ServeError
+
+if TYPE_CHECKING:
+    from repro.kernels.cache import CacheKey
+
+
+class TokenBucket:
+    """A continuously-refilled token bucket.
+
+    ``rate`` tokens per second accrue up to ``burst``; each admitted
+    request spends one token.  A request arriving with less than one
+    token available is refused immediately — callers answer 429, they do
+    not queue behind the bucket.
+
+    Examples
+    --------
+    >>> ticks = iter([0.0, 0.0, 0.0, 10.0])
+    >>> bucket = TokenBucket(rate=1.0, burst=2, clock=lambda: next(ticks))
+    >>> [bucket.try_acquire(), bucket.try_acquire(), bucket.try_acquire()]
+    [True, True, False]
+    >>> bucket.try_acquire()
+    True
+    """
+
+    __slots__ = ("rate", "burst", "_clock", "_tokens", "_updated")
+
+    def __init__(
+        self,
+        rate: float,
+        burst: int,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if rate <= 0:
+            raise ServeError(f"token rate must be > 0, got {rate}")
+        if burst < 1:
+            raise ServeError(f"burst must be >= 1, got {burst}")
+        self.rate = rate
+        self.burst = burst
+        self._clock = clock
+        self._tokens = float(burst)
+        self._updated = clock()
+
+    def try_acquire(self) -> bool:
+        """Spend one token if available; never waits."""
+        now = self._clock()
+        self._tokens = min(
+            float(self.burst), self._tokens + (now - self._updated) * self.rate
+        )
+        self._updated = now
+        if self._tokens >= 1.0:
+            self._tokens -= 1.0
+            return True
+        return False
+
+
+class TenantQuotas:
+    """One token bucket per tenant, created on first sight.
+
+    ``rate=None`` disables rate limiting entirely (every request admits);
+    the per-tenant admitted/throttled tallies still accumulate so
+    ``/stats`` reports per-tenant traffic either way.
+    """
+
+    def __init__(
+        self,
+        rate: float | None,
+        burst: int = 8,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if rate is not None and rate <= 0:
+            raise ServeError(f"rate limit must be > 0, got {rate}")
+        self.rate = rate
+        self.burst = burst
+        self._clock = clock
+        self._buckets: dict[str, TokenBucket] = {}
+        self._admitted: dict[str, int] = {}
+        self._throttled: dict[str, int] = {}
+
+    def allow(self, tenant: str) -> bool:
+        """Admit or throttle one request from a tenant."""
+        if self.rate is None:
+            self._admitted[tenant] = self._admitted.get(tenant, 0) + 1
+            return True
+        bucket = self._buckets.get(tenant)
+        if bucket is None:
+            bucket = TokenBucket(self.rate, self.burst, self._clock)
+            self._buckets[tenant] = bucket
+        if bucket.try_acquire():
+            self._admitted[tenant] = self._admitted.get(tenant, 0) + 1
+            return True
+        self._throttled[tenant] = self._throttled.get(tenant, 0) + 1
+        return False
+
+    def snapshot(self) -> dict[str, dict[str, int]]:
+        """Per-tenant admitted/throttled tallies for ``/stats``."""
+        tenants = sorted(set(self._admitted) | set(self._throttled))
+        return {
+            tenant: {
+                "admitted": self._admitted.get(tenant, 0),
+                "throttled": self._throttled.get(tenant, 0),
+            }
+            for tenant in tenants
+        }
+
+
+class TenantCacheLedger:
+    """Who owns which count-cache entry, in creation order per tenant.
+
+    The ledger is consulted before a cold mine: a tenant already at
+    ``share`` owned entries has its own oldest entry evicted first.  The
+    cache's ``on_evict`` hook calls :meth:`forget` so LRU evictions and
+    explicit evictions keep the ledger exact.
+    """
+
+    def __init__(self) -> None:
+        self._owners: dict[str, OrderedDict[CacheKey, None]] = {}
+        self._by_key: dict[CacheKey, str] = {}
+
+    def charge(self, tenant: str, key: "CacheKey") -> None:
+        """Record that a tenant's cold mine created one cache entry."""
+        previous = self._by_key.get(key)
+        if previous == tenant:
+            return
+        if previous is not None:
+            self._owners[previous].pop(key, None)
+        self._by_key[key] = tenant
+        self._owners.setdefault(tenant, OrderedDict())[key] = None
+
+    def forget(self, key: "CacheKey") -> None:
+        """Drop one key from the ledger (the cache's ``on_evict`` hook)."""
+        tenant = self._by_key.pop(key, None)
+        if tenant is not None:
+            owned = self._owners.get(tenant)
+            if owned is not None:
+                owned.pop(key, None)
+
+    def owner_count(self, tenant: str) -> int:
+        """Entries a tenant currently owns."""
+        owned = self._owners.get(tenant)
+        return 0 if owned is None else len(owned)
+
+    def oldest(self, tenant: str) -> "CacheKey | None":
+        """The tenant's oldest owned key (its first eviction candidate)."""
+        owned = self._owners.get(tenant)
+        if not owned:
+            return None
+        return next(iter(owned))
+
+    def owner_of(self, key: "CacheKey") -> str | None:
+        """The tenant charged for a key, if any."""
+        return self._by_key.get(key)
+
+    def snapshot(self) -> dict[str, int]:
+        """Per-tenant owned-entry counts for ``/stats``."""
+        return {
+            tenant: len(owned)
+            for tenant, owned in sorted(self._owners.items())
+            if owned
+        }

@@ -1,0 +1,160 @@
+"""The asyncio front door: sockets in, JSON out.
+
+:class:`MiningServer` binds an :class:`~repro.serve.app.MiningApp` to a
+TCP port with :func:`asyncio.start_server`.  Each connection runs one
+read-dispatch-write loop with keep-alive, so a client can stream many
+queries over one socket; protocol errors answer 400 and close, handler
+crashes answer 500 and keep the connection, and a ``POST /shutdown`` (or
+:meth:`MiningServer.aclose`) drains cleanly: the listener closes first so
+no new connections land, then in-flight requests finish.
+
+The server binds ``port=0`` happily — the chosen port is on
+:attr:`MiningServer.port` after :meth:`start` — which is how the tests
+and benchmarks run fleets of servers without port collisions.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import contextlib
+
+from repro.serve.app import MiningApp, ServeConfig
+from repro.serve.protocol import (
+    ProtocolError,
+    error_payload,
+    read_request,
+    response_bytes,
+)
+
+
+class MiningServer:
+    """One listening mining service over a :class:`MiningApp`."""
+
+    def __init__(
+        self,
+        app: MiningApp | None = None,
+        host: str = "127.0.0.1",
+        port: int = 8765,
+    ) -> None:
+        self.app = app or MiningApp(ServeConfig())
+        self.host = host
+        self.port = port
+        self._server: asyncio.AbstractServer | None = None
+        #: Open connection-handler tasks, for a clean drain on shutdown.
+        self._connections: set[asyncio.Task] = set()
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    async def start(self) -> None:
+        """Bind and start accepting connections."""
+        if self._server is not None:
+            return
+        self._server = await asyncio.start_server(
+            self._on_connection, self.host, self.port
+        )
+        sockets = self._server.sockets or []
+        if sockets:
+            self.port = sockets[0].getsockname()[1]
+
+    async def serve_forever(self) -> None:
+        """Run until ``POST /shutdown`` (or cancellation), then drain."""
+        await self.start()
+        try:
+            await self.app.shutdown_event.wait()
+        finally:
+            await self.aclose()
+
+    async def aclose(self) -> None:
+        """Stop accepting, drain in-flight requests, release the pool."""
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        if self._connections:
+            await asyncio.gather(
+                *self._connections, return_exceptions=True
+            )
+        self.app.shutdown_event.set()
+        self.app.close()
+
+    @property
+    def address(self) -> str:
+        """``host:port`` once started."""
+        return f"{self.host}:{self.port}"
+
+    # ------------------------------------------------------------------
+    # Connection handling
+    # ------------------------------------------------------------------
+
+    async def _on_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        task = asyncio.current_task()
+        if task is not None:
+            self._connections.add(task)
+            task.add_done_callback(self._connections.discard)
+        try:
+            await self._serve_connection(reader, writer)
+        finally:
+            writer.close()
+            with contextlib.suppress(OSError, ConnectionError):
+                await writer.wait_closed()
+
+    async def _serve_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        while True:
+            try:
+                request = await read_request(reader)
+            except ProtocolError as error:
+                writer.write(
+                    response_bytes(
+                        400, error_payload(str(error)), keep_alive=False
+                    )
+                )
+                with contextlib.suppress(OSError, ConnectionError):
+                    await writer.drain()
+                return
+            except (ConnectionError, asyncio.IncompleteReadError):
+                return
+            if request is None:
+                return
+            # A shutdown in progress still answers the requests already
+            # on this connection; new connections are refused by the
+            # closed listener.
+            try:
+                status, payload = await self.app.handle(request)
+            except Exception as error:  # repro: ignore[REP404] -- the connection loop is the last resort: any unclassified handler crash must become a 500 for this client without killing the sibling requests sharing the process
+                status, payload = 500, error_payload(
+                    f"internal error: {type(error).__name__}: {error}"
+                )
+            keep_alive = request.keep_alive and not (
+                self.app.shutdown_event.is_set()
+            )
+            writer.write(response_bytes(status, payload, keep_alive))
+            try:
+                await writer.drain()
+            except (ConnectionError, OSError):
+                return
+            if not keep_alive:
+                return
+
+
+async def run_server(
+    app: MiningApp,
+    host: str = "127.0.0.1",
+    port: int = 8765,
+    ready: "asyncio.Event | None" = None,
+) -> None:
+    """Start a server and run it to shutdown (the ``ppm serve`` body).
+
+    ``ready`` is set once the port is bound — embedders and the smoke
+    tests use it to know when to connect.
+    """
+    server = MiningServer(app, host=host, port=port)
+    await server.start()
+    if ready is not None:
+        ready.set()
+    await server.serve_forever()

@@ -690,3 +690,91 @@ class TestResilienceRules:
                 attempts += 1
         """
         assert findings_of(source, module="repro.engine.executor") == []
+
+
+# ---------------------------------------------------------------------------
+# Serve rules (REP8xx)
+# ---------------------------------------------------------------------------
+
+
+class TestServeRules:
+    def test_time_sleep_in_coroutine_flagged(self):
+        source = """
+        import time
+
+        async def handler():
+            time.sleep(1.0)
+        """
+        findings = findings_of(source, module="repro.serve.app")
+        assert ("REP801", 5) in findings
+
+    def test_open_in_coroutine_flagged(self):
+        source = """
+        async def handler(path):
+            with open(path) as handle:
+                return handle.read()
+        """
+        assert ("REP801", 3) in findings_of(
+            source, module="repro.serve.registry"
+        )
+
+    def test_path_io_in_coroutine_flagged(self):
+        source = """
+        async def handler(path):
+            return path.read_text()
+        """
+        assert ("REP801", 3) in findings_of(
+            source, module="repro.serve.app"
+        )
+
+    def test_subprocess_in_coroutine_flagged(self):
+        source = """
+        import subprocess
+
+        async def handler():
+            subprocess.run(["true"])
+        """
+        assert ("REP801", 5) in findings_of(
+            source, module="repro.serve.app"
+        )
+
+    def test_nested_sync_def_exempt_as_executor_payload(self):
+        source = """
+        import asyncio
+
+        async def handler(path):
+            def blocking():
+                with open(path) as handle:
+                    return handle.read()
+            loop = asyncio.get_running_loop()
+            return await loop.run_in_executor(None, blocking)
+        """
+        assert findings_of(source, module="repro.serve.app") == []
+
+    def test_sync_def_not_flagged(self):
+        source = """
+        def loader(path):
+            with open(path) as handle:
+                return handle.read()
+        """
+        assert findings_of(source, module="repro.serve.registry") == []
+
+    def test_outside_serve_package_exempt(self):
+        source = """
+        async def handler(path):
+            return open(path).read()
+        """
+        assert findings_of(source, module="repro.kernels.cache") == []
+
+    def test_nested_async_def_still_flagged(self):
+        source = """
+        import time
+
+        async def outer():
+            async def inner():
+                time.sleep(0.1)
+            await inner()
+        """
+        assert ("REP801", 6) in findings_of(
+            source, module="repro.serve.server"
+        )

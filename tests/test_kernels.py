@@ -661,3 +661,111 @@ class TestKernelCli:
         assert "stages" in payload and "counters" in payload
         out = capsys.readouterr().out
         assert "[cache" in out
+
+
+class TestCountCacheBounds:
+    """The LRU bound, eviction hooks, and concurrency-safe persistence."""
+
+    def fill(self, cache, seeds, period=4, min_conf=0.3):
+        keys = []
+        for seed in seeds:
+            series = random_series(seed, length=40)
+            mine_single_period_hitset(
+                series, period, min_conf, cache=cache
+            )
+            keys.append(cache.key_for(series, period))
+        return keys
+
+    def test_rejects_non_positive_bound(self):
+        with pytest.raises(MiningError):
+            CountCache(max_entries=0)
+
+    def test_lru_bound_evicts_oldest(self):
+        cache = CountCache(max_entries=2)
+        keys = self.fill(cache, [21, 22, 23])
+        assert cache.entry_count == 2
+        assert keys[0] not in cache.keys()
+        assert keys[1] in cache.keys() and keys[2] in cache.keys()
+        assert cache.stats.evictions == 1
+
+    def test_touch_refreshes_lru_position(self):
+        cache = CountCache(max_entries=2)
+        keys = self.fill(cache, [31, 32])
+        # Touch the older entry, then add a third: the middle one goes.
+        assert cache.get_letter_counts(keys[0]) is not None
+        self.fill(cache, [33])
+        assert keys[0] in cache.keys()
+        assert keys[1] not in cache.keys()
+
+    def test_on_evict_hook_fires_with_key(self):
+        evicted = []
+        cache = CountCache(max_entries=1, on_evict=evicted.append)
+        keys = self.fill(cache, [41, 42])
+        assert evicted == [keys[0]]
+
+    def test_explicit_evict_drops_memory_and_disk(self, tmp_path):
+        cache = CountCache(cache_dir=tmp_path, max_entries=None)
+        (key,) = self.fill(cache, [51])
+        assert (tmp_path / key.file_name).exists()
+        assert cache.evict(key)
+        assert key not in cache.keys()
+        assert not (tmp_path / key.file_name).exists()
+        assert not cache.evict(key)
+        assert cache.stats.evictions == 1
+
+    def test_bound_eviction_removes_persisted_file(self, tmp_path):
+        cache = CountCache(cache_dir=tmp_path, max_entries=1)
+        keys = self.fill(cache, [61, 62])
+        assert not (tmp_path / keys[0].file_name).exists()
+        assert (tmp_path / keys[1].file_name).exists()
+
+    def test_concurrent_writers_tolerate_races(self, tmp_path):
+        # Many threads hammering one persisted cache: every write uses a
+        # distinct temporary file, so no writer can clobber another's
+        # half-written state, and the surviving JSON is always loadable.
+        import threading
+
+        series = [random_series(70 + i, length=40) for i in range(4)]
+        cache = CountCache(cache_dir=tmp_path)
+        errors = []
+
+        def worker(worker_seed):
+            rng = random.Random(worker_seed)
+            try:
+                for _ in range(12):
+                    target = series[rng.randrange(len(series))]
+                    mine_single_period_hitset(
+                        target, 4, rng.choice([0.3, 0.5, 0.7]), cache=cache
+                    )
+            except Exception as error:  # repro: ignore[REP404] -- the test must capture any failure raised on a worker thread to re-raise it on the main thread
+                errors.append(error)
+
+        threads = [
+            threading.Thread(target=worker, args=(seed,)) for seed in range(6)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert errors == []
+        assert not list(tmp_path.glob("*.tmp"))
+        # A fresh cache loads every surviving entry and answers warm.
+        reloaded = CountCache(cache_dir=tmp_path)
+        for target in series:
+            scan = ScanCountingSeries(target)
+            mine_single_period_hitset(scan, 4, 0.7, cache=reloaded)
+            assert scan.scans == 0
+
+    def test_cross_process_style_writers_share_directory(self, tmp_path):
+        # Two independent cache objects on one directory (the multi-server
+        # deployment shape): later writers replace equivalent content, and
+        # both serve warm afterwards.
+        series = random_series(81, length=40)
+        first = CountCache(cache_dir=tmp_path)
+        second = CountCache(cache_dir=tmp_path)
+        mine_single_period_hitset(series, 4, 0.3, cache=first)
+        mine_single_period_hitset(series, 4, 0.3, cache=second)
+        scan = ScanCountingSeries(series)
+        third = CountCache(cache_dir=tmp_path)
+        mine_single_period_hitset(scan, 4, 0.3, cache=third)
+        assert scan.scans == 0

@@ -193,6 +193,54 @@ class TestDeadline:
         with pytest.raises(ResilienceError):
             Deadline.start(-3.0)
 
+    def test_check_passes_while_live(self):
+        Deadline.start(60.0).check("anything")
+
+    def test_check_raises_once_expired(self):
+        deadline = Deadline.start(1e-9)
+        with pytest.raises(ShardTimeout, match="scan phase"):
+            deadline.check("scan phase")
+
+    def test_bound_returns_result_within_budget(self):
+        import asyncio
+
+        async def quick():
+            return 42
+
+        async def scenario():
+            return await Deadline.start(60.0).bound(quick())
+
+        assert asyncio.run(scenario()) == 42
+
+    def test_bound_raises_on_slow_awaitable(self):
+        import asyncio
+
+        async def slow():
+            await asyncio.sleep(5.0)
+
+        async def scenario():
+            await Deadline.start(0.02).bound(slow(), "mine request")
+
+        with pytest.raises(ShardTimeout, match="mine request"):
+            asyncio.run(scenario())
+
+    def test_bound_on_expired_deadline_never_schedules(self):
+        import asyncio
+
+        ran = []
+
+        async def work():
+            ran.append(True)
+
+        async def scenario():
+            deadline = Deadline.start(1e-9)
+            await deadline.bound(work())
+
+        with pytest.raises(ShardTimeout):
+            asyncio.run(scenario())
+        # The coroutine was closed, not silently started.
+        assert ran == []
+
 
 # ---------------------------------------------------------------------------
 # Checkpoint journal
