@@ -339,6 +339,21 @@ def _build_parser() -> argparse.ArgumentParser:
     lint.add_argument("--ignore", metavar="IDS")
     lint.add_argument("--strict", action="store_true")
     lint.add_argument("--format", choices=("text", "json"), default="text")
+    lint.add_argument(
+        "--project",
+        action="store_true",
+        help="whole-program analysis (call graph + transitive effects)",
+    )
+    lint.add_argument(
+        "--baseline",
+        metavar="FILE",
+        help="fail only on findings not recorded in this baseline file",
+    )
+    lint.add_argument(
+        "--write-baseline",
+        metavar="FILE",
+        help="record current findings as the accepted baseline and exit",
+    )
     lint.add_argument("--list-rules", action="store_true")
     return parser
 
@@ -711,6 +726,9 @@ def _run_lint(args: argparse.Namespace) -> int:
         ignore=args.ignore,
         strict=args.strict,
         output_format=args.format,
+        project=args.project,
+        baseline=args.baseline,
+        write_baseline_to=args.write_baseline,
     )
 
 

@@ -24,37 +24,81 @@ Three entry points share one engine:
 
 from repro.devtools.analyzer import (
     META_RULE_IDS,
+    SourceAnalysis,
     analyze_file,
     analyze_paths,
     analyze_source,
+    analyze_source_detailed,
     iter_python_files,
     select_rules,
+    selected_meta_ids,
 )
+from repro.devtools.baseline import (
+    Baseline,
+    BaselineError,
+    fingerprint,
+    load_baseline,
+    write_baseline,
+)
+from repro.devtools.callgraph import CallGraph
 from repro.devtools.cli import main, run
 from repro.devtools.context import ModuleContext, module_name_of
+from repro.devtools.effects import (
+    Effect,
+    EffectInference,
+    effect_names,
+    parse_effect_annotations,
+)
 from repro.devtools.findings import Finding, Severity, findings_to_json
-from repro.devtools.registry import Rule, all_rules, get_rule, known_rule_ids, register
+from repro.devtools.project import ProjectContext, analyze_project, build_project
+from repro.devtools.registry import (
+    ProjectRule,
+    Rule,
+    all_rules,
+    get_rule,
+    known_rule_ids,
+    project_rules,
+    register,
+)
 from repro.devtools.suppressions import Suppression, parse_suppressions
 
 __all__ = [
     "META_RULE_IDS",
+    "Baseline",
+    "BaselineError",
+    "CallGraph",
+    "Effect",
+    "EffectInference",
     "Finding",
     "ModuleContext",
+    "ProjectContext",
+    "ProjectRule",
     "Rule",
     "Severity",
+    "SourceAnalysis",
     "Suppression",
     "all_rules",
     "analyze_file",
     "analyze_paths",
+    "analyze_project",
     "analyze_source",
+    "analyze_source_detailed",
+    "build_project",
+    "effect_names",
+    "fingerprint",
     "findings_to_json",
     "get_rule",
     "iter_python_files",
     "known_rule_ids",
+    "load_baseline",
     "main",
     "module_name_of",
+    "parse_effect_annotations",
     "parse_suppressions",
+    "project_rules",
     "register",
     "run",
     "select_rules",
+    "selected_meta_ids",
+    "write_baseline",
 ]

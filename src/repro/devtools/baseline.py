@@ -1,0 +1,168 @@
+"""The findings ratchet: a committed baseline of accepted findings.
+
+Turning whole-program analysis on over a living codebase surfaces real
+debt that cannot all be fixed in the enabling change.  The ratchet makes
+that safe: accepted findings are recorded in a committed JSON baseline,
+CI fails only on findings **not** in it, and every fix shrinks the file.
+The baseline can only be regenerated deliberately (``--write-baseline``),
+so the debt curve is monotone downward by construction — hence "ratchet".
+
+Fingerprints are deliberately *line-insensitive*: ``(rule id, normalized
+path, message)``.  Adding an import above a baselined finding must not
+resurrect it, and chain messages are built from stable qualified names,
+not line numbers.  The trade-off is honest: two identical findings on
+different lines of one file share a fingerprint, which for whole-program
+chain findings (whose messages embed the function identity) does not
+occur in practice.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path, PurePosixPath
+
+from repro.devtools.findings import Finding, Severity
+
+#: Schema version of the baseline file.
+BASELINE_VERSION = 1
+
+#: One fingerprint: ``(rule id, normalized path, message)``.
+Fingerprint = tuple[str, str, str]
+
+
+class BaselineError(ValueError):
+    """The baseline file is missing, unparsable, or schema-invalid."""
+
+
+def normalize_path(path: str | Path, root: Path | None = None) -> str:
+    """A path key stable across checkouts: relative to ``root``, POSIX.
+
+    ``root`` defaults to the current working directory; paths outside it
+    keep their own (POSIX-normalized) spelling rather than growing
+    machine-specific ``../`` prefixes.
+    """
+    base = Path.cwd() if root is None else root
+    resolved = Path(path).resolve()
+    try:
+        relative = resolved.relative_to(base.resolve())
+    except ValueError:
+        return str(PurePosixPath(Path(path).as_posix()))
+    return str(PurePosixPath(relative.as_posix()))
+
+
+def fingerprint(finding: Finding, root: Path | None = None) -> Fingerprint:
+    """The line-insensitive identity of one finding."""
+    return (
+        finding.rule_id,
+        normalize_path(finding.path, root=root),
+        finding.message,
+    )
+
+
+@dataclass(slots=True)
+class Baseline:
+    """A set of accepted finding fingerprints, with their recorded rows."""
+
+    fingerprints: set[Fingerprint] = field(default_factory=set)
+    entries: list[dict] = field(default_factory=list)
+
+    def __contains__(self, finding: Finding) -> bool:
+        return fingerprint(finding) in self.fingerprints
+
+    def partition(
+        self, findings: list[Finding]
+    ) -> tuple[list[Finding], list[Finding]]:
+        """Split findings into ``(new, baselined)`` against this baseline."""
+        new: list[Finding] = []
+        known: list[Finding] = []
+        for finding in findings:
+            (known if finding in self else new).append(finding)
+        return new, known
+
+
+def load_baseline(path: str | Path) -> Baseline:
+    """Read and validate a committed baseline file.
+
+    Raises :class:`BaselineError` on any structural problem — a corrupt
+    baseline silently treated as empty would fail CI on every accepted
+    finding at once, which is the confusing way to learn the file broke.
+    """
+    target = Path(path)
+    try:
+        payload = json.loads(target.read_text(encoding="utf-8"))
+    except FileNotFoundError as error:
+        raise BaselineError(f"baseline file not found: {target}") from error
+    except json.JSONDecodeError as error:
+        raise BaselineError(
+            f"baseline file {target} is not valid JSON: {error}"
+        ) from error
+    if not isinstance(payload, dict):
+        raise BaselineError(f"baseline file {target} must be a JSON object")
+    version = payload.get("version")
+    if version != BASELINE_VERSION:
+        raise BaselineError(
+            f"baseline file {target} has version {version!r}; "
+            f"this tool reads version {BASELINE_VERSION}"
+        )
+    rows = payload.get("findings")
+    if not isinstance(rows, list):
+        raise BaselineError(
+            f"baseline file {target} must carry a 'findings' array"
+        )
+    baseline = Baseline()
+    for index, row in enumerate(rows):
+        if not isinstance(row, dict):
+            raise BaselineError(
+                f"baseline entry #{index} in {target} is not an object"
+            )
+        missing = {"rule", "path", "message"} - set(row)
+        if missing:
+            raise BaselineError(
+                f"baseline entry #{index} in {target} lacks "
+                f"{sorted(missing)}"
+            )
+        baseline.fingerprints.add(
+            (str(row["rule"]), str(row["path"]), str(row["message"]))
+        )
+        baseline.entries.append(row)
+    return baseline
+
+
+def baseline_payload(
+    findings: list[Finding], root: Path | None = None
+) -> dict:
+    """The JSON document recording ``findings`` as accepted."""
+    rows = []
+    for finding in sorted(findings):
+        rows.append(
+            {
+                "rule": finding.rule_id,
+                "path": normalize_path(finding.path, root=root),
+                "line": finding.line,
+                "severity": str(finding.severity),
+                "message": finding.message,
+                "reason": "",
+            }
+        )
+    return {"version": BASELINE_VERSION, "findings": rows}
+
+
+def write_baseline(
+    path: str | Path, findings: list[Finding], root: Path | None = None
+) -> None:
+    """Record every current finding as accepted (the deliberate reset).
+
+    The ``reason`` field is written empty on purpose: the author is
+    expected to edit the committed file and justify each entry, the same
+    contract inline suppressions enforce with ``-- reason``.
+    """
+    payload = baseline_payload(findings, root=root)
+    Path(path).write_text(
+        json.dumps(payload, indent=2) + "\n", encoding="utf-8"
+    )
+
+
+def severity_from_name(name: str) -> Severity:
+    """Parse the severity spelling used in baseline/JSON rows."""
+    return Severity.ERROR if name.lower() == "error" else Severity.WARNING

@@ -12,6 +12,33 @@ import ast
 from dataclasses import dataclass, field
 from pathlib import Path
 
+#: Callables whose results are mutable collections.  Shared by the
+#: mutable-default rule (REP402), the worker-global-write rule (REP104),
+#: and the effect engine's mutates-global detection, so all three agree
+#: on what "mutable" means.
+MUTABLE_FACTORIES = frozenset(
+    {"list", "dict", "set", "bytearray", "Counter", "OrderedDict",
+     "defaultdict", "deque"}
+)
+
+#: Methods that mutate a collection in place (shared-state writes);
+#: shared by the fork-safety rules and the effect engine.
+MUTATING_CALLS = frozenset(
+    {
+        "add",
+        "append",
+        "clear",
+        "discard",
+        "extend",
+        "insert",
+        "pop",
+        "popitem",
+        "remove",
+        "setdefault",
+        "update",
+    }
+)
+
 
 def module_name_of(path: Path) -> str:
     """Derive the dotted module name of a file from ``__init__.py`` markers.
@@ -110,3 +137,78 @@ def iter_assigned_names(target: ast.expr) -> list[ast.Name]:
     if isinstance(target, ast.Starred):
         return iter_assigned_names(target.value)
     return []
+
+
+def module_level_mutables(tree: ast.Module) -> set[str]:
+    """Module-level names bound to statically-mutable values.
+
+    A name counts when its module-level assignment is a literal
+    collection, a comprehension, or a call to one of the
+    :data:`MUTABLE_FACTORIES` — the values a function could mutate in
+    place as hidden shared state.
+    """
+    names: set[str] = set()
+    for node in tree.body:
+        value: ast.expr | None = None
+        targets: list[ast.expr] = []
+        if isinstance(node, ast.Assign):
+            value, targets = node.value, node.targets
+        elif isinstance(node, ast.AnnAssign) and node.value is not None:
+            value, targets = node.value, [node.target]
+        if value is None:
+            continue
+        mutable = isinstance(
+            value, (ast.List, ast.Dict, ast.Set, ast.ListComp,
+                    ast.DictComp, ast.SetComp)
+        )
+        if isinstance(value, ast.Call):
+            callee = dotted_name(value.func)
+            if callee is not None:
+                mutable = callee.split(".")[-1] in MUTABLE_FACTORIES
+        if not mutable:
+            continue
+        for target in targets:
+            for name in iter_assigned_names(target):
+                names.add(name.id)
+    return names
+
+
+def local_bound_names(
+    func: ast.FunctionDef | ast.AsyncFunctionDef,
+) -> set[str]:
+    """Every name bound inside a function: parameters, assignment targets,
+    loop/with/comprehension targets, and nested definitions."""
+    names = {arg.arg for arg in func.args.posonlyargs}
+    names.update(arg.arg for arg in func.args.args)
+    names.update(arg.arg for arg in func.args.kwonlyargs)
+    if func.args.vararg is not None:
+        names.add(func.args.vararg.arg)
+    if func.args.kwarg is not None:
+        names.add(func.args.kwarg.arg)
+    for node in ast.walk(func):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+            if node is not func:
+                names.add(node.name)
+        if isinstance(node, (ast.Assign, ast.AugAssign, ast.AnnAssign)):
+            targets = (
+                node.targets
+                if isinstance(node, ast.Assign)
+                else [node.target]
+            )
+            for target in targets:
+                for name in iter_assigned_names(target):
+                    names.add(name.id)
+        elif isinstance(node, (ast.For, ast.AsyncFor)):
+            for name in iter_assigned_names(node.target):
+                names.add(name.id)
+        elif isinstance(node, ast.comprehension):
+            for name in iter_assigned_names(node.target):
+                names.add(name.id)
+        elif isinstance(node, (ast.With, ast.AsyncWith)):
+            for item in node.items:
+                if item.optional_vars is not None:
+                    for name in iter_assigned_names(item.optional_vars):
+                        names.add(name.id)
+        elif isinstance(node, ast.ExceptHandler) and node.name is not None:
+            names.add(node.name)
+    return names

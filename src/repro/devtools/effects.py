@@ -1,0 +1,540 @@
+"""Whole-program effect inference over the call graph.
+
+Every function is labelled with an *effect set* — the observable side
+conditions its transitive execution may exhibit:
+
+``blocking-io``
+    synchronous file/subprocess I/O (``open``, pathlib read/write
+    helpers, ``os`` file manipulation, ``subprocess``);
+``sleeps``
+    ``time.sleep`` in any spelling;
+``forks``
+    process creation (``os.fork``, ``multiprocessing.Process``/``Pool``,
+    ``ProcessPoolExecutor``, ``subprocess``);
+``mutates-global``
+    ``global`` statements or in-place writes to module-level mutables;
+``nondeterministic``
+    global-state randomness, wall-clock reads, uuid/urandom draws;
+``unpicklable-closure``
+    the function is a nested definition (never picklable by reference;
+    free-variable captures are recorded for the diagnostics);
+``acquires-lock``
+    ``.acquire()`` calls or ``with <lock>:`` blocks.
+
+Direct effects are read off each function's own body; the fixpoint then
+propagates every effect except ``unpicklable-closure`` (a property of
+the function *object*, not of its dynamic extent) through resolved call
+edges.  A trusted ``# repro: effect[...]`` annotation on a ``def`` line
+declares the function's effect set outright: inference neither scans its
+body nor follows its calls, making annotations the sanctioned boundary
+for "this helper is verified safe" (``# repro: effect[] -- why``) and
+"this helper deliberately blocks" alike.  Annotations must carry a
+``-- reason`` and name known effects; malformed ones are reported as
+``REP004`` and ignored.
+"""
+
+from __future__ import annotations
+
+import ast
+import enum
+import io
+import re
+import tokenize
+from dataclasses import dataclass
+
+from repro.devtools.callgraph import CallGraph, FunctionNode
+from repro.devtools.context import (
+    MUTATING_CALLS,
+    local_bound_names,
+    module_level_mutables,
+)
+
+#: Dotted calls that block the thread outright.  Canonical table shared
+#: with the syntactic REP801 rule (:mod:`repro.devtools.rules.serve`).
+BLOCKING_DOTTED_PREFIXES = ("subprocess.",)
+BLOCKING_DOTTED = frozenset(
+    {
+        "time.sleep",
+        "os.replace",
+        "os.rename",
+        "os.remove",
+        "os.unlink",
+        "os.makedirs",
+        "os.mkdir",
+        "shutil.copy",
+        "shutil.copyfile",
+        "shutil.move",
+        "shutil.rmtree",
+    }
+)
+
+#: Method names that are synchronous file I/O wherever they appear
+#: (pathlib.Path helpers and raw handle reads/writes).
+BLOCKING_METHODS = frozenset(
+    {
+        "read_text",
+        "write_text",
+        "read_bytes",
+        "write_bytes",
+    }
+)
+
+#: stdlib ``random`` attributes that construct explicitly-seeded state
+#: (canonical table shared with the syntactic REP301 rule).
+STDLIB_ALLOWED = frozenset({"Random", "SystemRandom"})
+
+#: ``numpy.random`` attributes that construct explicitly-seeded state.
+NUMPY_ALLOWED = frozenset(
+    {
+        "default_rng",
+        "Generator",
+        "SeedSequence",
+        "RandomState",
+        "BitGenerator",
+        "PCG64",
+        "Philox",
+        "MT19937",
+    }
+)
+
+
+class Effect(enum.Flag):
+    """One bit per effect; sets compose with ``|`` and test with ``&``."""
+
+    NONE = 0
+    BLOCKING_IO = enum.auto()
+    SLEEPS = enum.auto()
+    FORKS = enum.auto()
+    MUTATES_GLOBAL = enum.auto()
+    NONDETERMINISTIC = enum.auto()
+    UNPICKLABLE_CLOSURE = enum.auto()
+    ACQUIRES_LOCK = enum.auto()
+
+
+#: Stable spelling used in annotations, findings, and docs.
+EFFECT_NAMES: dict[Effect, str] = {
+    Effect.BLOCKING_IO: "blocking-io",
+    Effect.SLEEPS: "sleeps",
+    Effect.FORKS: "forks",
+    Effect.MUTATES_GLOBAL: "mutates-global",
+    Effect.NONDETERMINISTIC: "nondeterministic",
+    Effect.UNPICKLABLE_CLOSURE: "unpicklable-closure",
+    Effect.ACQUIRES_LOCK: "acquires-lock",
+}
+
+#: Annotation spelling -> effect bit (plus purity markers).
+NAMED_EFFECTS: dict[str, Effect] = {
+    name: bit for bit, name in EFFECT_NAMES.items()
+}
+
+#: Individual bits, iteration-stable on every supported Python.
+EFFECT_BITS: tuple[Effect, ...] = tuple(EFFECT_NAMES)
+
+#: Effects that travel through call edges in the fixpoint.
+PROPAGATED = (
+    Effect.BLOCKING_IO
+    | Effect.SLEEPS
+    | Effect.FORKS
+    | Effect.MUTATES_GLOBAL
+    | Effect.NONDETERMINISTIC
+    | Effect.ACQUIRES_LOCK
+)
+
+#: Known external callables -> the effects invoking them exhibits.
+_EXTERNAL_EFFECTS: dict[str, Effect] = {
+    "open": Effect.BLOCKING_IO,
+    "time.sleep": Effect.SLEEPS,
+    "os.fork": Effect.FORKS,
+    "os.forkpty": Effect.FORKS,
+    "multiprocessing.Process": Effect.FORKS,
+    "multiprocessing.Pool": Effect.FORKS,
+    "multiprocessing.pool.Pool": Effect.FORKS,
+    "concurrent.futures.ProcessPoolExecutor": Effect.FORKS,
+    "time.time": Effect.NONDETERMINISTIC,
+    "time.time_ns": Effect.NONDETERMINISTIC,
+    "datetime.datetime.now": Effect.NONDETERMINISTIC,
+    "datetime.datetime.utcnow": Effect.NONDETERMINISTIC,
+    "datetime.datetime.today": Effect.NONDETERMINISTIC,
+    "datetime.date.today": Effect.NONDETERMINISTIC,
+    "datetime.now": Effect.NONDETERMINISTIC,
+    "datetime.utcnow": Effect.NONDETERMINISTIC,
+    "date.today": Effect.NONDETERMINISTIC,
+    "uuid.uuid1": Effect.NONDETERMINISTIC,
+    "uuid.uuid4": Effect.NONDETERMINISTIC,
+    "os.urandom": Effect.NONDETERMINISTIC,
+}
+
+#: Dotted prefixes classified wholesale.
+_EXTERNAL_PREFIX_EFFECTS: tuple[tuple[str, Effect], ...] = (
+    ("subprocess.", Effect.BLOCKING_IO | Effect.FORKS),
+    ("os.spawn", Effect.FORKS),
+    ("secrets.", Effect.NONDETERMINISTIC),
+)
+
+#: Method names that block wherever they appear (extends the serve set
+#: with the file-removal helpers pathlib spells as methods).
+_BLOCKING_METHOD_NAMES = BLOCKING_METHODS | frozenset(
+    {"unlink", "rmdir", "mkdir", "touch", "rename", "replace"}
+)
+
+#: ``with <name>:`` receivers that look like locks.
+_LOCKISH_RE = re.compile(r"lock|mutex|semaphore", re.IGNORECASE)
+
+#: Matches one effect annotation comment.
+_ANNOTATION_RE = re.compile(
+    r"#\s*repro:\s*effect\[(?P<effects>[^\]]*)\]"
+    r"(?:\s*--\s*(?P<reason>.*\S))?"
+)
+
+#: Spellings of "no effects" accepted inside ``effect[...]``.
+_PURE_MARKERS = frozenset({"pure", "none"})
+
+
+@dataclass(frozen=True, slots=True)
+class EffectAnnotation:
+    """One parsed ``# repro: effect[...]`` boundary declaration."""
+
+    line: int
+    effects: Effect
+    reason: str | None
+    #: Effect names that did not parse (reported as REP004).
+    unknown: tuple[str, ...] = ()
+
+    @property
+    def trusted(self) -> bool:
+        """Annotations bind only when well-formed: known names + reason."""
+        return bool(self.reason) and not self.unknown
+
+
+def parse_effect_annotations(source: str) -> dict[int, EffectAnnotation]:
+    """Extract ``# repro: effect[...]`` comments, keyed by line number.
+
+    Tokenized like suppressions so the syntax stays inert inside
+    docstrings and string literals.
+
+    >>> notes = parse_effect_annotations(
+    ...     "def f():  # repro: effect[blocking-io] -- writes the journal\\n"
+    ...     "    pass\\n"
+    ... )
+    >>> notes[1].trusted, notes[1].effects is Effect.BLOCKING_IO
+    (True, True)
+    """
+    annotations: dict[int, EffectAnnotation] = {}
+    try:
+        tokens = list(tokenize.generate_tokens(io.StringIO(source).readline))
+        comments = [
+            (token.start[0], token.string)
+            for token in tokens
+            if token.type == tokenize.COMMENT
+        ]
+    except (tokenize.TokenError, IndentationError, SyntaxError):
+        comments = list(enumerate(source.splitlines(), start=1))
+    for lineno, text in comments:
+        match = _ANNOTATION_RE.search(text)
+        if match is None:
+            continue
+        effects = Effect.NONE
+        unknown: list[str] = []
+        for part in match.group("effects").split(","):
+            name = part.strip().lower()
+            if not name or name in _PURE_MARKERS:
+                continue
+            bit = NAMED_EFFECTS.get(name)
+            if bit is None:
+                unknown.append(name)
+            else:
+                effects |= bit
+        annotations[lineno] = EffectAnnotation(
+            line=lineno,
+            effects=effects,
+            reason=match.group("reason"),
+            unknown=tuple(unknown),
+        )
+    return annotations
+
+
+@dataclass(frozen=True, slots=True)
+class Origin:
+    """Why a function carries one effect bit — the chain witness.
+
+    ``callee`` names the call edge the effect arrived through; a direct
+    origin instead carries the human description of the source
+    expression (``time.sleep()``, ``'global' statement``).
+    """
+
+    line: int
+    callee: str | None = None
+    source: str | None = None
+    #: Direct randomness already reported syntactically by REP301.
+    rep301_covered: bool = False
+    #: The effect was declared by a trusted annotation.
+    annotated: bool = False
+
+
+class EffectInference:
+    """Direct effect extraction + transitive fixpoint over a call graph."""
+
+    def __init__(
+        self,
+        graph: CallGraph,
+        annotations: dict[str, dict[int, EffectAnnotation]] | None = None,
+    ):
+        self.graph = graph
+        #: module -> line -> annotation (from :func:`parse_effect_annotations`).
+        self.annotations = annotations if annotations is not None else {}
+        self.direct: dict[str, Effect] = {}
+        self.effects: dict[str, Effect] = {}
+        self.trusted: dict[str, EffectAnnotation] = {}
+        self.origins: dict[str, dict[Effect, Origin]] = {}
+        self._infer()
+
+    # ------------------------------------------------------------------
+    # Direct effects
+    # ------------------------------------------------------------------
+
+    def _annotation_for(self, fn: FunctionNode) -> EffectAnnotation | None:
+        per_line = self.annotations.get(fn.module)
+        if not per_line:
+            return None
+        note = per_line.get(fn.node.lineno)
+        if note is not None and note.trusted:
+            return note
+        return None
+
+    def _infer(self) -> None:
+        module_mutables = {
+            module: module_level_mutables(info.ctx.tree)
+            for module, info in self.graph.modules.items()
+        }
+        for key, fn in self.graph.functions.items():
+            origins: dict[Effect, Origin] = {}
+            note = self._annotation_for(fn)
+            if note is not None:
+                self.trusted[key] = note
+                self.direct[key] = note.effects
+                self.effects[key] = note.effects
+                for bit in EFFECT_BITS:
+                    if bit & note.effects:
+                        origins[bit] = Origin(
+                            line=fn.node.lineno,
+                            source="declared by # repro: effect[...]",
+                            annotated=True,
+                        )
+                self.origins[key] = origins
+                continue
+            direct = self._direct_effects(
+                fn, module_mutables.get(fn.module, set()), origins
+            )
+            self.direct[key] = direct
+            self.effects[key] = direct
+            self.origins[key] = origins
+        self._fixpoint()
+
+    def _direct_effects(
+        self,
+        fn: FunctionNode,
+        mutables: set[str],
+        origins: dict[Effect, Origin],
+    ) -> Effect:
+        effects = Effect.NONE
+
+        def found(bit: Effect, line: int, source: str,
+                  rep301: bool = False) -> None:
+            nonlocal effects
+            if not bit & effects:
+                origins[bit] = Origin(line=line, source=source,
+                                      rep301_covered=rep301)
+            effects |= bit
+
+        if fn.is_nested:
+            capture = (
+                f" capturing {', '.join(sorted(fn.free_names))}"
+                if fn.free_names
+                else ""
+            )
+            found(
+                Effect.UNPICKLABLE_CLOSURE,
+                fn.node.lineno,
+                f"nested function {fn.name}(){capture}",
+            )
+        for call in fn.external_calls:
+            bits, source, rep301 = self._classify_external(call.dotted,
+                                                           call.attr)
+            if bits:
+                for bit in EFFECT_BITS:
+                    if bit & bits:
+                        found(bit, call.line, source, rep301)
+        for with_dotted, line in fn.with_names:
+            if _LOCKISH_RE.search(with_dotted):
+                found(Effect.ACQUIRES_LOCK, line, f"with {with_dotted}:")
+        local_names = local_bound_names(fn.node)
+        for node in CallGraph._own_body_walk(fn.node):
+            if isinstance(node, ast.Global):
+                found(
+                    Effect.MUTATES_GLOBAL,
+                    node.lineno,
+                    f"'global {', '.join(node.names)}' statement",
+                )
+            else:
+                mutated = self._mutated_module_state(node, mutables,
+                                                     local_names)
+                if mutated is not None:
+                    found(
+                        Effect.MUTATES_GLOBAL,
+                        node.lineno,
+                        f"write to module-level {mutated!r}",
+                    )
+        return effects
+
+    @staticmethod
+    def _classify_external(
+        dotted: str, attr: str | None
+    ) -> tuple[Effect, str, bool]:
+        """The effects of one unresolved call, with its description."""
+        if dotted:
+            known = _EXTERNAL_EFFECTS.get(dotted)
+            if known is not None:
+                return known, f"{dotted}()", False
+            for prefix, bits in _EXTERNAL_PREFIX_EFFECTS:
+                if dotted.startswith(prefix):
+                    return bits, f"{dotted}()", False
+            if dotted in BLOCKING_DOTTED or dotted.startswith(
+                BLOCKING_DOTTED_PREFIXES
+            ):
+                return Effect.BLOCKING_IO, f"{dotted}()", False
+            parts = dotted.split(".")
+            if (
+                len(parts) == 2
+                and parts[0] == "random"
+                and parts[1] not in STDLIB_ALLOWED
+            ):
+                return (
+                    Effect.NONDETERMINISTIC,
+                    f"unseeded {dotted}()",
+                    True,
+                )
+            if (
+                parts[0] == "numpy"
+                and len(parts) >= 3
+                and parts[1] == "random"
+                and parts[-1] not in NUMPY_ALLOWED
+            ) or (
+                parts[0] == "numpy.random"
+                and parts[-1] not in NUMPY_ALLOWED
+            ):
+                return (
+                    Effect.NONDETERMINISTIC,
+                    f"unseeded {dotted}()",
+                    True,
+                )
+        if attr is not None:
+            if attr in _BLOCKING_METHOD_NAMES:
+                return Effect.BLOCKING_IO, f".{attr}()", False
+            if attr == "acquire":
+                receiver = dotted.rsplit(".", 1)[0] if dotted else ""
+                label = f"{receiver}.acquire()" if receiver else ".acquire()"
+                return Effect.ACQUIRES_LOCK, label, False
+        return Effect.NONE, "", False
+
+    @staticmethod
+    def _mutated_module_state(
+        node: ast.AST, mutables: set[str], local_names: set[str]
+    ) -> str | None:
+        """The module-level mutable a statement writes, if any."""
+        if isinstance(node, (ast.Assign, ast.AugAssign)):
+            targets = (
+                node.targets if isinstance(node, ast.Assign)
+                else [node.target]
+            )
+            for target in targets:
+                if (
+                    isinstance(target, ast.Subscript)
+                    and isinstance(target.value, ast.Name)
+                    and target.value.id in mutables
+                    and target.value.id not in local_names
+                ):
+                    return target.value.id
+        if isinstance(node, ast.Call) and isinstance(node.func, ast.Attribute):
+            base = node.func.value
+            if (
+                node.func.attr in MUTATING_CALLS
+                and isinstance(base, ast.Name)
+                and base.id in mutables
+                and base.id not in local_names
+            ):
+                return base.id
+        return None
+
+    # ------------------------------------------------------------------
+    # Fixpoint
+    # ------------------------------------------------------------------
+
+    def _fixpoint(self) -> None:
+        """Propagate effects caller-ward until nothing changes.
+
+        A plain iterate-to-fixpoint over every edge: the effect lattice
+        is a finite powerset, joins are monotone, so the loop terminates
+        in at most ``|effects|`` sweeps; at this project's size that is
+        milliseconds.
+        """
+        changed = True
+        while changed:
+            changed = False
+            for key, fn in self.graph.functions.items():
+                if key in self.trusted:
+                    continue
+                current = self.effects[key]
+                for call in fn.calls:
+                    callee_effects = self.effects.get(call.callee)
+                    if callee_effects is None:
+                        continue
+                    added = (callee_effects & PROPAGATED) & ~current
+                    if added:
+                        for bit in EFFECT_BITS:
+                            if bit & added:
+                                self.origins[key][bit] = Origin(
+                                    line=call.line, callee=call.callee
+                                )
+                        current |= added
+                        changed = True
+                self.effects[key] = current
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+
+    def effects_of(self, key: str) -> Effect:
+        """The inferred (transitive) effect set of a function key."""
+        return self.effects.get(key, Effect.NONE)
+
+    def origin_of(self, key: str, bit: Effect) -> Origin | None:
+        """The witness for one effect bit on one function."""
+        return self.origins.get(key, {}).get(bit)
+
+    def chain(self, key: str, bit: Effect) -> tuple[list[str], str]:
+        """The human call chain from a function down to an effect source.
+
+        Returns ``(qualified function names, source description)``; the
+        chain is cycle-guarded, so recursion terminates with the last
+        fresh function.
+        """
+        names: list[str] = []
+        seen: set[str] = set()
+        current = key
+        while True:
+            fn = self.graph.functions.get(current)
+            names.append(fn.display if fn is not None else current)
+            seen.add(current)
+            origin = self.origin_of(current, bit)
+            if origin is None:
+                return names, EFFECT_NAMES.get(bit, "effect")
+            if origin.callee is None:
+                return names, origin.source or EFFECT_NAMES.get(bit, "effect")
+            if origin.callee in seen:
+                return names, "recursive call cycle"
+            current = origin.callee
+
+
+def effect_names(effects: Effect) -> list[str]:
+    """Stable spellings of every bit set in an effect value."""
+    return [EFFECT_NAMES[bit] for bit in EFFECT_BITS if bit & effects]

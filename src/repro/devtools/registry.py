@@ -11,9 +11,13 @@ from __future__ import annotations
 
 from abc import ABC, abstractmethod
 from collections.abc import Iterator
+from typing import TYPE_CHECKING
 
 from repro.devtools.context import ModuleContext
 from repro.devtools.findings import Finding, Severity
+
+if TYPE_CHECKING:
+    from repro.devtools.project import ProjectContext
 
 
 class Rule(ABC):
@@ -55,6 +59,38 @@ class Rule(ABC):
         return f"{type(self).__name__}(id={self.id!r}, name={self.name!r})"
 
 
+class ProjectRule(Rule):
+    """A rule that needs the whole program, not one module.
+
+    Project rules live in the same registry (stable ids, suppressions,
+    ``--select``/``--ignore``, docs) but run only under ``ppm lint
+    --project``, where a :class:`~repro.devtools.project.ProjectContext`
+    carries the cross-module call graph and inferred effect sets.  In
+    per-module mode they are inert: :meth:`check` yields nothing.
+    """
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        """Project rules produce no per-module findings."""
+        return iter(())
+
+    @abstractmethod
+    def check_project(self, project: "ProjectContext") -> Iterator[Finding]:
+        """Yield every violation found across the whole project."""
+
+    def project_finding(
+        self, path: str, line: int, col: int, message: str
+    ) -> Finding:
+        """Build a finding of this rule at an explicit location."""
+        return Finding(
+            path=path,
+            line=line,
+            col=col,
+            rule_id=self.id,
+            message=message,
+            severity=self.severity,
+        )
+
+
 _REGISTRY: dict[str, Rule] = {}
 
 
@@ -78,6 +114,11 @@ def all_rules() -> list[Rule]:
     import repro.devtools.rules  # noqa: F401  (import populates registry)
 
     return [_REGISTRY[rule_id] for rule_id in sorted(_REGISTRY)]
+
+
+def project_rules() -> list[ProjectRule]:
+    """Every registered whole-program rule, sorted by id."""
+    return [rule for rule in all_rules() if isinstance(rule, ProjectRule)]
 
 
 def get_rule(rule_id: str) -> Rule | None:

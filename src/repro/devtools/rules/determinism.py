@@ -14,27 +14,23 @@ from __future__ import annotations
 
 import ast
 from collections.abc import Iterator
+from typing import TYPE_CHECKING
 
 from repro.devtools.context import ModuleContext, dotted_name
-from repro.devtools.findings import Finding, Severity
-from repro.devtools.registry import Rule, register
-
-#: stdlib ``random`` attributes that construct explicitly-seeded state.
-STDLIB_ALLOWED = frozenset({"Random", "SystemRandom"})
-
-#: ``numpy.random`` attributes that construct explicitly-seeded state.
-NUMPY_ALLOWED = frozenset(
-    {
-        "default_rng",
-        "Generator",
-        "SeedSequence",
-        "RandomState",
-        "BitGenerator",
-        "PCG64",
-        "Philox",
-        "MT19937",
-    }
+from repro.devtools.effects import (
+    NUMPY_ALLOWED,
+    STDLIB_ALLOWED,
+    Effect,
 )
+from repro.devtools.findings import Finding, Severity
+from repro.devtools.registry import ProjectRule, Rule, register
+
+if TYPE_CHECKING:
+    from repro.devtools.project import ProjectContext
+
+#: Packages whose results must be a pure function of their inputs: the
+#: counting/merge paths whose outputs the equivalence suites compare.
+DETERMINISTIC_PACKAGES = ("repro.core", "repro.tree", "repro.kernels")
 
 
 class _RandomImports:
@@ -146,3 +142,80 @@ class UnseededRandomRule(Rule):
                     "numpy.random.default_rng(seed) and pass the Generator "
                     "explicitly",
                 )
+
+
+@register
+class TransitiveNondeterminismRule(ProjectRule):
+    """REP311: a counting/merge-path function transitively reaches
+    nondeterminism.
+
+    The deep form of REP301: the mined output depends on a wall-clock
+    read, a uuid draw, or global-state randomness buried behind one or
+    more call edges.  Unseeded ``random``/``numpy.random`` calls written
+    *directly* in a scoped module stay REP301's (syntactic) territory;
+    this rule reports the point where nondeterminism *enters* the scoped
+    packages — a direct non-random source such as ``time.time()``, or a
+    call into a function outside ``repro.core``/``repro.tree``/
+    ``repro.kernels`` that carries the effect.
+    """
+
+    id = "REP311"
+    name = "transitive-nondeterminism"
+    severity = Severity.ERROR
+    rationale = (
+        "The equivalence suites compare mined outputs bit-for-bit across "
+        "kernels and runs; a wall-clock read or hidden-global RNG draw "
+        "two helpers below a counting loop makes results run-dependent "
+        "in ways no per-module scan can see. Thread explicit seeds/"
+        "timestamps through parameters, or declare a verified boundary "
+        "with '# repro: effect[...] -- reason'."
+    )
+
+    def check_project(self, project: "ProjectContext") -> Iterator[Finding]:
+        inference = project.inference
+        for fn in project.graph.functions.values():
+            if not _in_scope(fn.module):
+                continue
+            effects = inference.effects_of(fn.key)
+            if not Effect.NONDETERMINISTIC & effects:
+                continue
+            origin = inference.origin_of(fn.key, Effect.NONDETERMINISTIC)
+            if origin is None or origin.annotated:
+                continue
+            if origin.callee is None:
+                if origin.rep301_covered:
+                    # Direct unseeded randomness: REP301 reports it with
+                    # the precise syntactic diagnosis.
+                    continue
+                yield self.project_finding(
+                    fn.path,
+                    origin.line,
+                    fn.node.col_offset,
+                    f"{fn.display}() on the counting/merge path calls "
+                    f"{origin.source}; thread the value in as an explicit "
+                    "parameter so mined output stays a pure function of "
+                    "its inputs",
+                )
+                continue
+            callee = project.graph.functions.get(origin.callee)
+            if callee is not None and _in_scope(callee.module):
+                # The effect enters the scope deeper down; the callee
+                # carries its own finding (or REP301 already does).
+                continue
+            names, source = inference.chain(fn.key, Effect.NONDETERMINISTIC)
+            yield self.project_finding(
+                fn.path,
+                origin.line,
+                fn.node.col_offset,
+                f"{fn.display}() on the counting/merge path transitively "
+                f"reaches nondeterminism: {' -> '.join(names)} -> {source}; "
+                "pass seeds/timestamps explicitly or declare a verified "
+                "boundary with '# repro: effect[...] -- reason'",
+            )
+
+
+def _in_scope(module: str) -> bool:
+    return any(
+        module == pkg or module.startswith(pkg + ".")
+        for pkg in DETERMINISTIC_PACKAGES
+    )

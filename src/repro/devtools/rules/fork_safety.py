@@ -22,15 +22,23 @@ from __future__ import annotations
 import ast
 import re
 from collections.abc import Iterator
+from typing import TYPE_CHECKING
 
 from repro.devtools.context import (
+    MUTATING_CALLS,
     ModuleContext,
     call_keyword,
     dotted_name,
     iter_assigned_names,
+    local_bound_names,
+    module_level_mutables,
 )
+from repro.devtools.effects import EFFECT_NAMES, Effect, effect_names
 from repro.devtools.findings import Finding, Severity
-from repro.devtools.registry import Rule, register
+from repro.devtools.registry import ProjectRule, Rule, register
+
+if TYPE_CHECKING:
+    from repro.devtools.project import ProjectContext
 
 #: Plain-function submission sinks: callee name -> index of the task callable.
 SUBMISSION_FUNCTIONS = {"run_shards": 1}
@@ -41,27 +49,6 @@ SUBMISSION_METHODS = {"submit": 0, "map": 0}
 #: ``.map`` only counts as a sink when its receiver looks like a pool.
 _POOLISH_RE = re.compile(r"backend|pool|executor", re.IGNORECASE)
 
-#: Methods that mutate a collection in place (shared-state writes).
-MUTATING_CALLS = frozenset(
-    {
-        "add",
-        "append",
-        "clear",
-        "discard",
-        "extend",
-        "insert",
-        "pop",
-        "popitem",
-        "remove",
-        "setdefault",
-        "update",
-    }
-)
-
-#: Constructors whose module-level result is mutable shared state.
-_MUTABLE_FACTORIES = frozenset(
-    {"list", "dict", "set", "bytearray", "Counter", "defaultdict", "deque"}
-)
 
 
 def _submission_callable(call: ast.Call) -> ast.expr | None:
@@ -245,37 +232,10 @@ class WorkerGlobalWriteRule(Rule):
     def check(self, ctx: ModuleContext) -> Iterator[Finding]:
         if not ctx.in_package("repro.engine"):
             return
-        mutable_globals = self._module_level_mutables(ctx.tree)
+        mutable_globals = module_level_mutables(ctx.tree)
         for node in ast.walk(ctx.tree):
             if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
                 yield from self._check_function(ctx, node, mutable_globals)
-
-    @staticmethod
-    def _module_level_mutables(tree: ast.Module) -> set[str]:
-        names: set[str] = set()
-        for node in tree.body:
-            value: ast.expr | None = None
-            targets: list[ast.expr] = []
-            if isinstance(node, ast.Assign):
-                value, targets = node.value, node.targets
-            elif isinstance(node, ast.AnnAssign) and node.value is not None:
-                value, targets = node.value, [node.target]
-            if value is None:
-                continue
-            mutable = isinstance(
-                value, (ast.List, ast.Dict, ast.Set, ast.ListComp,
-                        ast.DictComp, ast.SetComp)
-            )
-            if isinstance(value, ast.Call):
-                callee = dotted_name(value.func)
-                if callee is not None:
-                    mutable = callee.split(".")[-1] in _MUTABLE_FACTORIES
-            if not mutable:
-                continue
-            for target in targets:
-                for name in iter_assigned_names(target):
-                    names.add(name.id)
-        return names
 
     def _check_function(
         self,
@@ -283,7 +243,7 @@ class WorkerGlobalWriteRule(Rule):
         func: ast.FunctionDef | ast.AsyncFunctionDef,
         mutable_globals: set[str],
     ) -> Iterator[Finding]:
-        local_names = self._local_names(func)
+        local_names = local_bound_names(func)
         for node in ast.walk(func):
             if isinstance(node, ast.Global):
                 yield self.finding(
@@ -307,38 +267,6 @@ class WorkerGlobalWriteRule(Rule):
                 )
 
     @staticmethod
-    def _local_names(func: ast.FunctionDef | ast.AsyncFunctionDef) -> set[str]:
-        names = {arg.arg for arg in func.args.posonlyargs}
-        names.update(arg.arg for arg in func.args.args)
-        names.update(arg.arg for arg in func.args.kwonlyargs)
-        if func.args.vararg is not None:
-            names.add(func.args.vararg.arg)
-        if func.args.kwarg is not None:
-            names.add(func.args.kwarg.arg)
-        for node in ast.walk(func):
-            if isinstance(node, (ast.Assign, ast.AugAssign, ast.AnnAssign)):
-                targets = (
-                    node.targets
-                    if isinstance(node, ast.Assign)
-                    else [node.target]
-                )
-                for target in targets:
-                    for name in iter_assigned_names(target):
-                        names.add(name.id)
-            elif isinstance(node, (ast.For, ast.AsyncFor)):
-                for name in iter_assigned_names(node.target):
-                    names.add(name.id)
-            elif isinstance(node, ast.comprehension):
-                for name in iter_assigned_names(node.target):
-                    names.add(name.id)
-            elif isinstance(node, (ast.With, ast.AsyncWith)):
-                for item in node.items:
-                    if item.optional_vars is not None:
-                        for name in iter_assigned_names(item.optional_vars):
-                            names.add(name.id)
-        return names
-
-    @staticmethod
     def _mutated_global(node: ast.AST, mutable_globals: set[str]) -> str | None:
         if isinstance(node, (ast.Assign, ast.AugAssign)):
             targets = (
@@ -360,3 +288,84 @@ class WorkerGlobalWriteRule(Rule):
             ):
                 return base.id
         return None
+
+
+@register
+class TransitiveTaskHazardRule(ProjectRule):
+    """REP111: a submitted task callable transitively carries a hazard.
+
+    The deep form of the REP10x family: the callable handed to
+    ``run_shards``/``submit``/``<pool>.map`` is itself a respectable
+    module-level function, but somewhere down its call chain it forks,
+    acquires a lock, mutates module-level state, or resolves to a nested
+    closure through a ``functools.partial`` wrapper — hazards a worker
+    process must not carry and a per-module scan cannot see.
+    """
+
+    id = "REP111"
+    name = "task-transitive-hazard"
+    severity = Severity.ERROR
+    rationale = (
+        "A worker task that transitively forks can fork-bomb the process "
+        "backend; one that acquires locks can deadlock a forked child; "
+        "one that mutates module globals silently diverges across "
+        "workers; and a partial over a closure dies in pickle. The "
+        "hazard is the same whether it sits in the task or three helpers "
+        "below it — only the call graph can tell."
+    )
+
+    #: Hazards that propagate through the task's call chain.
+    TRANSITIVE_BITS = (
+        Effect.FORKS,
+        Effect.ACQUIRES_LOCK,
+        Effect.MUTATES_GLOBAL,
+    )
+
+    def check_project(self, project: "ProjectContext") -> Iterator[Finding]:
+        inference = project.inference
+        graph = project.graph
+        for fn in graph.functions.values():
+            for node in graph._own_body_walk(fn.node):
+                if not isinstance(node, ast.Call):
+                    continue
+                candidate = _submission_callable(node)
+                if candidate is None:
+                    continue
+                target_key = graph.resolve_reference(fn, candidate)
+                if target_key is None:
+                    continue
+                target = graph.functions[target_key]
+                effects = inference.effects_of(target_key)
+                if target.is_nested and Effect.UNPICKLABLE_CLOSURE & effects:
+                    names = (
+                        f" (captures {', '.join(sorted(target.free_names))})"
+                        if target.free_names
+                        else ""
+                    )
+                    yield self.project_finding(
+                        fn.path,
+                        candidate.lineno,
+                        candidate.col_offset,
+                        f"task resolves to nested function "
+                        f"{target.display}{names}; nested functions never "
+                        "pickle by reference — move it to module level",
+                    )
+                hazards = Effect.NONE
+                for bit in self.TRANSITIVE_BITS:
+                    if bit & effects:
+                        hazards |= bit
+                for bit in self.TRANSITIVE_BITS:
+                    if not bit & hazards:
+                        continue
+                    chain, source = inference.chain(target_key, bit)
+                    yield self.project_finding(
+                        fn.path,
+                        candidate.lineno,
+                        candidate.col_offset,
+                        f"submitted task transitively reaches "
+                        f"{EFFECT_NAMES[bit]}: {' -> '.join(chain)} -> "
+                        f"{source}; workers must stay "
+                        f"{'/'.join(effect_names(hazards))}-free or the "
+                        "boundary must be declared with "
+                        "'# repro: effect[...] -- reason'",
+                    )

@@ -13,15 +13,14 @@ from __future__ import annotations
 import ast
 from collections.abc import Iterator
 
-from repro.devtools.context import ModuleContext, dotted_name, iter_assigned_names
+from repro.devtools.context import (
+    MUTABLE_FACTORIES,
+    ModuleContext,
+    dotted_name,
+    iter_assigned_names,
+)
 from repro.devtools.findings import Finding, Severity
 from repro.devtools.registry import Rule, register
-
-#: Callables whose results are mutable (for default-argument detection).
-_MUTABLE_FACTORIES = frozenset(
-    {"list", "dict", "set", "bytearray", "Counter", "OrderedDict",
-     "defaultdict", "deque"}
-)
 
 #: Base classes exempting a class from the ``__slots__`` requirement.
 _SLOTS_EXEMPT_BASES = frozenset(
@@ -224,7 +223,7 @@ class MutableDefaultRule(Rule):
         if isinstance(node, ast.Call):
             callee = dotted_name(node.func)
             if callee is not None:
-                return callee.split(".")[-1] in _MUTABLE_FACTORIES
+                return callee.split(".")[-1] in MUTABLE_FACTORIES
         return False
 
 

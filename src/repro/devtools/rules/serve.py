@@ -16,42 +16,24 @@ from __future__ import annotations
 
 import ast
 from collections.abc import Iterator
+from typing import TYPE_CHECKING
 
 from repro.devtools.context import ModuleContext, dotted_name
+from repro.devtools.effects import (
+    BLOCKING_DOTTED,
+    BLOCKING_DOTTED_PREFIXES,
+    BLOCKING_METHODS,
+    EFFECT_NAMES,
+    Effect,
+)
 from repro.devtools.findings import Finding, Severity
-from repro.devtools.registry import Rule, register
+from repro.devtools.registry import ProjectRule, Rule, register
+
+if TYPE_CHECKING:
+    from repro.devtools.project import ProjectContext
 
 #: The package whose coroutines the rule polices.
 SERVE_PACKAGE = "repro.serve"
-
-#: Dotted calls that block the thread outright.
-BLOCKING_DOTTED_PREFIXES = ("subprocess.",)
-BLOCKING_DOTTED = frozenset(
-    {
-        "time.sleep",
-        "os.replace",
-        "os.rename",
-        "os.remove",
-        "os.unlink",
-        "os.makedirs",
-        "os.mkdir",
-        "shutil.copy",
-        "shutil.copyfile",
-        "shutil.move",
-        "shutil.rmtree",
-    }
-)
-
-#: Method names that are synchronous file I/O wherever they appear
-#: (pathlib.Path helpers and raw handle reads/writes).
-BLOCKING_METHODS = frozenset(
-    {
-        "read_text",
-        "write_text",
-        "read_bytes",
-        "write_bytes",
-    }
-)
 
 
 def _blocking_reason(call: ast.Call) -> str | None:
@@ -120,3 +102,76 @@ class BlockingCallInCoroutineRule(Rule):
                         "dispatch it to the worker pool with "
                         "loop.run_in_executor",
                     )
+
+
+@register
+class TransitiveBlockingCoroutineRule(ProjectRule):
+    """REP811: a serve coroutine transitively reaches blocking work.
+
+    The deep form of REP801: the blocking call is not in the coroutine's
+    own body but buried behind one or more ordinary function calls — a
+    sync helper that opens a file, a cache method that unlinks an entry.
+    Direct violations stay REP801's; this rule reports only effects that
+    arrive through a call edge, and it reports them at the *boundary*
+    coroutine (the first async function on the chain), not at every
+    caller above it.
+    """
+
+    id = "REP811"
+    name = "coroutine-transitively-blocks"
+    severity = Severity.ERROR
+    rationale = (
+        "A blocking call one helper deep stalls the event loop exactly "
+        "as hard as one written inline, and is invisible to per-module "
+        "analysis. Effect inference follows the call graph; fix the "
+        "chain (run_in_executor) or declare a verified boundary with "
+        "'# repro: effect[...] -- reason'."
+    )
+
+    #: The effect bits that stall the loop.
+    BLOCKING_BITS = (Effect.BLOCKING_IO, Effect.SLEEPS)
+
+    def check_project(self, project: "ProjectContext") -> Iterator[Finding]:
+        inference = project.inference
+        for fn in project.graph.functions.values():
+            if not fn.is_async:
+                continue
+            if not _in_package(fn.module, SERVE_PACKAGE):
+                continue
+            effects = inference.effects_of(fn.key)
+            for bit in self.BLOCKING_BITS:
+                if not bit & effects:
+                    continue
+                origin = inference.origin_of(fn.key, bit)
+                if origin is None or origin.callee is None:
+                    # Direct or annotated: REP801's territory (or an
+                    # explicit declaration the author made on purpose).
+                    continue
+                callee = project.graph.functions.get(origin.callee)
+                if (
+                    callee is not None
+                    and callee.is_async
+                    and _in_package(callee.module, SERVE_PACKAGE)
+                ):
+                    # The effect enters the loop deeper down; the callee
+                    # coroutine carries its own finding.
+                    continue
+                names, source = inference.chain(fn.key, bit)
+                yield self.project_finding(
+                    fn.path,
+                    fn.node.lineno,
+                    fn.node.col_offset,
+                    f"coroutine {fn.name}() transitively reaches "
+                    f"{_bit_name(bit)}: {' -> '.join(names)} -> {source}; "
+                    "dispatch the blocking step to the worker pool or "
+                    "declare a verified boundary with "
+                    "'# repro: effect[...] -- reason'",
+                )
+
+
+def _in_package(module: str, prefix: str) -> bool:
+    return module == prefix or module.startswith(prefix + ".")
+
+
+def _bit_name(bit: Effect) -> str:
+    return EFFECT_NAMES[bit]

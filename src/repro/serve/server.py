@@ -30,7 +30,7 @@ from repro.serve.protocol import (
 class MiningServer:
     """One listening mining service over a :class:`MiningApp`."""
 
-    def __init__(
+    def __init__(  # repro: effect[pure] -- construct-time CountCache mkdir happens before the loop serves traffic
         self,
         app: MiningApp | None = None,
         host: str = "127.0.0.1",

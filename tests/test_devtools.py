@@ -74,6 +74,17 @@ class TestCatalog:
         rest = select_rules(ignore=["REP402"])
         assert "REP402" not in {rule.id for rule in rest}
 
+    def test_meta_ids_accepted_in_select_and_ignore(self):
+        # Historically raised ValueError: REP002 exists only in the meta
+        # set, not the catalog.
+        assert select_rules(ignore=["REP002"])
+        assert select_rules(select=["REP000"]) == []
+        from repro.devtools import selected_meta_ids
+
+        assert "REP002" not in selected_meta_ids(ignore=["REP002"])
+        assert selected_meta_ids(select=["REP000"]) == frozenset({"REP000"})
+        assert selected_meta_ids() == META_RULE_IDS
+
 
 # ---------------------------------------------------------------------------
 # REP1xx — fork safety
@@ -481,6 +492,32 @@ class TestSuppressions:
         findings = analyze_source("def broken(:\n")
         assert [f.rule_id for f in findings] == ["REP000"]
 
+    def test_multi_rule_comment_suppresses_each_named_rule(self):
+        source = """\
+        def f(xs=[], ys={}):  # repro: ignore[REP402, REP404] -- fixture: both named on one comment
+            return xs, ys
+        """
+        assert findings_of(source) == []
+
+    def test_multi_rule_comment_leaves_unnamed_rules_alone(self):
+        source = """\
+        def f(xs=[]):  # repro: ignore[REP103, REP404] -- names the wrong rules
+            return xs
+        """
+        assert findings_of(source) == [("REP402", 1)]
+
+    def test_rep002_respects_ignore(self):
+        source = "def f(xs=[]):  # repro: ignore[REP402]\n    return xs\n"
+        findings = analyze_source(source, meta_ids=frozenset())
+        # The reasonless suppression is still inert (REP402 reported),
+        # but the REP002 meta finding itself is filtered out.
+        assert [f.rule_id for f in findings] == ["REP402"]
+
+    def test_rep001_respects_select(self):
+        source = "x = 1  # repro: ignore[REP999] -- no such rule\n"
+        findings = analyze_source(source, meta_ids=frozenset({"REP002"}))
+        assert findings == []
+
 
 # ---------------------------------------------------------------------------
 # CLI behavior
@@ -544,6 +581,35 @@ class TestCli:
         assert lint_run([str(tmp_path)], output_format="json") == 1
         out = capsys.readouterr().out
         assert '"rule": "REP402"' in out
+
+    def test_json_schema_is_stable(self, tmp_path, capsys):
+        import json
+
+        (tmp_path / "bad.py").write_text("def f(xs=[]):\n    return xs\n")
+        lint_run([str(tmp_path)], output_format="json")
+        [row] = json.loads(capsys.readouterr().out)
+        assert set(row) == {
+            "path", "line", "col", "rule", "severity", "message", "baselined",
+        }
+        assert row["baselined"] is False
+
+    def test_ignore_rep002_no_longer_raises(self, tmp_path, capsys):
+        # Historically ``--ignore REP002`` exited 2 with "unknown rule
+        # ids" because the meta set was not consulted.
+        (tmp_path / "bad.py").write_text(
+            "def f(xs=[]):  # repro: ignore[REP402]\n    return xs\n"
+        )
+        assert lint_run([str(tmp_path)], ignore="REP002") == 1
+        out = capsys.readouterr().out
+        assert "REP402" in out  # reasonless suppression still inert
+        assert "REP002" not in out  # but the meta finding is silenced
+
+    def test_virtualenv_directories_skipped(self, tmp_path):
+        for env_dir in (".venv", "venv", ".tox"):
+            bad = tmp_path / env_dir / "lib" / "bad.py"
+            bad.parent.mkdir(parents=True)
+            bad.write_text("def f(xs=[]):\n    return xs\n")
+        assert lint_run([str(tmp_path)]) == 0
 
 
 # ---------------------------------------------------------------------------
