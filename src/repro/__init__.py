@@ -35,7 +35,7 @@ from repro.core.errors import (
     TaxonomyError,
 )
 from repro.core.hitset import mine_single_period_hitset
-from repro.core.incremental import IncrementalHitSetMiner
+from repro.core.incremental import IncrementalHitSetMiner, SegmentPartial
 from repro.core.maximal import maximal_patterns, mine_maximal_hitset
 from repro.core.maxpattern import find_frequent_one_patterns
 from repro.core.miner import PartialPeriodicMiner
@@ -53,6 +53,7 @@ from repro.encoding import EncodedSeries, LetterVocabulary, SegmentEncoder
 from repro.engine.parallel import ParallelMiner
 from repro.engine.partition import SegmentShard, partition_segments
 from repro.engine.stats import EngineStats
+from repro.streaming import ArrivalBuffer, StreamingMiner, WindowResult, WindowSpec
 from repro.synth.generator import SyntheticSeries, SyntheticSpec, generate_series
 from repro.timeseries.feature_series import FeatureSeries, as_feature_series
 from repro.timeseries.scan import ScanCountingSeries
@@ -61,6 +62,7 @@ from repro.tree.max_subpattern_tree import MaxSubpatternTree
 __version__ = "1.0.0"
 
 __all__ = [
+    "ArrivalBuffer",
     "EncodedSeries",
     "EncodingError",
     "EngineError",
@@ -82,11 +84,15 @@ __all__ = [
     "ReproError",
     "ScanCountingSeries",
     "SegmentEncoder",
+    "SegmentPartial",
     "SegmentShard",
     "SeriesError",
+    "StreamingMiner",
     "SyntheticSeries",
     "SyntheticSpec",
     "TaxonomyError",
+    "WindowResult",
+    "WindowSpec",
     "as_feature_series",
     "brute_force_frequent",
     "confidence",

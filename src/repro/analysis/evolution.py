@@ -7,8 +7,10 @@ sliding window of whole periods and diffs the per-window frequent sets, so
 a long series becomes a trajectory of pattern confidences instead of one
 global average that smears the drift away.
 
-All windows share one period and threshold; each window run is the
-ordinary two-scan hit-set miner on the window slice.
+All windows share one period and threshold.  The sweep runs on the
+streaming engine (:mod:`repro.streaming`): windows are maintained
+incrementally as segments enter and retire, with results exactly equal to
+mining each window slice from scratch — the engine's headline invariant.
 """
 
 from __future__ import annotations
@@ -18,7 +20,6 @@ from dataclasses import dataclass, field
 
 from repro.core.counting import check_min_conf
 from repro.core.errors import MiningError
-from repro.core.hitset import mine_single_period_hitset
 from repro.core.pattern import Pattern
 from repro.core.result import MiningResult
 from repro.timeseries.feature_series import FeatureSeries
@@ -117,27 +118,65 @@ def mine_windows(
             f"series holds {total_periods} periods of {period}; "
             f"window of {window_periods} does not fit"
         )
-    windows = []
-    index = 0
-    start_period = 0
-    while start_period + window_periods <= total_periods:
-        start_slot = start_period * period
-        end_slot = (start_period + window_periods) * period
-        result = mine_single_period_hitset(
-            series[start_slot:end_slot], period, min_conf,
-            max_letters=max_letters,
+    # The sweep rides the streaming engine: each window is maintained
+    # incrementally (segments enter at the tail, retire at the head)
+    # instead of re-mined from scratch, and the engine's exactness
+    # invariant keeps the per-window results identical to the slice
+    # mining this function used to do.  Imported lazily — the streaming
+    # tier imports this module's diff types at module level.
+    from repro.streaming.engine import StreamingMiner
+
+    miner = StreamingMiner(
+        period=period,
+        window=window_periods * period,
+        slide=step_periods * period,
+        min_conf=min_conf,
+        max_letters=max_letters,
+    )
+    return [
+        Window(
+            index=emitted.index,
+            start_slot=emitted.start_slot,
+            end_slot=emitted.end_slot,
+            result=emitted.result,
         )
-        windows.append(
-            Window(
-                index=index,
-                start_slot=start_slot,
-                end_slot=end_slot,
-                result=result,
-            )
+        for emitted in miner.extend(series)
+    ]
+
+
+def diff_results(
+    before: MiningResult, after: MiningResult, tolerance: float = 0.05
+) -> WindowDiff:
+    """Diff two mining results' frequent sets (confidence-normalized).
+
+    The window-free core of :func:`diff_windows`, shared with the
+    streaming engine's per-window change emission.  ``tolerance`` is the
+    minimum confidence move for a shared pattern to be reported as
+    strengthened/weakened.
+    """
+    if tolerance < 0:
+        raise MiningError(f"tolerance must be >= 0, got {tolerance}")
+
+    def confidence(result: MiningResult, pattern: Pattern) -> float:
+        count = result.get(pattern)
+        return count / result.num_periods if count else 0.0
+
+    diff = WindowDiff()
+    before_set = set(before)
+    after_set = set(after)
+    diff.emerged = sorted(after_set - before_set)
+    diff.vanished = sorted(before_set - after_set)
+    for pattern in sorted(before_set & after_set):
+        change = PatternChange(
+            pattern=pattern,
+            before=confidence(before, pattern),
+            after=confidence(after, pattern),
         )
-        index += 1
-        start_period += step_periods
-    return windows
+        if change.delta > tolerance:
+            diff.strengthened.append(change)
+        elif change.delta < -tolerance:
+            diff.weakened.append(change)
+    return diff
 
 
 def diff_windows(
@@ -148,24 +187,7 @@ def diff_windows(
     ``tolerance`` is the minimum confidence move for a shared pattern to be
     reported as strengthened/weakened.
     """
-    if tolerance < 0:
-        raise MiningError(f"tolerance must be >= 0, got {tolerance}")
-    diff = WindowDiff()
-    before_set = set(before.result)
-    after_set = set(after.result)
-    diff.emerged = sorted(after_set - before_set)
-    diff.vanished = sorted(before_set - after_set)
-    for pattern in sorted(before_set & after_set):
-        change = PatternChange(
-            pattern=pattern,
-            before=before.confidence(pattern),
-            after=after.confidence(pattern),
-        )
-        if change.delta > tolerance:
-            diff.strengthened.append(change)
-        elif change.delta < -tolerance:
-            diff.weakened.append(change)
-    return diff
+    return diff_results(before.result, after.result, tolerance)
 
 
 def track_pattern(

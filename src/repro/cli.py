@@ -17,6 +17,9 @@ Subcommands
     Render the offsets-by-features confidence heatmap of one period.
 ``windows``
     Mine a sliding window and report pattern evolution between windows.
+``stream``
+    Mine windows continuously over a slot or event feed (file or stdin),
+    emitting one JSON line per closed window.
 """
 
 from __future__ import annotations
@@ -266,6 +269,12 @@ def _build_parser() -> argparse.ArgumentParser:
         default=1024,
         help="LRU bound on the serialized-result cache (0 disables it)",
     )
+    serve.add_argument(
+        "--max-streams",
+        type=int,
+        default=8,
+        help="concurrent streaming sessions the server will hold",
+    )
 
     suggest = commands.add_parser(
         "suggest", help="rank promising periods in a range"
@@ -321,6 +330,84 @@ def _build_parser() -> argparse.ArgumentParser:
     windows.add_argument("--window-periods", type=int, required=True)
     windows.add_argument("--step-periods", type=int)
     windows.add_argument("--tolerance", type=float, default=0.05)
+
+    stream = commands.add_parser(
+        "stream",
+        help="mine windows continuously over a slot or event feed",
+        description=(
+            "Windowed streaming mining (repro.streaming): reads a slot "
+            "feed (series-file lines) or, with --events, a timed event "
+            "feed, and emits one JSON object per closed window — exact "
+            "patterns plus the change diff against the previous window"
+        ),
+    )
+    stream.add_argument(
+        "input", help="feed file, or '-' to read from stdin"
+    )
+    stream.add_argument("--period", type=int, required=True)
+    stream.add_argument(
+        "--window",
+        type=int,
+        required=True,
+        help="window size in slots (>= period)",
+    )
+    stream.add_argument(
+        "--slide",
+        type=int,
+        help=(
+            "slots between window starts (default: --window, i.e. "
+            "tumbling; must be a multiple of --period)"
+        ),
+    )
+    stream.add_argument("--min-conf", type=float, default=0.5)
+    stream.add_argument(
+        "--strategy",
+        choices=("decrement", "ring"),
+        default="decrement",
+        help=(
+            "segment retirement strategy: 'decrement' maintains one "
+            "running summary and subtracts aged-out segments; 'ring' "
+            "keeps per-segment partials and folds them per window"
+        ),
+    )
+    stream.add_argument("--max-letters", type=int)
+    stream.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.05,
+        help="minimum confidence move reported as strengthened/weakened",
+    )
+    stream.add_argument(
+        "--events",
+        action="store_true",
+        help=(
+            "input lines are 'TIME FEATURE [FEATURE...]' events, possibly "
+            "out of order; they are reordered into slots under the "
+            "--lateness watermark"
+        ),
+    )
+    stream.add_argument(
+        "--slot-width",
+        type=float,
+        default=1.0,
+        help="event-time duration of one slot (with --events)",
+    )
+    stream.add_argument(
+        "--origin",
+        type=float,
+        default=0.0,
+        help="event time of slot 0 (with --events)",
+    )
+    stream.add_argument(
+        "--lateness",
+        type=float,
+        default=0.0,
+        help=(
+            "bounded-lateness allowance: events may trail the newest "
+            "event by this much and still count; older ones are "
+            "quarantined and reported (with --events)"
+        ),
+    )
 
     lint = commands.add_parser(
         "lint",
@@ -581,6 +668,7 @@ def _run_serve(args: argparse.Namespace) -> int:
         tenant_cache_share=args.tenant_cache_share,
         result_cache_entries=args.result_cache_entries,
         lenient=args.lenient,
+        max_streams=args.max_streams,
     )
     app = MiningApp(config)
     for item in args.series:
@@ -600,7 +688,10 @@ def _run_serve(args: argparse.Namespace) -> int:
         server = MiningServer(app, host=args.host, port=args.port)
         await server.start()
         print(f"ppm serve listening on http://{server.address}")
-        print("POST /mine | GET /series /stats /healthz | POST /shutdown")
+        print(
+            "POST /mine /stream /stream/<name> | "
+            "GET /series /stats /healthz | POST /shutdown"
+        )
         await server.serve_forever()
 
     try:
@@ -709,6 +800,86 @@ def _run_windows(args: argparse.Namespace) -> int:
     return 0
 
 
+def _run_stream(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.core.errors import StreamError
+    from repro.streaming import ArrivalBuffer, StreamingMiner, window_to_dict
+
+    miner = StreamingMiner(
+        period=args.period,
+        window=args.window,
+        slide=args.slide,
+        min_conf=args.min_conf,
+        retirement=args.strategy,
+        max_letters=args.max_letters,
+        change_tolerance=args.tolerance,
+    )
+
+    def emit(windows) -> None:
+        for window in windows:
+            print(json.dumps(window_to_dict(window)), flush=True)
+
+    if args.input == "-":
+        handle = sys.stdin
+    else:
+        try:
+            handle = open(args.input, encoding="utf-8")
+        except OSError as error:
+            raise StreamError(f"cannot read feed: {error}") from error
+    try:
+        if args.events:
+            buffer = ArrivalBuffer(
+                slot_width=args.slot_width,
+                start=args.origin,
+                lateness=args.lateness,
+            )
+            for number, line in enumerate(handle, start=1):
+                line = line.strip()
+                if not line or line.startswith("#"):
+                    continue
+                fields = line.split()
+                try:
+                    when = float(fields[0])
+                except ValueError:
+                    raise StreamError(
+                        f"{args.input}:{number}: event lines start with "
+                        f"a timestamp, got {fields[0]!r}"
+                    ) from None
+                for feature in fields[1:]:
+                    buffer.add(when, feature)
+                emit(miner.extend(buffer.drain()))
+            emit(miner.extend(buffer.flush()))
+            report = buffer.report
+            if not report.clean:
+                print(
+                    f"warning: quarantined {report.total} late events",
+                    file=sys.stderr,
+                )
+                for sample in report.samples[:5]:
+                    print(
+                        f"warning:   {sample.describe()}", file=sys.stderr
+                    )
+        else:
+            for line in handle:
+                line = line.strip()
+                if line.startswith("#"):
+                    continue
+                window = miner.append(frozenset(line.split()))
+                if window is not None:
+                    emit([window])
+    finally:
+        if handle is not sys.stdin:
+            handle.close()
+    print(
+        f"stream done: {miner.slots_seen} slots in, "
+        f"{miner.windows_emitted} windows out "
+        f"({miner.strategy.name} retirement)",
+        file=sys.stderr,
+    )
+    return 0
+
+
 def _run_lint(args: argparse.Namespace) -> int:
     from pathlib import Path
 
@@ -745,6 +916,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         "cycles": _run_cycles,
         "heatmap": _run_heatmap,
         "windows": _run_windows,
+        "stream": _run_stream,
         "lint": _run_lint,
     }
     try:

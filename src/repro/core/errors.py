@@ -56,3 +56,9 @@ class ShardTimeout(ResilienceError):
 class ServeError(ReproError):
     """Raised by :mod:`repro.serve`: malformed requests, unknown series
     names, or a server asked to run in an unusable configuration."""
+
+
+class StreamError(ReproError):
+    """Raised by :mod:`repro.streaming`: invalid window geometry, events
+    older than the watermark allows being force-fed past quarantine, or a
+    retirement strategy asked to retire more than it retains."""

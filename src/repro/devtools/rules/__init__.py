@@ -14,7 +14,9 @@ they guard:
 * :mod:`.kernels` — REP7xx, batched counting (no per-candidate probe
   loops outside the legacy oracle);
 * :mod:`.serve` — REP8xx, the serving tier's event-loop contract (no
-  blocking calls inside coroutines).
+  blocking calls inside coroutines);
+* :mod:`.streaming` — REP9xx, bounded state on unbounded feeds (every
+  growth in a streaming path has an eviction or watermark bound).
 """
 
 from repro.devtools.rules import (  # noqa: F401  (imports register rules)
@@ -26,6 +28,7 @@ from repro.devtools.rules import (  # noqa: F401  (imports register rules)
     kernels,
     resilience,
     serve,
+    streaming,
 )
 
 __all__ = [
@@ -37,4 +40,5 @@ __all__ = [
     "kernels",
     "resilience",
     "serve",
+    "streaming",
 ]

@@ -1,0 +1,166 @@
+"""Streaming-tier rules (REP9xx).
+
+A streaming engine's defining promise is bounded state on an unbounded
+feed: every structure that grows per slot, per event, or per segment must
+have a matching eviction path (retire, drain, pop, clear) or be gated by
+a watermark.  A single forgotten eviction is invisible in tests — suites
+feed thousands of slots, production feeds billions — so REP901 makes the
+bound mechanical: under :mod:`repro.streaming`, a method that grows a
+``self``-reachable collection must, in that same method, either evict
+from one (``pop``/``popleft``/``clear``/``retire``/``drain``/...),
+``del`` part of one, or consult a watermark.  Growth whose bound lives
+elsewhere by design (a ring drained by a sibling method, a sample list
+capped by a guard) is expected to be *baselined with a reason* via the
+findings ratchet — the rule's job is to make every unbounded-looking
+append a deliberate, documented decision rather than an accident.
+
+The rule is whole-program (:class:`ProjectRule`): it runs under
+``--project`` where the committed ``devtools_baseline.json`` ratchet
+applies, so known-bounded growth sites are accepted once, with their
+justification on record, and any *new* growth site fails CI.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterator
+from typing import TYPE_CHECKING
+
+from repro.devtools.context import dotted_name
+from repro.devtools.findings import Finding, Severity
+from repro.devtools.registry import ProjectRule, register
+
+if TYPE_CHECKING:
+    from repro.devtools.project import ProjectContext
+
+#: The package whose per-item code paths the rule polices.
+STREAMING_PACKAGE = "repro.streaming"
+
+#: Calls that grow a collection.
+GROWTH_METHODS = frozenset(
+    {"append", "appendleft", "add", "extend", "extendleft", "insert",
+     "setdefault", "update"}
+)
+
+#: Calls that shrink one — any of these in the method proves an
+#: eviction path exists where the growth happens.
+EVICTION_METHODS = frozenset(
+    {"pop", "popleft", "popitem", "clear", "remove", "discard",
+     "retire", "evict", "drain", "flush", "seal", "prune", "truncate"}
+)
+
+
+def _mentions_self(node: ast.AST) -> bool:
+    """True when the expression reaches state through ``self``."""
+    return any(
+        isinstance(child, ast.Name) and child.id == "self"
+        for child in ast.walk(node)
+    )
+
+
+def _consults_watermark(fn: ast.AST) -> bool:
+    """True when the method reads anything watermark-named.
+
+    Growth gated by a watermark check is the bounded-lateness pattern:
+    the same horizon that admits an event also bounds how many slots can
+    be open at once.
+    """
+    for node in ast.walk(fn):
+        if isinstance(node, ast.Name) and "watermark" in node.id:
+            return True
+        if isinstance(node, ast.Attribute) and "watermark" in node.attr:
+            return True
+    return False
+
+
+def _has_eviction(fn: ast.AST) -> bool:
+    """True when the method evicts from (or deletes) ``self`` state."""
+    for node in ast.walk(fn):
+        if (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+            and node.func.attr in EVICTION_METHODS
+            and _mentions_self(node.func.value)
+        ):
+            return True
+        if isinstance(node, ast.Delete) and any(
+            _mentions_self(target) for target in node.targets
+        ):
+            return True
+    return False
+
+
+def _growth_calls(fn: ast.AST) -> Iterator[ast.Call]:
+    """Calls in the method that grow a ``self``-reachable collection.
+
+    A growth name invoked directly on bare ``self`` (``self.append(...)``)
+    is method delegation, not collection growth — the delegate method is
+    audited on its own.
+    """
+    for node in ast.walk(fn):
+        if (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+            and node.func.attr in GROWTH_METHODS
+            and not (
+                isinstance(node.func.value, ast.Name)
+                and node.func.value.id == "self"
+            )
+            and _mentions_self(node.func.value)
+        ):
+            yield node
+
+
+@register
+class UnboundedStreamingGrowthRule(ProjectRule):
+    """REP901: a streaming-path method grows state it never bounds."""
+
+    id = "REP901"
+    name = "unbounded-streaming-growth"
+    severity = Severity.WARNING
+    rationale = (
+        "Streaming state must stay bounded on an unbounded feed. A method "
+        "under repro.streaming that grows a self-reachable collection must "
+        "evict in the same method (pop/clear/retire/drain/...), del part "
+        "of it, or consult a watermark; growth bounded elsewhere by design "
+        "belongs in the findings baseline with a written reason."
+    )
+
+    def check_project(self, project: "ProjectContext") -> Iterator[Finding]:
+        for info in project.graph.modules.values():
+            ctx = info.ctx
+            if not ctx.in_package(STREAMING_PACKAGE):
+                continue
+            for owner, fn in _methods(ctx.tree):
+                if _has_eviction(fn) or _consults_watermark(fn):
+                    continue
+                for call in _growth_calls(fn):
+                    target = dotted_name(call.func)
+                    grows = (
+                        f"{target}()" if target is not None
+                        else f"a self-held collection via .{call.func.attr}()"
+                    )
+                    yield self.project_finding(
+                        ctx.path,
+                        call.lineno,
+                        call.col_offset,
+                        f"{owner}{fn.name}() grows {grows} with no "
+                        "eviction, delete, or watermark consultation in "
+                        "the method; bound it there or baseline the "
+                        "growth with a reason",
+                    )
+
+
+def _methods(
+    tree: ast.Module,
+) -> Iterator[tuple[str, ast.FunctionDef | ast.AsyncFunctionDef]]:
+    """Every function in the module with its ``Class.`` prefix, if any."""
+    stack: list[tuple[str, ast.AST]] = [("", tree)]
+    while stack:
+        prefix, node = stack.pop()
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, ast.ClassDef):
+                stack.append((f"{prefix}{child.name}.", child))
+            elif isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                yield prefix, child
+                stack.append((f"{prefix}{child.name}.", child))

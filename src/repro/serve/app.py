@@ -42,6 +42,7 @@ from repro.core.errors import (
     ReproError,
     ServeError,
     ShardTimeout,
+    StreamError,
 )
 from repro.core.miner import PartialPeriodicMiner
 from repro.core.serialize import result_to_dict
@@ -52,6 +53,8 @@ from repro.serve.coalesce import SingleFlight
 from repro.serve.protocol import Request, error_payload
 from repro.serve.quotas import TenantCacheLedger, TenantQuotas
 from repro.serve.registry import SeriesRegistry
+from repro.serve.streams import StreamManager, StreamSession
+from repro.timeseries.feature_series import FeatureSeries
 
 if TYPE_CHECKING:
     from repro.core.result import MiningResult
@@ -93,6 +96,8 @@ class ServeConfig:
     result_cache_entries: int = 1024
     #: Quarantine malformed lines when loading series files.
     lenient: bool = False
+    #: Concurrent streaming sessions the server will hold.
+    max_streams: int = 8
 
     def validate(self) -> None:
         """Fail fast on configurations the server cannot run."""
@@ -123,6 +128,10 @@ class ServeConfig:
                 "tenant_cache_share must be >= 1, got "
                 f"{self.tenant_cache_share}"
             )
+        if self.max_streams < 1:
+            raise ServeError(
+                f"max_streams must be >= 1, got {self.max_streams}"
+            )
 
 
 class MiningApp:
@@ -142,6 +151,7 @@ class MiningApp:
             self.config.rate_limit, self.config.rate_burst
         )
         self.flights = SingleFlight()
+        self.streams = StreamManager(max_streams=self.config.max_streams)
         self.profile = MiningProfile()
         #: Set by ``POST /shutdown``; the server drains and exits on it.
         self.shutdown_event = asyncio.Event()
@@ -176,7 +186,7 @@ class MiningApp:
         except ServeError as error:
             self.counters["client_errors"] += 1
             return 400, error_payload(str(error))
-        except MiningError as error:
+        except (MiningError, StreamError) as error:
             self.counters["client_errors"] += 1
             return 400, error_payload(str(error))
         except ReproError as error:
@@ -197,10 +207,33 @@ class MiningApp:
             return self._unload_series(path.removeprefix("/series/"))
         if path == "/mine" and method == "POST":
             return await self._mine(request)
+        if path == "/stream" and method == "POST":
+            return self._stream_open(request)
+        if path.startswith("/stream/") and method in (
+            "POST", "GET", "DELETE",
+        ):
+            name = path.removeprefix("/stream/")
+            try:
+                session = self.streams.get(name)
+            except ServeError as error:
+                self.counters["client_errors"] += 1
+                return 404, error_payload(str(error))
+            if method == "POST":
+                return await self._stream_feed(session, request)
+            if method == "GET":
+                return 200, {
+                    "stream": session.describe(),
+                    "recent_windows": list(session.recent_windows),
+                }
+            self.streams.close(name)
+            return 200, {"closed": session.describe()}
         if path == "/shutdown" and method == "POST":
             self.shutdown_event.set()
             return 202, {"status": "shutting down"}
-        if path in ("/", "/healthz", "/stats", "/series", "/mine", "/shutdown"):
+        if path in (
+            "/", "/healthz", "/stats", "/series", "/mine", "/stream",
+            "/shutdown",
+        ) or path.startswith("/stream/"):
             self.counters["client_errors"] += 1
             return 405, error_payload(f"{method} not allowed on {path}")
         self.counters["client_errors"] += 1
@@ -247,6 +280,7 @@ class MiningApp:
                 "quota": self.quotas.snapshot(),
                 "cache_owned": self.ledger.snapshot(),
             },
+            "streams": self.streams.describe(),
             "profile": self.profile.to_json(),
             "series_loaded": len(self.registry),
             "uptime_s": round(time.monotonic() - self._started, 3),
@@ -407,6 +441,106 @@ class MiningApp:
                 document, name, fingerprint, tenant, started,
                 scans=scans, coalesced=waited, from_result_cache=False,
             )
+
+    # ------------------------------------------------------------------
+    # Streaming sessions (repro.streaming over HTTP)
+    # ------------------------------------------------------------------
+
+    def _stream_open(self, request: Request) -> tuple[int, dict]:
+        """``POST /stream``: create a named windowed streaming session."""
+        body = request.json()
+        name = body.get("name")
+        if not isinstance(name, str):
+            raise ServeError(
+                "POST /stream needs a JSON string field 'name'"
+            )
+        period = self._int_field(body, "period")
+        window = self._int_field(body, "window")
+        slide = (
+            None if body.get("slide") is None
+            else self._int_field(body, "slide")
+        )
+        min_conf = body.get("min_conf", self.config.min_conf)
+        if not isinstance(min_conf, (int, float)) or isinstance(
+            min_conf, bool
+        ):
+            raise ServeError("'min_conf' must be a number")
+        retirement = body.get("strategy", "decrement")
+        if not isinstance(retirement, str):
+            raise ServeError("'strategy' must be a string")
+        max_letters = (
+            None if body.get("max_letters") is None
+            else self._int_field(body, "max_letters")
+        )
+        session = self.streams.open(
+            name,
+            period=period,
+            window=window,
+            slide=slide,
+            min_conf=float(min_conf),
+            retirement=retirement,
+            max_letters=max_letters,
+        )
+        self.counters["served"] += 1
+        return 201, {"stream": session.describe()}
+
+    async def _stream_feed(
+        self, session: "StreamSession", request: Request
+    ) -> tuple[int, dict]:
+        """``POST /stream/<name>``: feed an ordered batch of slots."""
+        slots = self._parse_slots(request.json())
+        # Feeds to one stream serialize on its lock (slot order is the
+        # semantics); the mining work itself runs on the worker pool.
+        async with session.lock:
+            loop = asyncio.get_running_loop()
+            self._running += 1
+            try:
+                emitted = await loop.run_in_executor(
+                    self._executor, session.feed, slots
+                )
+            finally:
+                self._running -= 1
+        self.counters["served"] += 1
+        return 200, {
+            "stream": session.name,
+            "accepted_slots": len(slots),
+            "windows": emitted,
+            "state": session.describe(),
+        }
+
+    @staticmethod
+    def _int_field(body: dict, field: str) -> int:
+        value = body.get(field)
+        if not isinstance(value, int) or isinstance(value, bool):
+            raise ServeError(f"'{field}' must be a JSON integer")
+        return value
+
+    @staticmethod
+    def _parse_slots(body: dict) -> list[frozenset[str]]:
+        """The feed payload: 'slots' (feature lists) xor 'symbols'."""
+        slots_field = body.get("slots")
+        symbols = body.get("symbols")
+        if (slots_field is None) == (symbols is None):
+            raise ServeError(
+                "POST /stream/<name> needs exactly one of 'slots' "
+                "(a list of feature lists) or 'symbols' (a string)"
+            )
+        if symbols is not None:
+            if not isinstance(symbols, str):
+                raise ServeError("'symbols' must be a string")
+            return list(FeatureSeries.from_symbols(symbols))
+        if not isinstance(slots_field, list):
+            raise ServeError("'slots' must be a list of feature lists")
+        parsed = []
+        for slot in slots_field:
+            if not isinstance(slot, list) or not all(
+                isinstance(feature, str) for feature in slot
+            ):
+                raise ServeError(
+                    "'slots' entries must be lists of feature strings"
+                )
+            parsed.append(frozenset(slot))
+        return parsed
 
     def _mine_blocking(
         self,

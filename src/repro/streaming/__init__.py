@@ -1,0 +1,52 @@
+"""Windowed streaming mining over unbounded feeds, with exact retirement.
+
+The streaming tier turns the batch hit-set miner into a window operator:
+
+* :class:`~repro.streaming.windows.WindowSpec` — the window algebra
+  (period-aligned slides, the exactness invariant);
+* :class:`~repro.streaming.retirement.RetirementStrategy` — exact segment
+  retirement, as in-place decrement (delta-maintained tree) or a ring of
+  mergeable per-segment partials;
+* :class:`~repro.streaming.buffer.ArrivalBuffer` — out-of-order event
+  reordering under a bounded-lateness watermark, with late-event
+  quarantine;
+* :class:`~repro.streaming.engine.StreamingMiner` — the engine composing
+  them, emitting per-window results plus pattern-change diffs.
+
+The guarantee throughout: every emitted window equals batch-mining that
+window's slice.  See ``docs/streaming.md``.
+"""
+
+from repro.streaming.buffer import (
+    ArrivalBuffer,
+    LateEvent,
+    LateEventReport,
+)
+from repro.streaming.engine import StreamingMiner
+from repro.streaming.retirement import (
+    STRATEGIES,
+    DecrementRetirement,
+    RetirementStrategy,
+    RingRetirement,
+    make_strategy,
+)
+from repro.streaming.windows import (
+    WindowResult,
+    WindowSpec,
+    window_to_dict,
+)
+
+__all__ = [
+    "ArrivalBuffer",
+    "DecrementRetirement",
+    "LateEvent",
+    "LateEventReport",
+    "RetirementStrategy",
+    "RingRetirement",
+    "STRATEGIES",
+    "StreamingMiner",
+    "WindowResult",
+    "WindowSpec",
+    "make_strategy",
+    "window_to_dict",
+]

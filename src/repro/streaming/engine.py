@@ -1,0 +1,262 @@
+"""The windowed streaming miner over an unbounded slot feed.
+
+:class:`StreamingMiner` turns the batch hit-set algorithm into a stream
+operator: slots go in one at a time, and whenever a window closes it emits
+a :class:`~repro.streaming.windows.WindowResult` whose patterns are
+*exactly* what batch-mining that window's slice would produce — the
+equivalence the randomized suite pins for both retirement strategies.
+
+State is bounded by the window, never by the stream: the engine holds the
+current partial segment (< period slots), one retirement strategy whose
+retained set is at most ``ceil(size / period)`` segments, and the previous
+window's result for change detection.  Nothing else accumulates — the
+REP901 devtools rule audits exactly this property over the package.
+
+The slot path does three things per slot: buffer it into the pending
+segment, hand a completed segment to the strategy (unless the segment
+falls in a slide gap no window will ever mine), and close a window when
+``spec.emit_at`` is reached — at most one window per slot, because the
+slide is at least one period.  Retirement happens eagerly at emission:
+segments that no future window needs are retired before the next slot
+arrives, so peak retained state is one window's worth.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+from typing import Any
+
+from repro.analysis.evolution import diff_results
+from repro.core.result import MiningResult
+from repro.streaming.retirement import RetirementStrategy, make_strategy
+from repro.streaming.windows import (
+    WindowResult,
+    WindowSpec,
+    check_stream_params,
+    window_to_dict,
+)
+from repro.timeseries.feature_series import (
+    FeatureSeries,
+    SlotLike,
+    _normalize_slot,
+)
+
+
+class StreamingMiner:
+    """Exact windowed mining over an endless slot feed.
+
+    Parameters
+    ----------
+    period:
+        The mined period, in slots.
+    window:
+        Window size in slots (>= period; need not be a multiple — the
+        trailing partial segment of each window is excluded, exactly as
+        batch mining excludes it from the equivalent slice).
+    slide:
+        Stride between window starts in slots; must be a multiple of
+        ``period`` (the exactness invariant) and defaults to ``window``
+        (tumbling windows).
+    min_conf:
+        Confidence threshold applied to every window.
+    retirement:
+        Strategy name — ``"decrement"`` (delta-maintained, fast) or
+        ``"ring"`` (fold-on-emit, the robust oracle).  See
+        :mod:`repro.streaming.retirement`.
+    max_letters:
+        Optional derivation cap forwarded to every window's miner.
+    change_tolerance:
+        Minimum confidence move for a shared pattern to be reported as
+        strengthened/weakened in the per-window change feed.
+
+    Examples
+    --------
+    >>> miner = StreamingMiner(period=2, window=4, min_conf=0.75)
+    >>> [w.index for w in miner.extend("abab" "abac")]
+    [0, 1]
+    """
+
+    __slots__ = (
+        "_spec",
+        "_min_conf",
+        "_max_letters",
+        "_tolerance",
+        "_strategy",
+        "_pending",
+        "_slots_seen",
+        "_next_segment",
+        "_retained_low",
+        "_windows_emitted",
+        "_last_result",
+    )
+
+    def __init__(
+        self,
+        period: int,
+        window: int,
+        slide: int | None = None,
+        min_conf: float = 0.5,
+        retirement: str = "decrement",
+        max_letters: int | None = None,
+        change_tolerance: float = 0.05,
+    ):
+        self._spec = WindowSpec(
+            period=period,
+            size=window,
+            slide=window if slide is None else slide,
+        )
+        check_stream_params(min_conf, change_tolerance)
+        self._min_conf = min_conf
+        self._max_letters = max_letters
+        self._tolerance = change_tolerance
+        self._strategy = make_strategy(retirement, period)
+        #: Slots of the currently-incomplete segment (< period of them).
+        self._pending: list[frozenset[str]] = []
+        self._slots_seen = 0
+        #: Global index of the next segment the feed will complete.
+        self._next_segment = 0
+        #: Global index of the oldest segment any future window needs;
+        #: completed segments below it fall in a slide gap and are
+        #: dropped without ever entering the strategy.
+        self._retained_low = 0
+        self._windows_emitted = 0
+        self._last_result: MiningResult | None = None
+
+    # ------------------------------------------------------------------
+    # Accessors
+    # ------------------------------------------------------------------
+
+    @property
+    def spec(self) -> WindowSpec:
+        """The stream's window algebra."""
+        return self._spec
+
+    @property
+    def strategy(self) -> RetirementStrategy:
+        """The retirement strategy maintaining the retained segments."""
+        return self._strategy
+
+    @property
+    def slots_seen(self) -> int:
+        """Total slots fed so far."""
+        return self._slots_seen
+
+    @property
+    def windows_emitted(self) -> int:
+        """Windows closed and emitted so far."""
+        return self._windows_emitted
+
+    @property
+    def retained_segments(self) -> int:
+        """Whole segments currently held for future windows."""
+        return self._strategy.retained
+
+    @property
+    def last_result(self) -> MiningResult | None:
+        """The most recently emitted window's result (change-feed basis)."""
+        return self._last_result
+
+    # ------------------------------------------------------------------
+    # The slot path
+    # ------------------------------------------------------------------
+
+    def append(self, slot: SlotLike) -> WindowResult | None:
+        """Feed one slot; returns the window it closed, if any."""
+        self._pending.append(_normalize_slot(slot))
+        self._slots_seen += 1
+        if len(self._pending) == self._spec.period:
+            if self._next_segment >= self._retained_low:
+                self._strategy.absorb(tuple(self._pending))
+            self._next_segment += 1
+            self._pending.clear()
+        if self._slots_seen == self._spec.emit_at(self._windows_emitted):
+            return self._emit()
+        return None
+
+    def extend(
+        self, slots: Iterable[SlotLike] | str | FeatureSeries
+    ) -> list[WindowResult]:
+        """Feed many slots; returns every window they closed, in order."""
+        if isinstance(slots, str):
+            slots = FeatureSeries.from_symbols(slots)
+        emitted = []
+        for slot in slots:
+            window = self.append(slot)
+            if window is not None:
+                emitted.append(window)
+        return emitted
+
+    def _emit(self) -> WindowResult:
+        """Close the current window: mine, diff, retire what aged out."""
+        spec = self._spec
+        index = self._windows_emitted
+        result = self._strategy.mine(
+            self._min_conf, max_letters=self._max_letters
+        )
+        changes = (
+            None
+            if self._last_result is None
+            else diff_results(self._last_result, result, self._tolerance)
+        )
+        window = WindowResult(
+            index=index,
+            start_slot=spec.start_slot(index),
+            end_slot=spec.end_slot(index),
+            result=result,
+            changes=changes,
+        )
+        self._last_result = result
+        self._windows_emitted += 1
+        # Retire eagerly: everything older than the next window's first
+        # segment has served its last window.  With a slide past the
+        # window size the next start may even exceed what has streamed —
+        # then every retained segment retires and the gap's segments are
+        # later skipped at absorb time by the _retained_low check.
+        new_low = spec.start_segment(self._windows_emitted)
+        retire_n = min(self._next_segment, new_low) - self._retained_low
+        if retire_n > 0:
+            self._strategy.retire(retire_n)
+        self._retained_low = max(self._retained_low, new_low)
+        return window
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    def snapshot(self) -> dict[str, Any]:
+        """JSON-ready live state for ``/stats`` and the CLI summary."""
+        spec = self._spec
+        return {
+            "period": spec.period,
+            "window": spec.size,
+            "slide": spec.slide,
+            "strategy": self._strategy.name,
+            "min_conf": self._min_conf,
+            "slots_seen": self._slots_seen,
+            "windows_emitted": self._windows_emitted,
+            "retained_segments": self.retained_segments,
+            "last_window": (
+                None
+                if self._last_result is None
+                else {
+                    "num_periods": self._last_result.num_periods,
+                    "patterns": len(self._last_result),
+                }
+            ),
+        }
+
+    def __repr__(self) -> str:
+        spec = self._spec
+        return (
+            f"StreamingMiner(period={spec.period}, window={spec.size}, "
+            f"slide={spec.slide}, strategy={self._strategy.name!r}, "
+            f"slots={self._slots_seen}, windows={self._windows_emitted})"
+        )
+
+
+__all__ = [
+    "StreamingMiner",
+    "WindowResult",
+    "WindowSpec",
+    "window_to_dict",
+]

@@ -1,0 +1,215 @@
+"""Exact segment retirement behind one strategy interface.
+
+A sliding window advances by absorbing segments at the tail and *retiring*
+them at the head, and the retired side must be exact — the headline
+guarantee is that every window mines identically to a batch run on its
+slice.  Two strategies implement the same contract with opposite cost
+shapes:
+
+``decrement``
+    One running :class:`~repro.core.incremental.SegmentPartial` plus a
+    ring of the signature masks :meth:`absorb` returned, in arrival
+    order.  Retiring pops the oldest mask and subtracts it from the
+    partial (:meth:`SegmentPartial.retire` is the exact inverse of
+    ``absorb``).  The strategy also keeps the
+    :class:`~repro.tree.max_subpattern_tree.MaxSubpatternTree` alive
+    across windows: while the frequent-1 letter set is unchanged, each
+    mining applies only the *delta* — ``insert_mask`` for segments that
+    entered, ``remove_mask`` (count decrement with subtree pruning) for
+    segments that left — instead of rebuilding from every retained
+    signature.  Per-window work is proportional to what changed.
+
+``ring``
+    A deque of single-segment partials sharing one vocabulary.  Retiring
+    drops the head partial; mining folds the survivors into a fresh
+    partial via the existing :meth:`SegmentPartial.merge` (same-vocab
+    merges are plain counter addition).  Nothing is ever mutated in
+    place, which makes the strategy the robust oracle the equivalence
+    suite holds ``decrement`` against — at O(window) fold cost per
+    emission.
+
+Both retire *whole segments by count*: the engine owns window geometry and
+only ever says "the oldest ``n`` segments left".
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from collections import deque
+from collections.abc import Sequence
+
+from repro.core.errors import StreamError
+from repro.core.incremental import SegmentPartial
+from repro.core.pattern import Letter
+from repro.core.result import MiningResult
+from repro.encoding.vocabulary import LetterVocabulary, remap_mask
+from repro.tree.max_subpattern_tree import MaxSubpatternTree
+
+#: The registered strategy names, in preference order.
+STRATEGIES = ("decrement", "ring")
+
+
+class RetirementStrategy(ABC):
+    """The window-maintenance contract the streaming engine composes.
+
+    Segments enter via :meth:`absorb` in stream order and leave oldest
+    first via :meth:`retire`; :meth:`mine` must at every point equal
+    batch-mining exactly the currently retained segments.
+    """
+
+    #: Registered name (the CLI/serve selector).
+    name: str
+
+    @property
+    @abstractmethod
+    def retained(self) -> int:
+        """Whole segments currently held (absorbed minus retired)."""
+
+    @abstractmethod
+    def absorb(self, segment: Sequence[frozenset[str]]) -> None:
+        """Take one whole segment into the window."""
+
+    @abstractmethod
+    def retire(self, count: int) -> None:
+        """Drop the oldest ``count`` segments, exactly."""
+
+    @abstractmethod
+    def mine(
+        self, min_conf: float, max_letters: int | None = None
+    ) -> MiningResult:
+        """Frequent patterns of exactly the retained segments."""
+
+    def _check_retire(self, count: int) -> None:
+        if count < 0:
+            raise StreamError(f"retire count must be >= 0, got {count}")
+        if count > self.retained:
+            raise StreamError(
+                f"cannot retire {count} segments: only "
+                f"{self.retained} retained"
+            )
+
+
+class DecrementRetirement(RetirementStrategy):
+    """Running partial + mask ring + persistent delta-maintained tree."""
+
+    name = "decrement"
+
+    __slots__ = ("_partial", "_ring", "_added", "_removed", "_tree",
+                 "_tree_f1")
+
+    def __init__(self, period: int):
+        self._partial = SegmentPartial(period)
+        #: Signature masks of the retained segments, oldest first — the
+        #: exact retirement ledger (drained head-first by retire()).
+        self._ring: deque[int] = deque()
+        #: Masks absorbed / retired since the tree was last brought
+        #: current, in order (cleared on every mine()).
+        self._added: list[int] = []
+        self._removed: list[int] = []
+        self._tree: MaxSubpatternTree | None = None
+        self._tree_f1: frozenset[Letter] | None = None
+
+    @property
+    def retained(self) -> int:
+        return self._partial.num_periods
+
+    def absorb(self, segment: Sequence[frozenset[str]]) -> None:
+        mask = self._partial.absorb(segment)
+        self._ring.append(mask)
+        self._added.append(mask)
+
+    def retire(self, count: int) -> None:
+        self._check_retire(count)
+        for _ in range(count):
+            mask = self._ring.popleft()
+            self._partial.retire(mask)
+            self._removed.append(mask)
+
+    def mine(
+        self, min_conf: float, max_letters: int | None = None
+    ) -> MiningResult:
+        f1, _ = self._partial.frequent_one(min_conf)
+        f1_letters = frozenset(f1)
+        tree = self._tree
+        if not f1:
+            tree = None
+        elif tree is not None and f1_letters == self._tree_f1:
+            # C_max is unchanged, so every stored hit's projection is
+            # unchanged too: bring the tree current by replaying only the
+            # segments that entered or left since the last emission.
+            # Inserts go first so a mask that both entered and would later
+            # leave never dips a node below zero.
+            table = self._partial.vocab.remap_table(tree.vocab)
+            for mask in self._added:
+                hit = remap_mask(mask, table)
+                if hit & (hit - 1):
+                    tree.insert_mask(hit)
+            for mask in self._removed:
+                hit = remap_mask(mask, table)
+                if hit & (hit - 1):
+                    tree.remove_mask(hit)
+        else:
+            # F1 moved: the projection of every signature changes, so the
+            # delta ledger is useless — rebuild from the retained state.
+            tree = self._partial.build_tree(f1)
+        self._added.clear()
+        self._removed.clear()
+        self._tree = tree
+        self._tree_f1 = f1_letters if f1 else None
+        return self._partial.mine(
+            min_conf,
+            max_letters=max_letters,
+            algorithm="streaming-decrement",
+            tree=tree,
+        )
+
+
+class RingRetirement(RetirementStrategy):
+    """Per-segment mergeable partials; retirement is dropping the head."""
+
+    name = "ring"
+
+    __slots__ = ("_period", "_vocab", "_ring")
+
+    def __init__(self, period: int):
+        self._period = period
+        #: One vocabulary shared by every per-segment partial, so the
+        #: emission fold merges by plain counter addition (no remapping).
+        self._vocab = LetterVocabulary(period=period)
+        self._ring: deque[SegmentPartial] = deque()
+
+    @property
+    def retained(self) -> int:
+        return len(self._ring)
+
+    def absorb(self, segment: Sequence[frozenset[str]]) -> None:
+        partial = SegmentPartial(self._period, vocab=self._vocab)
+        partial.absorb(segment)
+        self._ring.append(partial)
+
+    def retire(self, count: int) -> None:
+        self._check_retire(count)
+        for _ in range(count):
+            self._ring.popleft()
+
+    def mine(
+        self, min_conf: float, max_letters: int | None = None
+    ) -> MiningResult:
+        folded = SegmentPartial(self._period, vocab=self._vocab)
+        for partial in self._ring:
+            folded.merge(partial)
+        return folded.mine(
+            min_conf, max_letters=max_letters, algorithm="streaming-ring"
+        )
+
+
+def make_strategy(name: str, period: int) -> RetirementStrategy:
+    """Instantiate a registered retirement strategy by name."""
+    if name == "decrement":
+        return DecrementRetirement(period)
+    if name == "ring":
+        return RingRetirement(period)
+    raise StreamError(
+        f"unknown retirement strategy {name!r}; choose from "
+        + ", ".join(STRATEGIES)
+    )

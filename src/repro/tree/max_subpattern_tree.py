@@ -262,6 +262,70 @@ class MaxSubpatternTree:
             node = existing
         return node
 
+    # ------------------------------------------------------------------
+    # Retirement — exact inverse of insertion
+    # ------------------------------------------------------------------
+
+    def remove_mask(self, mask: int, count: int = 1) -> None:
+        """Unregister ``count`` previously inserted hits (exact inverse).
+
+        The retirement half of windowed streaming: a segment leaving the
+        window subtracts exactly the hit it contributed on entry, so a
+        tree maintained by matched ``insert_mask``/``remove_mask`` pairs
+        equals one freshly built from the surviving segments (a tested
+        invariant).  Removing more than was inserted raises — counts can
+        never silently go negative.
+
+        Nodes whose count returns to zero are pruned when they are leaves,
+        ascending the path while the ancestors are themselves empty
+        childless non-roots; interior nodes stay as zero-count path nodes,
+        exactly as insertion would have created them.
+        """
+        if count < 1:
+            raise MiningError(f"remove count must be >= 1, got {count}")
+        if mask < 0 or mask & ~self._full_mask:
+            raise PatternError(
+                f"mask {mask:#x} has bits outside C_max "
+                f"(full mask {self._full_mask:#x})"
+            )
+        if not mask:
+            raise MiningError("cannot remove the empty (all-*) pattern")
+        missing_mask = self._full_mask & ~mask
+        node = self._index.get(missing_mask)
+        if node is None or node.count < count:
+            stored = 0 if node is None else node.count
+            raise MiningError(
+                f"cannot remove {count} hit(s) of mask {mask:#x}: "
+                f"only {stored} stored"
+            )
+        node.count -= count
+        self._total_hits -= count
+        if not node.count:
+            self._hit_set_size -= 1
+            self._prune(node, missing_mask)
+        self._stored_rows = None
+        self._hit_memo = None
+        self._count_table = None
+
+    def _prune(self, node: MaxSubpatternNode, missing_mask: int) -> None:
+        """Drop a zero-count leaf and any emptied ancestors above it.
+
+        Mirrors :meth:`_create_path`: each node's index key is its
+        ancestor prefix of ``missing_mask``, so ascending strips the
+        highest set bit per step.
+        """
+        index = self._index
+        while (
+            not node.count
+            and not node.children
+            and node.parent is not None
+        ):
+            parent = node.parent
+            del parent.children[node.missing[-1]]
+            del index[missing_mask]
+            missing_mask &= ~(1 << (missing_mask.bit_length() - 1))
+            node = parent
+
     def hit_of_segment(self, segment: Segment) -> frozenset[Letter]:
         """The hit of a segment: its letters intersected with ``C_max``'s."""
         return segment_letters(segment) & self._letters

@@ -296,3 +296,101 @@ class TestResilienceFlags:
         captured = capsys.readouterr()
         assert "warning: quarantined" in captured.err
         assert "series.txt:2" in captured.err
+
+
+class TestStream:
+    def test_slot_feed_emits_jsonl_windows(self, tmp_path, capsys):
+        import json
+
+        feed = tmp_path / "feed.txt"
+        feed.write_text("# comment\n" + "a\nb\n" * 8)
+        code = main(
+            [
+                "stream", str(feed),
+                "--period", "2", "--window", "8", "--slide", "4",
+                "--min-conf", "0.6",
+            ]
+        )
+        assert code == 0
+        captured = capsys.readouterr()
+        windows = [json.loads(line) for line in captured.out.splitlines()]
+        assert [w["index"] for w in windows] == [0, 1, 2]
+        for window in windows:
+            assert window["num_periods"] == 4
+            assert window["patterns"], "planted pattern must be frequent"
+            for row in window["patterns"]:
+                assert set(row) == {"pattern", "count", "confidence"}
+        assert windows[0]["changes"] is None
+        assert windows[1]["changes"]["stable"]
+        assert "stream done: 16 slots in, 3 windows out" in captured.err
+
+    def test_ring_strategy_gives_identical_output(self, tmp_path, capsys):
+        feed = tmp_path / "feed.txt"
+        feed.write_text("a\nb\n" * 6 + "a c\nb\n" * 6)
+        argv = [
+            "stream", str(feed),
+            "--period", "2", "--window", "12", "--slide", "6",
+        ]
+        assert main(argv) == 0
+        decrement_out = capsys.readouterr().out
+        assert main(argv + ["--strategy", "ring"]) == 0
+        assert capsys.readouterr().out == decrement_out
+
+    def test_event_feed_reorders_and_reports_late(self, tmp_path, capsys):
+        import json
+
+        feed = tmp_path / "events.txt"
+        lines = []
+        for i in range(16):
+            lines.append(f"{i}.5 {'a' if i % 2 == 0 else 'b'}")
+        # Swap two in-lateness neighbours and add one hopeless straggler.
+        lines[4], lines[5] = lines[5], lines[4]
+        lines.append("0.25 z")
+        feed.write_text("\n".join(lines) + "\n")
+        code = main(
+            [
+                "stream", str(feed), "--events",
+                "--period", "2", "--window", "8", "--slide", "8",
+                "--slot-width", "1.0", "--lateness", "2.0",
+            ]
+        )
+        assert code == 0
+        captured = capsys.readouterr()
+        windows = [json.loads(line) for line in captured.out.splitlines()]
+        assert [w["index"] for w in windows] == [0, 1]
+        assert "warning: quarantined 1 late events" in captured.err
+        assert "'z'" in captured.err
+
+    def test_bad_timestamp_is_clean_error(self, tmp_path, capsys):
+        feed = tmp_path / "events.txt"
+        feed.write_text("not-a-time a\n")
+        code = main(
+            [
+                "stream", str(feed), "--events",
+                "--period", "2", "--window", "4",
+            ]
+        )
+        assert code == 1
+        err = capsys.readouterr().err
+        assert "error:" in err
+        assert "events.txt:1" in err
+
+    def test_missing_feed_is_clean_error(self, tmp_path, capsys):
+        code = main(
+            ["stream", str(tmp_path / "nope.txt"), "--period", "2",
+             "--window", "4"]
+        )
+        assert code == 1
+        err = capsys.readouterr().err
+        assert "error:" in err
+        assert "cannot read feed" in err
+
+    def test_bad_geometry_is_clean_error(self, tmp_path, capsys):
+        feed = tmp_path / "feed.txt"
+        feed.write_text("a\n" * 10)
+        code = main(
+            ["stream", str(feed), "--period", "4", "--window", "8",
+             "--slide", "3"]
+        )
+        assert code == 1
+        assert "multiple" in capsys.readouterr().err

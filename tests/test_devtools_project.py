@@ -523,6 +523,112 @@ class TestRep311:
         assert project_ids(tmp_path, "REP311") == []
 
 
+class TestRep901:
+    """Unbounded growth detection in streaming-tier methods."""
+
+    def test_growth_without_eviction_flagged(self, tmp_path):
+        write_tree(tmp_path, {
+            "repro/streaming/mod.py": """\
+                class Engine:
+                    def __init__(self):
+                        self.events = []
+
+                    def take(self, event):
+                        self.events.append(event)
+            """,
+        })
+        assert project_ids(tmp_path, "REP901") == [("mod.py", 6)]
+
+    def test_eviction_in_same_method_clears(self, tmp_path):
+        write_tree(tmp_path, {
+            "repro/streaming/mod.py": """\
+                class Engine:
+                    def __init__(self):
+                        self.events = []
+
+                    def take(self, event):
+                        self.events.append(event)
+                        if len(self.events) > 100:
+                            self.events.pop(0)
+            """,
+        })
+        assert project_ids(tmp_path, "REP901") == []
+
+    def test_watermark_consultation_clears(self, tmp_path):
+        write_tree(tmp_path, {
+            "repro/streaming/mod.py": """\
+                class Buffer:
+                    def add(self, when, event):
+                        if when < self.watermark:
+                            return False
+                        self.open.setdefault(when, set()).add(event)
+                        return True
+            """,
+        })
+        assert project_ids(tmp_path, "REP901") == []
+
+    def test_del_statement_counts_as_eviction(self, tmp_path):
+        write_tree(tmp_path, {
+            "repro/streaming/mod.py": """\
+                class Engine:
+                    def rotate(self, event):
+                        self.events.append(event)
+                        del self.events[0]
+            """,
+        })
+        assert project_ids(tmp_path, "REP901") == []
+
+    def test_bare_self_method_call_is_not_growth(self, tmp_path):
+        # self.append(...) delegates to the object's own method — the
+        # delegate is audited on its own; the call site is not growth.
+        write_tree(tmp_path, {
+            "repro/streaming/mod.py": """\
+                class Engine:
+                    def extend(self, events):
+                        for event in events:
+                            self.append(event)
+            """,
+        })
+        assert project_ids(tmp_path, "REP901") == []
+
+    def test_local_collections_are_ignored(self, tmp_path):
+        write_tree(tmp_path, {
+            "repro/streaming/mod.py": """\
+                def fold(items):
+                    out = []
+                    for item in items:
+                        out.append(item)
+                    return out
+            """,
+        })
+        assert project_ids(tmp_path, "REP901") == []
+
+    def test_outside_streaming_package_not_checked(self, tmp_path):
+        write_tree(tmp_path, {
+            "repro/core/mod.py": """\
+                class Accumulator:
+                    def take(self, event):
+                        self.events.append(event)
+            """,
+        })
+        assert project_ids(tmp_path, "REP901") == []
+
+    def test_message_names_method_and_collection(self, tmp_path):
+        write_tree(tmp_path, {
+            "repro/streaming/mod.py": """\
+                class Ring:
+                    def push(self, item):
+                        self._items.append(item)
+            """,
+        })
+        [finding] = [
+            f for f in analyze_project([tmp_path]) if f.rule_id == "REP901"
+        ]
+        assert "Ring.push()" in finding.message
+        assert "self._items.append()" in finding.message
+        assert "baseline" in finding.message
+
+
 # ---------------------------------------------------------------------------
 # Project-mode meta findings: REP003 / REP004
 # ---------------------------------------------------------------------------

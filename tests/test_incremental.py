@@ -8,7 +8,7 @@ from hypothesis import given, settings
 
 from repro.core.errors import MiningError
 from repro.core.hitset import mine_single_period_hitset
-from repro.core.incremental import IncrementalHitSetMiner
+from repro.core.incremental import IncrementalHitSetMiner, SegmentPartial
 from repro.core.pattern import Pattern
 from repro.timeseries.feature_series import FeatureSeries
 
@@ -150,6 +150,137 @@ class TestMerge:
         right.extend("aba")  # one pending slot
         with pytest.raises(MiningError):
             left.merge(right)
+
+    def test_merge_into_itself_rejected(self):
+        miner = IncrementalHitSetMiner(2)
+        miner.extend("abab")
+        with pytest.raises(MiningError):
+            miner.merge(miner)
+
+    def test_own_pending_survives_merge(self):
+        """Regression: merging must not drop this miner's pending slots.
+
+        The receiving miner may sit mid-segment; only the *other* side
+        must be at a boundary.  The pending slots keep filling afterwards
+        and the segment is absorbed exactly once when it completes.
+        """
+        left = IncrementalHitSetMiner(2)
+        right = IncrementalHitSetMiner(2)
+        left.extend("aba")  # one pending slot ('a')
+        right.extend("cdcd")
+        left.merge(right)
+        assert left.pending_slots == 1
+        assert left.num_periods == 3
+        left.append("b")  # completes the interrupted segment
+        assert left.pending_slots == 0
+        assert left.num_periods == 4
+        # Same slots, one miner, contiguous order per shard: same result.
+        sequential = IncrementalHitSetMiner(2)
+        sequential.extend("abab")
+        sequential.extend("cdcd")
+        assert dict(left.mine(0.25).items()) == dict(
+            sequential.mine(0.25).items()
+        )
+
+    def test_pending_not_double_absorbed_across_merges(self):
+        left = IncrementalHitSetMiner(3)
+        left.extend("ab")  # two pending slots
+        for chunk in ("abc", "abd"):
+            shard = IncrementalHitSetMiner(3)
+            shard.extend(chunk)
+            left.merge(shard)
+            assert left.pending_slots == 2
+        left.append("c")
+        assert left.num_periods == 3
+        assert left.pending_slots == 0
+
+
+class TestSegmentPartial:
+    def segment(self, symbols):
+        return tuple(frozenset(s) if s else frozenset() for s in symbols)
+
+    def test_absorb_returns_exact_retirement_mask(self):
+        partial = SegmentPartial(2)
+        mask = partial.absorb(self.segment("ab"))
+        assert partial.num_periods == 1
+        partial.retire(mask)
+        assert partial.num_periods == 0
+        assert partial.distinct_signatures == 0
+        assert partial.letter_count((0, "a")) == 0
+
+    def test_retire_restores_prior_mining_state(self):
+        partial = SegmentPartial(2)
+        for _ in range(3):
+            partial.absorb(self.segment("ab"))
+        before = dict(partial.mine(0.5).items())
+        mask = partial.absorb(self.segment("cd"))
+        partial.retire(mask)
+        assert dict(partial.mine(0.5).items()) == before
+
+    def test_retire_unknown_mask_rejected(self):
+        partial = SegmentPartial(2)
+        partial.absorb(self.segment("ab"))
+        with pytest.raises(MiningError, match="only be retired once"):
+            partial.retire(0b1000000)
+
+    def test_retire_empty_partial_rejected(self):
+        with pytest.raises(MiningError, match="no segment left"):
+            SegmentPartial(2).retire(0)
+
+    def test_retire_same_mask_twice_rejected(self):
+        partial = SegmentPartial(2)
+        mask = partial.absorb(self.segment("ab"))
+        partial.absorb(self.segment("cd"))
+        partial.retire(mask)
+        with pytest.raises(MiningError):
+            partial.retire(mask)
+
+    def test_empty_segment_roundtrip(self):
+        partial = SegmentPartial(2)
+        mask = partial.absorb(self.segment(["", ""]))
+        assert mask == 0
+        assert partial.num_periods == 1
+        partial.retire(mask)
+        assert partial.num_periods == 0
+
+    def test_wrong_segment_length_rejected(self):
+        with pytest.raises(MiningError, match="does not match"):
+            SegmentPartial(3).absorb(self.segment("ab"))
+
+    def test_merge_into_itself_rejected(self):
+        partial = SegmentPartial(2)
+        with pytest.raises(MiningError):
+            partial.merge(partial)
+
+    def test_shared_vocab_period_mismatch_rejected(self):
+        from repro.encoding.vocabulary import LetterVocabulary
+
+        with pytest.raises(MiningError, match="period"):
+            SegmentPartial(3, vocab=LetterVocabulary(period=2))
+
+    def test_copy_is_independent(self):
+        partial = SegmentPartial(2)
+        partial.absorb(self.segment("ab"))
+        snapshot = partial.copy()
+        partial.absorb(self.segment("cd"))
+        assert snapshot.num_periods == 1
+        assert partial.num_periods == 2
+        assert snapshot.vocab is partial.vocab
+
+    def test_cross_vocab_merge_remaps_masks(self):
+        left = SegmentPartial(2)
+        right = SegmentPartial(2)
+        # Different arrival orders intern letters onto different bits.
+        left.absorb(self.segment("ab"))
+        right.absorb(self.segment("ba"))
+        right.absorb(self.segment("ab"))
+        left.merge(right)
+        sequential = SegmentPartial(2)
+        for symbols in ("ab", "ba", "ab"):
+            sequential.absorb(self.segment(symbols))
+        assert dict(left.mine(0.3).items()) == dict(
+            sequential.mine(0.3).items()
+        )
 
 
 class TestShardProperty:

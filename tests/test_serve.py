@@ -618,6 +618,159 @@ class TestAppEndpoints:
                 MiningApp(ServeConfig(**bad))
 
 
+class TestStreamRoutes:
+    """The /stream endpoints: open, feed, inspect, close."""
+
+    def open_stream(self, app, name="s", **overrides):
+        body = {"name": name, "period": 2, "window": 4, "slide": 2}
+        body.update(overrides)
+        return call(app, make_request("POST", "/stream", body))
+
+    def test_open_feed_and_close(self):
+        app = build_app()
+        try:
+            status, payload = self.open_stream(app)
+            assert status == 201
+            assert payload["stream"]["name"] == "s"
+            assert payload["stream"]["strategy"] == "decrement"
+
+            status, payload = call(
+                app,
+                make_request(
+                    "POST", "/stream/s", {"symbols": "ababab"}
+                ),
+            )
+            assert status == 200
+            assert payload["accepted_slots"] == 6
+            assert [w["index"] for w in payload["windows"]] == [0, 1]
+            assert payload["windows"][0]["changes"] is None
+            assert payload["state"]["windows_emitted"] == 2
+
+            status, payload = call(app, make_request("GET", "/stream/s"))
+            assert status == 200
+            assert payload["stream"]["counters"]["slots"] == 6
+            assert len(payload["recent_windows"]) == 2
+
+            status, payload = call(app, make_request("DELETE", "/stream/s"))
+            assert status == 200
+            assert payload["closed"]["counters"]["windows"] == 2
+            assert call(app, make_request("GET", "/stream/s"))[0] == 404
+        finally:
+            app.close()
+
+    def test_feed_accepts_explicit_slot_lists(self):
+        app = build_app()
+        try:
+            self.open_stream(app)
+            slots = [["a"], ["b"], ["a"], ["b", "c"]]
+            status, payload = call(
+                app, make_request("POST", "/stream/s", {"slots": slots})
+            )
+            assert status == 200
+            assert payload["accepted_slots"] == 4
+            assert len(payload["windows"]) == 1
+        finally:
+            app.close()
+
+    def test_open_validates_body(self):
+        app = build_app()
+        try:
+            cases = [
+                {},
+                {"name": "", "period": 2, "window": 4},
+                {"name": "s", "period": "two", "window": 4},
+                {"name": "s", "period": 2},
+                {"name": "s", "period": 2, "window": 4, "slide": 3},
+                {"name": "s", "period": 2, "window": 4,
+                 "strategy": "lru"},
+                {"name": "s", "period": 2, "window": 4, "strategy": 7},
+            ]
+            for body in cases:
+                status, payload = call(
+                    app, make_request("POST", "/stream", body)
+                )
+                assert status == 400, body
+                assert "error" in payload
+        finally:
+            app.close()
+
+    def test_duplicate_name_and_stream_limit(self):
+        app = build_app(max_streams=1)
+        try:
+            assert self.open_stream(app)[0] == 201
+            status, payload = self.open_stream(app)
+            assert status == 400
+            assert "already exists" in payload["error"]
+            status, payload = self.open_stream(app, name="other")
+            assert status == 400
+            assert "limit" in payload["error"]
+        finally:
+            app.close()
+
+    def test_unknown_stream_is_404(self):
+        app = build_app()
+        try:
+            for method in ("POST", "GET", "DELETE"):
+                status, _ = call(
+                    app, make_request(method, "/stream/ghost", {})
+                )
+                assert status == 404
+        finally:
+            app.close()
+
+    def test_bad_methods_are_405(self):
+        app = build_app()
+        try:
+            assert call(app, make_request("GET", "/stream"))[0] == 405
+            self.open_stream(app)
+            assert call(app, make_request("PUT", "/stream/s", {}))[0] == 405
+        finally:
+            app.close()
+
+    def test_stats_streams_section(self):
+        app = build_app()
+        try:
+            self.open_stream(app)
+            call(app, make_request("POST", "/stream/s", {"symbols": "abab"}))
+            status, stats = call(app, make_request("GET", "/stats"))
+            assert status == 200
+            section = stats["streams"]
+            assert section["active"] == 1
+            assert section["opened"] == 1
+            [row] = section["sessions"]
+            assert row["name"] == "s"
+            assert row["windows_emitted"] == 1
+            json.dumps(stats)
+        finally:
+            app.close()
+
+    def test_feed_matches_direct_miner(self):
+        from repro.streaming import StreamingMiner, window_to_dict
+
+        series = random_series(7, length=60)
+        app = build_app()
+        try:
+            self.open_stream(
+                app, period=4, window=20, slide=8, strategy="ring"
+            )
+            status, payload = call(
+                app,
+                make_request(
+                    "POST",
+                    "/stream/s",
+                    {"slots": [sorted(slot) for slot in series]},
+                ),
+            )
+            assert status == 200
+            direct = StreamingMiner(
+                period=4, window=20, slide=8, retirement="ring"
+            )
+            expected = [window_to_dict(w) for w in direct.extend(series)]
+            assert payload["windows"] == expected
+        finally:
+            app.close()
+
+
 class TestCoalescingEquivalence:
     """The subsystem's central invariant: concurrency changes latency, not
     answers.  N concurrent clients at mixed thresholds must each receive

@@ -118,6 +118,105 @@ class TestInsertion:
             MaxSubpatternTree(Pattern.dont_care(3))
 
 
+class TestRetirement:
+    """remove_mask: the exact inverse of insertion, with pruning."""
+
+    def mask_of(self, tree: MaxSubpatternTree, spec: str) -> int:
+        return tree.vocab.encode_letters(
+            Pattern.from_string(spec).letters
+        )
+
+    def test_remove_is_exact_inverse_of_insert(self):
+        tree = make_tree()
+        mask = self.mask_of(tree, "a{b2}*d*")
+        tree.insert_mask(mask, count=3)
+        tree.remove_mask(mask)
+        node = tree.find_node(Pattern.from_string("a{b2}*d*"))
+        assert node.count == 2
+        assert tree.total_hits == 2
+
+    def test_zero_count_leaf_is_pruned(self):
+        tree = make_tree()
+        mask = self.mask_of(tree, "*{b1}*d*")
+        tree.insert_mask(mask)
+        nodes_with_hit = tree.node_count
+        assert tree.hit_set_size == 1
+        tree.remove_mask(mask)
+        # Leaf and its zero-count intermediate both prune; root survives.
+        assert tree.node_count < nodes_with_hit
+        assert tree.node_count == 1
+        assert tree.hit_set_size == 0
+        assert tree.total_hits == 0
+
+    def test_interior_node_with_children_survives_at_zero(self):
+        tree = make_tree()
+        parent_mask = self.mask_of(tree, "*{b1,b2}*d*")
+        child_mask = self.mask_of(tree, "*{b1}*d*")
+        tree.insert_mask(parent_mask)
+        tree.insert_mask(child_mask)
+        tree.remove_mask(parent_mask)
+        # The parent's count is back to zero but its child still needs
+        # the path: it must stay, exactly as insertion created it.
+        parent = tree.find_node(Pattern.from_string("*{b1,b2}*d*"))
+        assert parent is not None
+        assert parent.count == 0
+        assert tree.find_node(Pattern.from_string("*{b1}*d*")).count == 1
+
+    def test_remove_unstored_mask_rejected(self):
+        tree = make_tree()
+        mask = self.mask_of(tree, "a{b2}*d*")
+        with pytest.raises(MiningError, match="only 0 stored"):
+            tree.remove_mask(mask)
+        tree.insert_mask(mask)
+        with pytest.raises(MiningError, match="only 1 stored"):
+            tree.remove_mask(mask, count=2)
+
+    def test_remove_rejects_bad_arguments(self):
+        tree = make_tree()
+        with pytest.raises(MiningError):
+            tree.remove_mask(0b11, count=0)
+        with pytest.raises(MiningError):
+            tree.remove_mask(0)
+        with pytest.raises(PatternError):
+            tree.remove_mask(1 << 60)
+
+    def test_reinsert_after_full_drain(self):
+        tree = make_tree()
+        mask = self.mask_of(tree, "a{b1,b2}***")
+        tree.insert_mask(mask, count=2)
+        tree.remove_mask(mask, count=2)
+        tree.insert_mask(mask)
+        assert tree.total_hits == 1
+        assert tree.hit_set_size == 1
+
+    def test_maintained_tree_equals_fresh_build(self):
+        """Matched insert/remove pairs leave exactly the survivors' tree."""
+        specs = [
+            "a{b1}*d*",
+            "*{b1,b2}*d*",
+            "a{b2}***",
+            "a{b1,b2}*d*",
+            "*{b2}*d*",
+        ]
+        maintained = make_tree()
+        masks = [self.mask_of(maintained, spec) for spec in specs]
+        for mask in masks:
+            maintained.insert_mask(mask)
+        for mask in masks[:2]:
+            maintained.remove_mask(mask)
+        fresh = make_tree()
+        for spec in specs[2:]:
+            fresh.insert_mask(self.mask_of(fresh, spec))
+        threshold_counts = maintained.derive_frequent(
+            1, {letter: 5 for letter in CMAX.letters}
+        )
+        assert threshold_counts == fresh.derive_frequent(
+            1, {letter: 5 for letter in CMAX.letters}
+        )
+        assert maintained.total_hits == fresh.total_hits
+        assert maintained.hit_set_size == fresh.hit_set_size
+
+
 class TestSegments:
     def segment(self, *slots):
         return tuple(frozenset(slot) for slot in slots)
