@@ -275,6 +275,14 @@ def _build_parser() -> argparse.ArgumentParser:
         default=8,
         help="concurrent streaming sessions the server will hold",
     )
+    serve.add_argument(
+        "--stream-state-dir",
+        help=(
+            "persist open streaming sessions here on graceful shutdown "
+            "and rehydrate them by name at startup (atomic, checksummed "
+            "snapshots via repro.durability)"
+        ),
+    )
 
     suggest = commands.add_parser(
         "suggest", help="rank promising periods in a range"
@@ -406,6 +414,37 @@ def _build_parser() -> argparse.ArgumentParser:
             "bounded-lateness allowance: events may trail the newest "
             "event by this much and still count; older ones are "
             "quarantined and reported (with --events)"
+        ),
+    )
+    stream.add_argument(
+        "--checkpoint-dir",
+        help=(
+            "durable checkpoint directory (repro.durability): every "
+            "input record is write-ahead logged and state snapshots "
+            "rotate, so a killed run resumes exactly with --resume"
+        ),
+    )
+    stream.add_argument(
+        "--resume",
+        action="store_true",
+        help=(
+            "resume from --checkpoint-dir: restore the newest valid "
+            "snapshot, replay the WAL tail, and skip the feed records "
+            "already logged (requires --checkpoint-dir)"
+        ),
+    )
+    stream.add_argument(
+        "--checkpoint-every",
+        type=int,
+        default=64,
+        help="input records between snapshots (with --checkpoint-dir)",
+    )
+    stream.add_argument(
+        "--out",
+        help=(
+            "write window JSONL here instead of stdout; with "
+            "--checkpoint-dir the file is an exactly-once sink (torn "
+            "tail truncated, replayed windows deduplicated on resume)"
         ),
     )
 
@@ -669,6 +708,7 @@ def _run_serve(args: argparse.Namespace) -> int:
         result_cache_entries=args.result_cache_entries,
         lenient=args.lenient,
         max_streams=args.max_streams,
+        stream_state_dir=args.stream_state_dir,
     )
     app = MiningApp(config)
     for item in args.series:
@@ -806,6 +846,11 @@ def _run_stream(args: argparse.Namespace) -> int:
     from repro.core.errors import StreamError
     from repro.streaming import ArrivalBuffer, StreamingMiner, window_to_dict
 
+    if args.resume and not args.checkpoint_dir:
+        raise StreamError("--resume requires --checkpoint-dir")
+    if args.checkpoint_dir:
+        return _run_stream_durable(args)
+
     miner = StreamingMiner(
         period=args.period,
         window=args.window,
@@ -816,9 +861,18 @@ def _run_stream(args: argparse.Namespace) -> int:
         change_tolerance=args.tolerance,
     )
 
+    out_handle = None
+    if args.out:
+        out_handle = open(args.out, "w", encoding="utf-8")
+
     def emit(windows) -> None:
         for window in windows:
-            print(json.dumps(window_to_dict(window)), flush=True)
+            line = json.dumps(window_to_dict(window))
+            if out_handle is None:
+                print(line, flush=True)
+            else:
+                out_handle.write(line + "\n")
+                out_handle.flush()
 
     if args.input == "-":
         handle = sys.stdin
@@ -871,10 +925,116 @@ def _run_stream(args: argparse.Namespace) -> int:
     finally:
         if handle is not sys.stdin:
             handle.close()
+        if out_handle is not None:
+            out_handle.close()
     print(
         f"stream done: {miner.slots_seen} slots in, "
         f"{miner.windows_emitted} windows out "
         f"({miner.strategy.name} retirement)",
+        file=sys.stderr,
+    )
+    return 0
+
+
+def _run_stream_durable(args: argparse.Namespace) -> int:
+    """The ``--checkpoint-dir`` path: WAL-logged, snapshotted, resumable."""
+    import json
+    from pathlib import Path
+
+    from repro.core.errors import DurabilityError, StreamError
+    from repro.durability import DurableStream
+    from repro.resilience.chaos import file_chaos_from_env
+    from repro.streaming import window_to_dict
+
+    directory = Path(args.checkpoint_dir)
+    if (
+        not args.resume
+        and directory.is_dir()
+        and any(directory.iterdir())
+    ):
+        raise DurabilityError(
+            f"{directory} already holds checkpoint state; pass --resume "
+            "to continue that run, or point at a fresh directory"
+        )
+    stream = DurableStream(
+        directory,
+        period=args.period,
+        window=args.window,
+        slide=args.slide,
+        min_conf=args.min_conf,
+        strategy=args.strategy,
+        max_letters=args.max_letters,
+        tolerance=args.tolerance,
+        events=args.events,
+        slot_width=args.slot_width,
+        origin=args.origin,
+        lateness=args.lateness,
+        checkpoint_every=args.checkpoint_every,
+        out=args.out,
+        chaos=file_chaos_from_env(),
+    )
+    if stream.recovery is not None:
+        print(f"resume: {stream.recovery.describe()}", file=sys.stderr)
+    for window in stream.replayed_windows:
+        # No durable sink to deduplicate against: replayed windows are
+        # re-printed (at-least-once on stdout; use --out for exactly-once).
+        print(json.dumps(window_to_dict(window)), flush=True)
+
+    skip = stream.records_logged
+    if args.input == "-":
+        handle = sys.stdin
+    else:
+        try:
+            handle = open(args.input, encoding="utf-8")
+        except OSError as error:
+            raise StreamError(f"cannot read feed: {error}") from error
+    seen = 0
+    try:
+        for number, line in enumerate(handle, start=1):
+            line = line.strip()
+            if line.startswith("#") or (args.events and not line):
+                continue
+            if args.events:
+                fields = line.split()
+                try:
+                    when = float(fields[0])
+                except ValueError:
+                    raise StreamError(
+                        f"{args.input}:{number}: event lines start with "
+                        f"a timestamp, got {fields[0]!r}"
+                    ) from None
+                record: object = [when, fields[1:]]
+            else:
+                record = sorted(set(line.split()))
+            seen += 1
+            if seen <= skip:
+                continue  # already write-ahead logged by the killed run
+            for window in stream.feed(record):
+                if stream.sink is None:
+                    print(
+                        json.dumps(window_to_dict(window)), flush=True
+                    )
+    finally:
+        if handle is not sys.stdin:
+            handle.close()
+    for window in stream.finish():
+        if stream.sink is None:
+            print(json.dumps(window_to_dict(window)), flush=True)
+    if args.events and stream.buffer is not None:
+        report = stream.buffer.report
+        if not report.clean:
+            print(
+                f"warning: quarantined {report.total} late events",
+                file=sys.stderr,
+            )
+            for sample in report.samples[:5]:
+                print(f"warning:   {sample.describe()}", file=sys.stderr)
+    miner = stream.miner
+    print(
+        f"stream done: {miner.slots_seen} slots in, "
+        f"{miner.windows_emitted} windows out "
+        f"({miner.strategy.name} retirement; "
+        f"{stream.records_logged} records logged)",
         file=sys.stderr,
     )
     return 0

@@ -62,3 +62,13 @@ class StreamError(ReproError):
     """Raised by :mod:`repro.streaming`: invalid window geometry, events
     older than the watermark allows being force-fed past quarantine, or a
     retirement strategy asked to retire more than it retains."""
+
+
+class DurabilityError(ReproError):
+    """Raised by :mod:`repro.durability`: unusable checkpoint directories,
+    malformed state payloads, or a recovery with nothing valid to restore."""
+
+
+class SnapshotCorruption(DurabilityError):
+    """A snapshot file failed validation (truncated, checksum mismatch,
+    or unparseable) — recoverable by falling back to an older snapshot."""

@@ -40,6 +40,7 @@ from __future__ import annotations
 
 from collections import Counter
 from collections.abc import Iterable, Mapping, Sequence
+from typing import Any
 
 from repro.core.counting import check_min_conf, min_count
 from repro.core.errors import MiningError
@@ -222,6 +223,83 @@ class SegmentPartial:
         duplicate._signatures = Counter(self._signatures)
         duplicate._num_periods = self._num_periods
         return duplicate
+
+    # ------------------------------------------------------------------
+    # Durable state (checkpoint/restore)
+    # ------------------------------------------------------------------
+
+    def to_state(self, include_vocab: bool = True) -> dict[str, object]:
+        """The JSON-ready durable form of this partial.
+
+        ``include_vocab=False`` omits the interned letter list for
+        partials that share one vocabulary (the ring strategy serializes
+        the shared vocabulary once and passes it to :meth:`from_state`).
+        Signature masks are stored as-is: they are meaningful only
+        against the vocabulary's letter order, which is why the letters
+        ride along in id order.
+        """
+        state: dict[str, object] = {
+            "period": self._period,
+            "letter_counts": [
+                [offset, feature, count]
+                for (offset, feature), count in sorted(
+                    self._letter_counts.items()
+                )
+            ],
+            "signatures": sorted(
+                [mask, count] for mask, count in self._signatures.items()
+            ),
+            "num_periods": self._num_periods,
+        }
+        if include_vocab:
+            state["letters"] = [
+                [offset, feature] for offset, feature in self._vocab
+            ]
+        return state
+
+    @classmethod
+    def from_state(
+        cls,
+        state: Mapping[str, object],
+        vocab: LetterVocabulary | None = None,
+    ) -> "SegmentPartial":
+        """Rebuild a partial from :meth:`to_state` output.
+
+        ``vocab`` supplies the shared vocabulary when the state was
+        written with ``include_vocab=False``; otherwise the letter list
+        in the state is re-interned in its recorded (id) order, so every
+        stored mask keeps its meaning bit for bit.
+        """
+        data: Mapping[str, Any] = state
+        try:
+            period = int(data["period"])
+            if vocab is None:
+                vocab = LetterVocabulary(
+                    (
+                        (int(offset), str(feature))
+                        for offset, feature in data["letters"]
+                    ),
+                    period=period,
+                )
+            partial = cls(period, vocab=vocab)
+            partial._letter_counts = Counter(
+                {
+                    (int(offset), str(feature)): int(count)
+                    for offset, feature, count in data["letter_counts"]
+                }
+            )
+            partial._signatures = Counter(
+                {
+                    int(mask): int(count)
+                    for mask, count in data["signatures"]
+                }
+            )
+            partial._num_periods = int(data["num_periods"])
+        except (KeyError, TypeError, ValueError) as error:
+            raise MiningError(
+                f"malformed segment-partial state: {error}"
+            ) from error
+        return partial
 
     # ------------------------------------------------------------------
     # Mining

@@ -16,11 +16,15 @@ they guard:
 * :mod:`.serve` — REP8xx, the serving tier's event-loop contract (no
   blocking calls inside coroutines);
 * :mod:`.streaming` — REP9xx, bounded state on unbounded feeds (every
-  growth in a streaming path has an eviction or watermark bound).
+  growth in a streaming path has an eviction or watermark bound);
+* :mod:`.durability` — REP10xx, atomic state-file writes (durable state
+  routes through the snapshot helper; append-only logs are the exempt
+  journal/WAL idiom).
 """
 
 from repro.devtools.rules import (  # noqa: F401  (imports register rules)
     determinism,
+    durability,
     encoding,
     fork_safety,
     hygiene,
@@ -33,6 +37,7 @@ from repro.devtools.rules import (  # noqa: F401  (imports register rules)
 
 __all__ = [
     "determinism",
+    "durability",
     "encoding",
     "fork_safety",
     "hygiene",

@@ -1,0 +1,41 @@
+"""Durable checkpoint/recovery for streams and serve sessions.
+
+Three layers, each usable alone:
+
+- :mod:`repro.durability.snapshot` — atomic, checksummed, versioned state
+  files (write-temp + fsync + rename; CRC32 footer).
+- :mod:`repro.durability.checkpoint` — :class:`StreamCheckpointer`: a
+  write-ahead log of input records plus rotating snapshots, with a
+  corruption fallback ladder at recovery.
+- :mod:`repro.durability.stream` — :class:`DurableStream`: the
+  checkpointer wrapped around a :class:`~repro.streaming.StreamingMiner`
+  (and optional arrival buffer), guaranteeing a killed-and-resumed run
+  emits the identical window sequence as an uninterrupted one.
+"""
+
+from repro.core.errors import DurabilityError, SnapshotCorruption
+from repro.durability.checkpoint import RecoveredState, StreamCheckpointer
+from repro.durability.snapshot import (
+    ENVELOPE_VERSION,
+    FORMAT_TAG,
+    SnapshotWriter,
+    clean_stale_tmp,
+    read_snapshot,
+    snapshot_bytes,
+)
+from repro.durability.stream import DurableSink, DurableStream
+
+__all__ = [
+    "DurabilityError",
+    "DurableSink",
+    "DurableStream",
+    "ENVELOPE_VERSION",
+    "FORMAT_TAG",
+    "RecoveredState",
+    "SnapshotCorruption",
+    "SnapshotWriter",
+    "StreamCheckpointer",
+    "clean_stale_tmp",
+    "read_snapshot",
+    "snapshot_bytes",
+]

@@ -30,6 +30,7 @@ from __future__ import annotations
 
 import hashlib
 import json
+import sys
 from collections import Counter
 from pathlib import Path
 from typing import IO, Any
@@ -181,7 +182,9 @@ class CheckpointJournal:
                 "a", encoding="utf-8"
             )
         else:
-            self._handle = self.path.open("w", encoding="utf-8")
+            # Append mode: the journal is append-only from birth (the
+            # branch only runs on a missing or empty path anyway).
+            self._handle = self.path.open("a", encoding="utf-8")
             self._append({"format": FORMAT_TAG, "run": run_key})
 
     # -- loading ---------------------------------------------------------
@@ -219,20 +222,34 @@ class CheckpointJournal:
                 "refusing to resume (series, parameters, or partition "
                 "plan changed)"
             )
-        for record in records[1:]:
-            phase = record.get("phase")
-            if not isinstance(phase, str):
-                raise ResilienceError(
-                    f"{self.path}: checkpoint entry without a phase"
+        for position, record in enumerate(records[1:], start=2):
+            try:
+                phase = record.get("phase")
+                if not isinstance(phase, str):
+                    raise ResilienceError(
+                        f"{self.path}: checkpoint entry without a phase"
+                    )
+                if "meta" in record:
+                    self._meta[phase] = record["meta"]
+                    continue
+                shard = int(record["shard"])
+                self._entries[(phase, shard)] = (
+                    decode_payload(record["payload"]),
+                    float(record.get("elapsed_s", 0.0)),
                 )
-            if "meta" in record:
-                self._meta[phase] = record["meta"]
-                continue
-            shard = int(record["shard"])
-            self._entries[(phase, shard)] = (
-                decode_payload(record["payload"]),
-                float(record.get("elapsed_s", 0.0)),
-            )
+            except (ResilienceError, KeyError, TypeError, ValueError):
+                if position == len(records):
+                    # A torn trailing record can parse as JSON yet miss
+                    # fields (the write was cut right after a brace).
+                    # Like a half-line, it describes a shard that simply
+                    # runs again — skip it, but say so.
+                    print(
+                        f"warning: {self.path}: skipping torn trailing "
+                        "checkpoint record",
+                        file=sys.stderr,
+                    )
+                    break
+                raise
 
     # -- writing ---------------------------------------------------------
 

@@ -35,6 +35,7 @@ import time
 from collections import OrderedDict
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
+from pathlib import Path
 from typing import TYPE_CHECKING
 
 from repro.core.errors import (
@@ -42,10 +43,12 @@ from repro.core.errors import (
     ReproError,
     ServeError,
     ShardTimeout,
+    SnapshotCorruption,
     StreamError,
 )
 from repro.core.miner import PartialPeriodicMiner
 from repro.core.serialize import result_to_dict
+from repro.durability.snapshot import SnapshotWriter, read_snapshot
 from repro.kernels.cache import CountCache
 from repro.kernels.profile import MiningProfile
 from repro.resilience.deadline import Deadline
@@ -59,6 +62,12 @@ from repro.timeseries.feature_series import FeatureSeries
 if TYPE_CHECKING:
     from repro.core.result import MiningResult
     from repro.kernels.cache import CacheKey
+
+#: Snapshot kind tag for persisted serve streaming sessions.
+STREAM_STATE_KIND = "repro.serve-streams/1"
+
+#: Snapshot file name inside ``stream_state_dir``.
+STREAM_STATE_FILE = "streams.json"
 
 
 @dataclass(slots=True)
@@ -98,6 +107,10 @@ class ServeConfig:
     lenient: bool = False
     #: Concurrent streaming sessions the server will hold.
     max_streams: int = 8
+    #: Directory persisting open streaming sessions across restarts:
+    #: graceful shutdown snapshots them (atomic + checksummed), startup
+    #: rehydrates them by name.  ``None`` keeps sessions memory-only.
+    stream_state_dir: str | None = None
 
     def validate(self) -> None:
         """Fail fast on configurations the server cannot run."""
@@ -152,6 +165,14 @@ class MiningApp:
         )
         self.flights = SingleFlight()
         self.streams = StreamManager(max_streams=self.config.max_streams)
+        #: Client-visible stream persistence status for ``/stats``.
+        self.stream_state = {
+            "dir": self.config.stream_state_dir,
+            "rehydrated": 0,
+            "persisted": 0,
+            "error": None,
+        }
+        self._rehydrate_streams()
         self.profile = MiningProfile()
         #: Set by ``POST /shutdown``; the server drains and exits on it.
         self.shutdown_event = asyncio.Event()
@@ -208,6 +229,8 @@ class MiningApp:
         if path == "/mine" and method == "POST":
             return await self._mine(request)
         if path == "/stream" and method == "POST":
+            if self.shutdown_event.is_set():
+                return self._draining()
             return self._stream_open(request)
         if path.startswith("/stream/") and method in (
             "POST", "GET", "DELETE",
@@ -219,6 +242,8 @@ class MiningApp:
                 self.counters["client_errors"] += 1
                 return 404, error_payload(str(error))
             if method == "POST":
+                if self.shutdown_event.is_set():
+                    return self._draining()
                 return await self._stream_feed(session, request)
             if method == "GET":
                 return 200, {
@@ -229,7 +254,14 @@ class MiningApp:
             return 200, {"closed": session.describe()}
         if path == "/shutdown" and method == "POST":
             self.shutdown_event.set()
-            return 202, {"status": "shutting down"}
+            return 202, {
+                "status": "shutting down",
+                "streams_open": len(self.streams),
+                "stream_state_dir": self.config.stream_state_dir,
+                "streams_persist": (
+                    self.config.stream_state_dir is not None
+                ),
+            }
         if path in (
             "/", "/healthz", "/stats", "/series", "/mine", "/stream",
             "/shutdown",
@@ -245,9 +277,25 @@ class MiningApp:
 
     def _healthz(self) -> dict:
         return {
-            "status": "ok",
+            "status": "draining" if self.shutdown_event.is_set() else "ok",
             "series_loaded": len(self.registry),
+            "streams_open": len(self.streams),
+            "streams_checkpoint_lag": self.streams.checkpoint_lag(),
             "uptime_s": round(time.monotonic() - self._started, 3),
+        }
+
+    def _draining(self) -> tuple[int, dict]:
+        """503 for stream mutations once shutdown has started: the final
+        session snapshot is about to be taken, so feeds after it would
+        be silently lost on restart — refuse them loudly instead."""
+        self.counters["client_errors"] += 1
+        return 503, {
+            "error": (
+                "server is draining for shutdown; stream sessions are "
+                "closed to new feeds (their state persists and resumes "
+                "on restart when --stream-state-dir is configured)"
+            ),
+            "reason": "draining",
         }
 
     def stats(self) -> dict:
@@ -281,6 +329,7 @@ class MiningApp:
                 "cache_owned": self.ledger.snapshot(),
             },
             "streams": self.streams.describe(),
+            "stream_state": dict(self.stream_state),
             "profile": self.profile.to_json(),
             "series_loaded": len(self.registry),
             "uptime_s": round(time.monotonic() - self._started, 3),
@@ -638,6 +687,53 @@ class MiningApp:
         for counter, amount in profile.counters.items():
             self.profile.count(counter, amount)
 
+    # ------------------------------------------------------------------
+    # Stream session persistence (repro.durability over serve)
+    # ------------------------------------------------------------------
+
+    def _rehydrate_streams(self) -> None:
+        """Restore persisted sessions at startup, by name.
+
+        A corrupt or foreign state file must not keep the service down —
+        the server starts with no sessions and surfaces the problem on
+        ``/stats`` (``stream_state.error``).  A *version-newer* file
+        still refuses loudly: that is an operator mistake, not damage.
+        """
+        directory = self.config.stream_state_dir
+        if directory is None:
+            return
+        path = Path(directory) / STREAM_STATE_FILE
+        if not path.exists():
+            return
+        try:
+            payload = read_snapshot(path, kind=STREAM_STATE_KIND)
+            self.stream_state["rehydrated"] = self.streams.restore(payload)
+        except (SnapshotCorruption, ServeError) as error:
+            self.stream_state["error"] = str(error)
+
+    def persist_streams(self) -> int:
+        """Snapshot every open session (atomic, checksummed); returns
+        how many were persisted.  Called at shutdown after the drain,
+        and safe to call ad hoc (it resets the checkpoint lag)."""
+        directory = self.config.stream_state_dir
+        if directory is None:
+            return 0
+        writer = SnapshotWriter(directory)
+        writer.write(
+            STREAM_STATE_FILE,
+            kind=STREAM_STATE_KIND,
+            payload=self.streams.to_state(),
+        )
+        for session in self.streams.sessions():
+            session.slots_since_checkpoint = 0
+        count = len(self.streams)
+        self.stream_state["persisted"] = count
+        return count
+
     def close(self) -> None:
-        """Release the worker pool (idempotent)."""
+        """Persist open streams, then release the worker pool (idempotent)."""
+        try:
+            self.persist_streams()
+        except (OSError, ReproError) as error:
+            self.stream_state["error"] = str(error)
         self._executor.shutdown(wait=False)

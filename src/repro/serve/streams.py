@@ -36,7 +36,7 @@ class StreamSession:
     """One named streaming miner with serving bookkeeping around it."""
 
     __slots__ = ("name", "miner", "lock", "recent_windows", "counters",
-                 "_created")
+                 "slots_since_checkpoint", "_created")
 
     def __init__(self, name: str, miner: StreamingMiner):
         self.name = name
@@ -48,6 +48,9 @@ class StreamSession:
             maxlen=WINDOW_LOG_ENTRIES
         )
         self.counters = {"batches": 0, "slots": 0, "windows": 0}
+        #: Slots fed since this session was last persisted or rehydrated
+        #: — the checkpoint lag ``/healthz`` and ``/stats`` report.
+        self.slots_since_checkpoint = 0
         self._created = time.monotonic()
 
     def feed(self, slots: list[SlotLike]) -> list[dict[str, Any]]:
@@ -63,6 +66,7 @@ class StreamSession:
         self.counters["batches"] += 1
         self.counters["slots"] += len(slots)
         self.counters["windows"] += len(emitted)
+        self.slots_since_checkpoint += len(slots)
         self.recent_windows.extend(emitted)
         return emitted
 
@@ -71,8 +75,39 @@ class StreamSession:
         snapshot = self.miner.snapshot()
         snapshot["name"] = self.name
         snapshot["counters"] = dict(self.counters)
+        snapshot["checkpoint_lag"] = self.slots_since_checkpoint
         snapshot["age_s"] = round(time.monotonic() - self._created, 3)
         return snapshot
+
+    # -- durable state (serve shutdown persistence) ---------------------
+
+    def to_state(self) -> dict[str, Any]:
+        """Everything a restart needs to resume this session exactly."""
+        return {
+            "name": self.name,
+            "miner": self.miner.to_state(),
+            "counters": dict(self.counters),
+            "recent_windows": list(self.recent_windows),
+        }
+
+    @classmethod
+    def from_state(cls, state: dict[str, Any]) -> "StreamSession":
+        """Rebuild a session from :meth:`to_state` output."""
+        try:
+            session = cls(
+                str(state["name"]),
+                StreamingMiner.from_state(state["miner"]),
+            )
+            session.counters = {
+                key: int(value)
+                for key, value in state["counters"].items()
+            }
+            session.recent_windows.extend(state["recent_windows"])
+        except (KeyError, TypeError, ValueError) as error:
+            raise ServeError(
+                f"malformed stream-session state: {error}"
+            ) from error
+        return session
 
 
 class StreamManager:
@@ -149,8 +184,57 @@ class StreamManager:
             "max_streams": self._max_streams,
             "opened": self.counters["opened"],
             "closed": self.counters["closed"],
+            "checkpoint_lag": self.checkpoint_lag(),
             "sessions": [
                 session.describe()
                 for session in self._sessions.values()
             ],
         }
+
+    def checkpoint_lag(self) -> int:
+        """Slots fed across all sessions since the last persist."""
+        return sum(
+            session.slots_since_checkpoint
+            for session in self._sessions.values()
+        )
+
+    # -- durable state (serve shutdown persistence) ---------------------
+
+    def sessions(self) -> list[StreamSession]:
+        """The live sessions, in creation order."""
+        return list(self._sessions.values())
+
+    def to_state(self) -> dict[str, Any]:
+        """Every open session's durable form, for one snapshot file."""
+        return {
+            "sessions": [
+                session.to_state() for session in self._sessions.values()
+            ],
+        }
+
+    def restore(self, state: dict[str, Any]) -> int:
+        """Rehydrate persisted sessions into this (fresh) manager.
+
+        Returns how many sessions came back.  Collisions with live
+        sessions refuse loudly — rehydration runs before the server
+        accepts traffic, so a collision means two restores.
+        """
+        try:
+            restored = [
+                StreamSession.from_state(entry)
+                for entry in state["sessions"]
+            ]
+        except (KeyError, TypeError) as error:
+            raise ServeError(
+                f"malformed stream-manager state: {error}"
+            ) from error
+        for session in restored:
+            if session.name in self._sessions:
+                raise ServeError(
+                    f"stream {session.name!r} already exists; refusing "
+                    "to rehydrate over it"
+                )
+        for session in restored:
+            self._sessions[session.name] = session
+            self.counters["opened"] += 1
+        return len(restored)

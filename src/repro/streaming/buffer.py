@@ -193,6 +193,75 @@ class ArrivalBuffer:
             self._sealed += 1
         return sealed
 
+    # ------------------------------------------------------------------
+    # Durable state (checkpoint/restore)
+    # ------------------------------------------------------------------
+
+    def to_state(self) -> dict[str, object]:
+        """The JSON-ready durable form: geometry, open slots, quarantine."""
+        return {
+            "slot_width": self._slot_width,
+            "start": self._start,
+            "lateness": self._lateness,
+            "open": sorted(
+                [index, sorted(features)]
+                for index, features in self._open.items()
+            ),
+            "sealed": self._sealed,
+            "max_time": self._max_time,
+            "report": {
+                "total": self.report.total,
+                "per_feature": dict(sorted(self.report.per_feature.items())),
+                "samples": [
+                    [event.time, event.feature, event.watermark]
+                    for event in self.report.samples
+                ],
+            },
+        }
+
+    @classmethod
+    def from_state(cls, state: dict) -> "ArrivalBuffer":
+        """Rebuild a buffer from :meth:`to_state` output."""
+        try:
+            report_state = state["report"]
+            report = LateEventReport(
+                total=int(report_state["total"]),
+                per_feature=Counter(
+                    {
+                        str(feature): int(count)
+                        for feature, count in report_state[
+                            "per_feature"
+                        ].items()
+                    }
+                ),
+                samples=[
+                    LateEvent(
+                        time=float(time),
+                        feature=str(feature),
+                        watermark=float(watermark),
+                    )
+                    for time, feature, watermark in report_state["samples"]
+                ],
+            )
+            buffer = cls(
+                slot_width=float(state["slot_width"]),
+                start=float(state["start"]),
+                lateness=float(state["lateness"]),
+                report=report,
+            )
+            buffer._open = {
+                int(index): {str(feature) for feature in features}
+                for index, features in state["open"]
+            }
+            buffer._sealed = int(state["sealed"])
+            max_time = state["max_time"]
+            buffer._max_time = None if max_time is None else float(max_time)
+        except (KeyError, TypeError, ValueError) as error:
+            raise StreamError(
+                f"malformed arrival-buffer state: {error}"
+            ) from error
+        return buffer
+
     def __repr__(self) -> str:
         return (
             f"ArrivalBuffer(slot_width={self._slot_width}, "

@@ -27,7 +27,9 @@ from collections.abc import Iterable
 from typing import Any
 
 from repro.analysis.evolution import diff_results
+from repro.core.errors import StreamError
 from repro.core.result import MiningResult
+from repro.core.serialize import result_from_dict, result_to_dict
 from repro.streaming.retirement import RetirementStrategy, make_strategy
 from repro.streaming.windows import (
     WindowResult,
@@ -218,6 +220,79 @@ class StreamingMiner:
             self._strategy.retire(retire_n)
         self._retained_low = max(self._retained_low, new_low)
         return window
+
+    # ------------------------------------------------------------------
+    # Durable state (checkpoint/restore)
+    # ------------------------------------------------------------------
+
+    def to_state(self) -> dict[str, Any]:
+        """The complete JSON-ready durable form of this miner.
+
+        Everything the slot path reads is captured: window geometry and
+        thresholds, the retirement strategy's retained-set state, the
+        pending partial segment, the stream cursors, and the previously
+        emitted result (the change-feed basis — without it the first
+        window after a resume would mis-report its diff).  A miner built
+        by :meth:`from_state` emits, slot for slot, exactly what this
+        miner would have emitted.
+        """
+        return {
+            "period": self._spec.period,
+            "window": self._spec.size,
+            "slide": self._spec.slide,
+            "min_conf": self._min_conf,
+            "max_letters": self._max_letters,
+            "change_tolerance": self._tolerance,
+            "strategy": self._strategy.to_state(),
+            "pending": [sorted(slot) for slot in self._pending],
+            "slots_seen": self._slots_seen,
+            "next_segment": self._next_segment,
+            "retained_low": self._retained_low,
+            "windows_emitted": self._windows_emitted,
+            "last_result": (
+                None
+                if self._last_result is None
+                else result_to_dict(self._last_result)
+            ),
+        }
+
+    @classmethod
+    def from_state(cls, state: dict[str, Any]) -> "StreamingMiner":
+        """Rebuild a miner from :meth:`to_state` output."""
+        try:
+            miner = cls(
+                period=int(state["period"]),
+                window=int(state["window"]),
+                slide=int(state["slide"]),
+                min_conf=float(state["min_conf"]),
+                retirement=str(state["strategy"]["name"]),
+                max_letters=(
+                    None
+                    if state["max_letters"] is None
+                    else int(state["max_letters"])
+                ),
+                change_tolerance=float(state["change_tolerance"]),
+            )
+            miner._strategy.restore(state["strategy"])
+            miner._pending = [
+                frozenset(str(feature) for feature in slot)
+                for slot in state["pending"]
+            ]
+            miner._slots_seen = int(state["slots_seen"])
+            miner._next_segment = int(state["next_segment"])
+            miner._retained_low = int(state["retained_low"])
+            miner._windows_emitted = int(state["windows_emitted"])
+            last_result = state["last_result"]
+            miner._last_result = (
+                None
+                if last_result is None
+                else result_from_dict(last_result)
+            )
+        except (KeyError, TypeError, ValueError) as error:
+            raise StreamError(
+                f"malformed streaming-miner state: {error}"
+            ) from error
+        return miner
 
     # ------------------------------------------------------------------
     # Introspection

@@ -36,7 +36,8 @@ from __future__ import annotations
 
 from abc import ABC, abstractmethod
 from collections import deque
-from collections.abc import Sequence
+from collections.abc import Mapping, Sequence
+from typing import Any
 
 from repro.core.errors import StreamError
 from repro.core.incremental import SegmentPartial
@@ -87,6 +88,22 @@ class RetirementStrategy(ABC):
                 f"cannot retire {count} segments: only "
                 f"{self.retained} retained"
             )
+
+    @abstractmethod
+    def to_state(self) -> dict[str, Any]:
+        """The JSON-ready durable form of the strategy's exact state.
+
+        Only the *retained-set* state is persisted; derived acceleration
+        structures (the decrement strategy's persistent tree and its
+        delta ledger) are deliberately dropped — they are a pure function
+        of the retained state and are rebuilt on the first mine after
+        restore, so a restored strategy mines identically by
+        construction.
+        """
+
+    @abstractmethod
+    def restore(self, state: Mapping[str, Any]) -> None:
+        """Load :meth:`to_state` output into this (fresh) strategy."""
 
 
 class DecrementRetirement(RetirementStrategy):
@@ -163,6 +180,35 @@ class DecrementRetirement(RetirementStrategy):
             tree=tree,
         )
 
+    def to_state(self) -> dict[str, Any]:
+        return {
+            "name": self.name,
+            "partial": self._partial.to_state(),
+            "ring": list(self._ring),
+        }
+
+    def restore(self, state: Mapping[str, Any]) -> None:
+        partial = SegmentPartial.from_state(state["partial"])
+        if partial.period != self._partial.period:
+            raise StreamError(
+                f"checkpointed strategy has period {partial.period}, "
+                f"stream wants {self._partial.period}"
+            )
+        self._partial = partial
+        self._ring = deque(int(mask) for mask in state["ring"])
+        if len(self._ring) != partial.num_periods:
+            raise StreamError(
+                f"checkpointed decrement state is inconsistent: "
+                f"{len(self._ring)} ring masks for "
+                f"{partial.num_periods} retained segments"
+            )
+        # The tree and its delta ledger are derived state: the next
+        # mine() rebuilds from the restored partial, which is exact.
+        self._added.clear()
+        self._removed.clear()
+        self._tree = None
+        self._tree_f1 = None
+
 
 class RingRetirement(RetirementStrategy):
     """Per-segment mergeable partials; retirement is dropping the head."""
@@ -200,6 +246,34 @@ class RingRetirement(RetirementStrategy):
             folded.merge(partial)
         return folded.mine(
             min_conf, max_letters=max_letters, algorithm="streaming-ring"
+        )
+
+    def to_state(self) -> dict[str, Any]:
+        # One shared vocabulary, serialized once; per-segment partials
+        # store only their counters, with masks over the shared letters.
+        return {
+            "name": self.name,
+            "letters": [
+                [offset, feature] for offset, feature in self._vocab
+            ],
+            "partials": [
+                partial.to_state(include_vocab=False)
+                for partial in self._ring
+            ],
+        }
+
+    def restore(self, state: Mapping[str, Any]) -> None:
+        vocab = LetterVocabulary(
+            (
+                (int(offset), str(feature))
+                for offset, feature in state["letters"]
+            ),
+            period=self._period,
+        )
+        self._vocab = vocab
+        self._ring = deque(
+            SegmentPartial.from_state(partial_state, vocab=vocab)
+            for partial_state in state["partials"]
         )
 
 

@@ -324,6 +324,42 @@ class TestCheckpointJournal:
         assert reopened.get("f1", 1) is None
         reopened.close()
 
+    def test_tolerates_structurally_torn_final_record(self, tmp_path, capsys):
+        """A torn trailing record can still parse as JSON (the write was
+        cut right after a brace) yet miss its fields — it must be skipped
+        with a warning, exactly like a half-line, not crash the resume."""
+        path = tmp_path / "run.jsonl"
+        with CheckpointJournal(path, _RUN_KEY) as journal:
+            journal.record("f1", 0, Counter({1: 2}), 0.5)
+        with path.open("a", encoding="utf-8") as handle:
+            handle.write('{"phase": "f1", "shard": 1}\n')  # no payload
+        reopened = CheckpointJournal(path, _RUN_KEY)
+        assert reopened.get("f1", 0) is not None
+        assert reopened.get("f1", 1) is None
+        assert "torn trailing" in capsys.readouterr().err
+        reopened.close()
+
+    def test_torn_final_record_without_phase_is_skipped(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        with CheckpointJournal(path, _RUN_KEY) as journal:
+            journal.record("f1", 0, Counter({1: 2}), 0.5)
+        with path.open("a", encoding="utf-8") as handle:
+            handle.write("{}\n")
+        reopened = CheckpointJournal(path, _RUN_KEY)
+        assert len(reopened) == 1
+        reopened.close()
+
+    def test_structural_damage_before_the_end_still_raises(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        with CheckpointJournal(path, _RUN_KEY) as journal:
+            journal.record("f1", 0, Counter({1: 2}), 0.5)
+            journal.record("f1", 1, Counter({2: 1}), 0.5)
+        lines = path.read_text().splitlines()
+        lines[1] = '{"phase": "f1", "shard": 0}'  # mid-journal, incomplete
+        path.write_text("\n".join(lines) + "\n")
+        with pytest.raises((ResilienceError, KeyError)):
+            CheckpointJournal(path, _RUN_KEY)
+
     def test_rejects_corruption_before_the_end(self, tmp_path):
         path = tmp_path / "run.jsonl"
         with CheckpointJournal(path, _RUN_KEY) as journal:

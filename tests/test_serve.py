@@ -771,6 +771,133 @@ class TestStreamRoutes:
             app.close()
 
 
+class TestStreamPersistence:
+    """Session persistence: shutdown snapshot, restart rehydration."""
+
+    def open_and_feed(self, app, symbols="ababab"):
+        status, _ = call(
+            app,
+            make_request(
+                "POST", "/stream",
+                {"name": "s", "period": 2, "window": 4, "slide": 2},
+            ),
+        )
+        assert status == 201
+        status, payload = call(
+            app, make_request("POST", "/stream/s", {"symbols": symbols})
+        )
+        assert status == 200
+        return payload
+
+    def test_shutdown_persists_and_restart_rehydrates(self, tmp_path):
+        state_dir = str(tmp_path / "state")
+        app = build_app(stream_state_dir=state_dir)
+        try:
+            fed = self.open_and_feed(app)
+            status, payload = call(
+                app, make_request("POST", "/shutdown")
+            )
+            assert status == 202
+            assert payload["streams_open"] == 1
+            assert payload["streams_persist"] is True
+            assert payload["stream_state_dir"] == state_dir
+        finally:
+            app.close()
+        assert app.stream_state["persisted"] == 1
+
+        fresh = build_app(stream_state_dir=state_dir)
+        try:
+            assert fresh.stream_state["rehydrated"] == 1
+            status, payload = call(
+                fresh, make_request("GET", "/stream/s")
+            )
+            assert status == 200
+            state = payload["stream"]
+            assert state["slots_seen"] == 6
+            assert state["windows_emitted"] == 2
+            assert state["counters"]["slots"] == 6
+            # The window log survives too.
+            assert [
+                w["index"] for w in payload["recent_windows"]
+            ] == [w["index"] for w in fed["windows"]]
+            # Continuing the feed emits the next window with an exact
+            # change diff against the pre-restart result.
+            status, payload = call(
+                fresh,
+                make_request("POST", "/stream/s", {"symbols": "ab"}),
+            )
+            assert status == 200
+            assert [w["index"] for w in payload["windows"]] == [2]
+            assert payload["windows"][0]["changes"] is not None
+        finally:
+            fresh.close()
+
+    def test_healthz_and_stats_report_checkpoint_lag(self, tmp_path):
+        app = build_app(stream_state_dir=str(tmp_path / "state"))
+        try:
+            self.open_and_feed(app)
+            status, health = call(app, make_request("GET", "/healthz"))
+            assert status == 200
+            assert health["streams_open"] == 1
+            assert health["streams_checkpoint_lag"] == 6
+            app.persist_streams()
+            _, health = call(app, make_request("GET", "/healthz"))
+            assert health["streams_checkpoint_lag"] == 0
+            _, stats = call(app, make_request("GET", "/stats"))
+            assert stats["streams"]["checkpoint_lag"] == 0
+            assert stats["stream_state"]["persisted"] == 1
+        finally:
+            app.close()
+
+    def test_draining_refuses_stream_mutations(self):
+        app = build_app()
+        try:
+            self.open_and_feed(app)
+            call(app, make_request("POST", "/shutdown"))
+            status, health = call(app, make_request("GET", "/healthz"))
+            assert health["status"] == "draining"
+            status, payload = call(
+                app,
+                make_request("POST", "/stream/s", {"symbols": "ab"}),
+            )
+            assert status == 503
+            assert payload["reason"] == "draining"
+            status, payload = call(
+                app,
+                make_request(
+                    "POST", "/stream",
+                    {"name": "t", "period": 2, "window": 4},
+                ),
+            )
+            assert status == 503
+            # Reads still answer during the drain.
+            status, _ = call(app, make_request("GET", "/stream/s"))
+            assert status == 200
+        finally:
+            app.close()
+
+    def test_corrupt_state_file_starts_clean(self, tmp_path):
+        state_dir = tmp_path / "state"
+        state_dir.mkdir()
+        (state_dir / "streams.json").write_text("not a snapshot\n")
+        app = build_app(stream_state_dir=str(state_dir))
+        try:
+            assert app.stream_state["rehydrated"] == 0
+            assert app.stream_state["error"] is not None
+            status, _ = call(app, make_request("GET", "/healthz"))
+            assert status == 200
+        finally:
+            app.close()
+
+    def test_without_state_dir_nothing_persists(self):
+        app = build_app()
+        try:
+            self.open_and_feed(app)
+            assert app.persist_streams() == 0
+        finally:
+            app.close()
+
+
 class TestCoalescingEquivalence:
     """The subsystem's central invariant: concurrency changes latency, not
     answers.  N concurrent clients at mixed thresholds must each receive
