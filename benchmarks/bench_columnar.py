@@ -1,0 +1,482 @@
+"""Columnar scan kernels and the out-of-core mmap store vs. the batched tier.
+
+Runs a packed-vocabulary variant of the Section 5 synthetic workload
+(Figure 2 defaults — ``p = 50``, ``|F1| = 12``, MAX-PAT-LENGTH 6 — with
+the noise alphabet trimmed so the ``(offset, feature)`` vocabulary packs
+into the 64 ``uint64`` bit lanes) and measures the two claims of the
+columnar tier:
+
+* **scan path** — both scans as vectorized column ops: letter counting
+  as one unpack-and-sum pass, hit collection as chunked ``np.unique``
+  plus the shift/OR projection sweep, candidate verification as a
+  broadcast subset reduction.  Timed as :func:`repro.core.hitset.mine_store`
+  over a prebuilt store against a cold batched mine of the same series
+  (the PR 5 scan path), exact output equality enforced across all three
+  kernel tiers.
+* **out-of-core store** — a multi-million-slot series encoded straight
+  to a spilled ``.seg`` file (``StoreOptions.spill_bytes``), then mined
+  from the mmap'd column in a subprocess whose peak RSS never scales
+  with the series: only the chunk buffer, the distinct-mask table and
+  the tree are resident.  Letter-identical output to an in-memory mine
+  of the same file is enforced.
+
+Run standalone (writes ``BENCH_columnar.json`` at the repo root)::
+
+    PYTHONPATH=src python benchmarks/bench_columnar.py            # full
+    PYTHONPATH=src python benchmarks/bench_columnar.py --quick    # CI smoke
+
+``--check`` exits non-zero when the columnar scan path fails its speedup
+bar (10x full, 3x quick), when any kernel tier diverges, or when the
+out-of-core subprocess exceeds the RSS budget — the CI smoke gate
+against silent kernel regressions.
+
+Under pytest this module contributes an equivalence + speedup smoke test
+so ``pytest benchmarks/`` keeps covering it.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import resource
+import subprocess
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+from repro.core.hitset import mine_single_period_hitset, mine_store
+from repro.kernels.store import SegmentStore, StoreOptions
+from repro.synth.generator import SyntheticSpec
+from repro.synth.workloads import FIGURE2_MIN_CONF, FIGURE2_PERIOD
+
+#: Scan-path workload sizes: the paper's long length for the real
+#: measurement, a small series for the --quick CI smoke run.
+LENGTH_FULL = 500_000
+LENGTH_QUICK = 30_000
+
+#: Out-of-core workload sizes (slots).  The full run mines a 10M-slot
+#: series from a spilled file; quick keeps the same shape at 1M slots.
+OOC_SLOTS_FULL = 10_000_000
+OOC_SLOTS_QUICK = 1_000_000
+
+#: The out-of-core spill threshold is sized so the mask file lands this
+#: far past it — the encode pass streams to disk instead of
+#: materializing the buffer, at any --ooc-slots setting.  (At the full
+#: 10M slots this puts the threshold near 128 KiB for a 1.6 MB file.)
+OOC_FILE_TO_THRESHOLD = 12
+
+#: Peak-RSS budget (MiB) for the out-of-core mining subprocess.  The
+#: interpreter plus numpy plus the mining state fit comfortably; a store
+#: pulled wholesale into anonymous memory would not.
+OOC_RSS_BUDGET_MB = 256
+
+#: Speedup bars for --check: scan-path (mine_store over a prebuilt
+#: column) vs. a cold batched mine of the same series.
+SPEEDUP_BAR_FULL = 10.0
+SPEEDUP_BAR_QUICK = 3.0
+
+#: The Figure 2 shape with a packed vocabulary: 12 F1 letters plus one
+#: noise feature spread over the 50 offsets stays within 64 letters.
+PACKED_ALPHABET = 13
+
+
+def _best_of(repeats: int, fn) -> float:
+    """Best-of-N wall time — robust against scheduler noise on small runs."""
+    best = float("inf")
+    for _ in range(repeats):
+        started = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - started)
+    return best
+
+
+def packed_figure2_series(length: int, seed: int = 0):
+    """The Figure 2 workload constrained to a <= 64-letter vocabulary.
+
+    The stock figure2 generator draws noise from an 88-feature surplus
+    alphabet at arbitrary offsets, which blows the ``(offset, feature)``
+    vocabulary far past 64 letters and forces the columnar tier into its
+    wide fallback.  One noise feature keeps the same noise *load* while
+    bounding the vocabulary at ``12 + 50 = 62`` letters.
+    """
+    spec = SyntheticSpec(
+        length=length,
+        period=FIGURE2_PERIOD,
+        max_pat_length=6,
+        f1_size=12,
+        alphabet_size=PACKED_ALPHABET,
+        noise_rate=0.2,
+        seed=seed,
+    )
+    return spec.generate().series
+
+
+def letter_map(result) -> dict:
+    """Canonical ``letters -> count`` view for cross-kernel equality."""
+    return {
+        "|".join(f"{offset}:{feature}" for offset, feature in sorted(p.letters)): count
+        for p, count in result.items()
+    }
+
+
+# -- out-of-core workload ----------------------------------------------------
+
+
+def out_of_core_series(length: int, period: int = FIGURE2_PERIOD):
+    """A deterministic multi-million-slot series built from pooled slots.
+
+    Slot contents are chosen arithmetically (a Knuth multiplicative hash
+    of the slot index) from a small pool of pre-built frozensets, so a
+    10M-slot series costs seconds to build and holds only pointers — the
+    generator's per-slot RNG work would dominate the benchmark at this
+    scale.  Offsets 0..5 carry a planted pattern at ~0.8 confidence (with
+    occasional co-occurring noise); later offsets carry sparse noise.
+    """
+    from repro.timeseries.feature_series import FeatureSeries
+
+    planted = {o: frozenset((f"f{o}",)) for o in range(6)}
+    noise = {o: frozenset((f"n{o % 8}",)) for o in range(period)}
+    both = {o: planted[o] | noise[o] for o in range(6)}
+    empty: frozenset = frozenset()
+    slots = []
+    append = slots.append
+    for i in range(length):
+        offset = i % period
+        h = (i * 2654435761) & 0xFFFFFFFF
+        if offset < 6:
+            if h < 0x40000000:
+                append(both[offset])
+            elif h < 0xCCCCCCCC:
+                append(planted[offset])
+            else:
+                append(empty)
+        else:
+            append(noise[offset] if h < 0x20000000 else empty)
+    return FeatureSeries(slots)
+
+
+def _mine_store_subprocess(path: Path, min_conf: float) -> dict:
+    """Mine a spilled store in a fresh interpreter; report time and RSS.
+
+    The subprocess never sees the series — it maps the ``.seg`` file and
+    mines the column, so its peak RSS is the honest out-of-core number.
+    Peak memory is read from ``VmHWM`` (per-address-space, reset by
+    ``execve``) rather than ``ru_maxrss``, whose lifetime high-water mark
+    inherits the parent's entire RSS through fork's copy-on-write window
+    and would report the benchmark driver's footprint, not the miner's.
+    """
+    code = (
+        "import json, resource, sys, time\n"
+        "from pathlib import Path\n"
+        "from repro.core.hitset import mine_store\n"
+        "from repro.kernels.store import SegmentStore\n"
+        "store = SegmentStore.from_file(Path(sys.argv[1]))\n"
+        "started = time.perf_counter()\n"
+        "result = mine_store(store, float(sys.argv[2]))\n"
+        "seconds = time.perf_counter() - started\n"
+        "patterns = {\n"
+        "    '|'.join(f'{o}:{f}' for o, f in sorted(p.letters)): count\n"
+        "    for p, count in result.items()\n"
+        "}\n"
+        "peak_kb = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss\n"
+        "try:\n"
+        "    with open('/proc/self/status') as status:\n"
+        "        for line in status:\n"
+        "            if line.startswith('VmHWM:'):\n"
+        "                peak_kb = int(line.split()[1])\n"
+        "except OSError:\n"
+        "    pass\n"
+        "print(json.dumps({\n"
+        "    'seconds': seconds,\n"
+        "    'maxrss_kb': peak_kb,\n"
+        "    'patterns': patterns,\n"
+        "}))\n"
+    )
+    src = Path(__file__).resolve().parent.parent / "src"
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(src) + os.pathsep + env.get("PYTHONPATH", "")
+    proc = subprocess.run(
+        [sys.executable, "-c", code, str(path), str(min_conf)],
+        capture_output=True,
+        text=True,
+        env=env,
+        check=True,
+    )
+    return json.loads(proc.stdout)
+
+
+def run_out_of_core(
+    slots: int,
+    spill_bytes: int | None = None,
+    min_conf: float = 0.6,
+) -> dict:
+    """Encode a large series straight to disk, then mine it mmap-backed."""
+    if spill_bytes is None:
+        mask_bytes = (slots // FIGURE2_PERIOD) * 8
+        spill_bytes = max(1024, mask_bytes // OOC_FILE_TO_THRESHOLD)
+    series = out_of_core_series(slots)
+    with tempfile.TemporaryDirectory(prefix="bench-columnar-") as tmp:
+        options = StoreOptions(
+            directory=tmp, spill_bytes=spill_bytes, basename="bench.seg"
+        )
+        started = time.perf_counter()
+        store = SegmentStore.from_series_interned(
+            series, FIGURE2_PERIOD, options=options
+        )
+        encode_s = time.perf_counter() - started
+        path = Path(tmp) / "bench.seg"
+        if not path.exists():
+            raise AssertionError("store did not spill; raise slots or lower spill_bytes")
+        file_bytes = path.stat().st_size
+        del series  # the subprocess must stand on the mmap'd file alone
+
+        outcome = _mine_store_subprocess(path, min_conf)
+
+        # In-memory reference over the very same file: letter-identical
+        # output is the exactness claim for the mmap'd path.
+        reference = mine_store(
+            SegmentStore.from_file(path, mmap=False), min_conf
+        )
+        letter_identical = letter_map(reference) == outcome["patterns"]
+        del store
+
+    return {
+        "slots": slots,
+        "segments": file_bytes // 8,
+        "spill_bytes": spill_bytes,
+        "file_bytes": file_bytes,
+        "file_to_threshold_ratio": round(file_bytes / spill_bytes, 1),
+        "encode_seconds": round(encode_s, 6),
+        "mine_seconds": round(outcome["seconds"], 6),
+        "maxrss_mb": round(outcome["maxrss_kb"] / 1024, 1),
+        "rss_budget_mb": OOC_RSS_BUDGET_MB,
+        "frequent_patterns": len(outcome["patterns"]),
+        "letter_identical": letter_identical,
+    }
+
+
+# -- scan-path benchmark -----------------------------------------------------
+
+
+def run_benchmark(
+    length: int = LENGTH_FULL,
+    ooc_slots: int = OOC_SLOTS_FULL,
+    repeats: int = 3,
+    seed: int = 0,
+) -> dict:
+    """Measure columnar vs. batched scans; returns the JSON-ready report."""
+    series = packed_figure2_series(length, seed=seed)
+    period, min_conf = FIGURE2_PERIOD, FIGURE2_MIN_CONF
+
+    # -- cold mines across all three tiers, exact equality enforced -----
+    columnar = mine_single_period_hitset(series, period, min_conf, kernel="columnar")
+    batched = mine_single_period_hitset(series, period, min_conf, kernel="batched")
+    legacy = mine_single_period_hitset(series, period, min_conf, kernel="legacy")
+    equivalent = letter_map(columnar) == letter_map(batched) == letter_map(legacy)
+    if not equivalent:
+        raise AssertionError("columnar mine diverged from batched/legacy")
+
+    columnar_cold_s = _best_of(
+        repeats,
+        lambda: mine_single_period_hitset(series, period, min_conf, kernel="columnar"),
+    )
+    batched_cold_s = _best_of(
+        repeats,
+        lambda: mine_single_period_hitset(series, period, min_conf, kernel="batched"),
+    )
+    legacy_cold_s = _best_of(
+        max(1, repeats - 2),
+        lambda: mine_single_period_hitset(series, period, min_conf, kernel="legacy"),
+    )
+
+    # -- scan path: vectorized column ops over a prebuilt store ---------
+    # The encode pass is paid once (and timed separately); mine_store then
+    # runs both scans plus the derivation purely on the column.
+    started = time.perf_counter()
+    store = SegmentStore.from_series_interned(series, period)
+    encode_s = time.perf_counter() - started
+    store_result = mine_store(store, min_conf)
+    if letter_map(store_result) != letter_map(batched):
+        raise AssertionError("mine_store diverged from the cold batched mine")
+    scan_s = _best_of(repeats + 2, lambda: mine_store(store, min_conf))
+    speedup_scan = batched_cold_s / scan_s
+
+    report = {
+        "benchmark": "columnar-scan-kernels-and-out-of-core-store",
+        "workload": {
+            "generator": "figure2-packed",
+            "length": length,
+            "period": period,
+            "max_pat_length": 6,
+            "f1_size": 12,
+            "alphabet_size": PACKED_ALPHABET,
+            "vocabulary_letters": len(store.vocab),
+            "min_conf": min_conf,
+            "seed": seed,
+        },
+        "frequent_patterns": len(letter_map(columnar)),
+        "scan_path": {
+            "columnar_store_seconds": round(scan_s, 6),
+            "batched_cold_seconds": round(batched_cold_s, 6),
+            "columnar_cold_seconds": round(columnar_cold_s, 6),
+            "legacy_cold_seconds": round(legacy_cold_s, 6),
+            "encode_seconds": round(encode_s, 6),
+            "segments": len(store),
+            "distinct_masks": store.distinct_count,
+            "speedup": round(speedup_scan, 3),
+        },
+        "out_of_core": run_out_of_core(ooc_slots),
+        "speedup_scan": round(speedup_scan, 3),
+        "equivalent_output": equivalent,
+    }
+    return report
+
+
+def check_report(report: dict, quick: bool) -> list[str]:
+    """The --check gates; returns the list of failures (empty = pass)."""
+    bar = SPEEDUP_BAR_QUICK if quick else SPEEDUP_BAR_FULL
+    failures = []
+    if not report["equivalent_output"]:
+        failures.append("kernel tiers disagree on the frequent set")
+    if report["speedup_scan"] < bar:
+        failures.append(
+            f"columnar scan path {report['speedup_scan']:.2f}x < {bar:.0f}x bar"
+        )
+    ooc = report["out_of_core"]
+    if not ooc["letter_identical"]:
+        failures.append("mmap-backed mine diverged from the in-memory mine")
+    if ooc["file_to_threshold_ratio"] < 10.0:
+        failures.append(
+            f"spill file only {ooc['file_to_threshold_ratio']:.1f}x the "
+            "threshold (need >= 10x)"
+        )
+    if ooc["maxrss_mb"] > ooc["rss_budget_mb"]:
+        failures.append(
+            f"out-of-core subprocess peaked at {ooc['maxrss_mb']:.0f} MiB "
+            f"(> {ooc['rss_budget_mb']} MiB budget)"
+        )
+    return failures
+
+
+def print_report(report: dict) -> None:
+    workload = report["workload"]
+    scan = report["scan_path"]
+    ooc = report["out_of_core"]
+    print(
+        f"Packed Figure 2 workload: LENGTH={workload['length']} "
+        f"p={workload['period']} vocab={workload['vocabulary_letters']} "
+        f"({report['frequent_patterns']} frequent patterns, "
+        f"{scan['distinct_masks']} distinct masks)"
+    )
+    print(f"{'measurement':<26} {'seconds':>10}")
+    for name, key in (
+        ("columnar scan (store)", "columnar_store_seconds"),
+        ("batched cold mine", "batched_cold_seconds"),
+        ("columnar cold mine", "columnar_cold_seconds"),
+        ("legacy cold mine", "legacy_cold_seconds"),
+        ("encode pass", "encode_seconds"),
+    ):
+        print(f"{name:<26} {scan[key]:>9.4f}s")
+    print(f"scan-path speedup (columnar vs batched): {report['speedup_scan']:.2f}x")
+    print(
+        f"out-of-core: {ooc['slots']} slots -> {ooc['file_bytes']} B spilled "
+        f"({ooc['file_to_threshold_ratio']:.0f}x threshold), "
+        f"mined in {ooc['mine_seconds']:.3f}s at {ooc['maxrss_mb']:.0f} MiB "
+        f"peak RSS ({ooc['frequent_patterns']} patterns, "
+        f"letter-identical: {ooc['letter_identical']})"
+    )
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="columnar scan kernels and out-of-core store vs batched"
+    )
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help=f"small workload (LENGTH={LENGTH_QUICK}, "
+        f"{OOC_SLOTS_QUICK}-slot out-of-core run), 1 repeat, no JSON "
+        "unless --json is given",
+    )
+    parser.add_argument(
+        "--length", type=int, help="series length (overrides --quick default)"
+    )
+    parser.add_argument(
+        "--ooc-slots",
+        type=int,
+        default=None,
+        help="out-of-core series length in slots",
+    )
+    parser.add_argument(
+        "--repeats", type=int, default=None, help="timing repeats (best-of)"
+    )
+    parser.add_argument(
+        "--json",
+        metavar="PATH",
+        default=None,
+        help="where to write the JSON report "
+        "(default: BENCH_columnar.json next to the repo, full runs only)",
+    )
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help="exit 1 when a speedup/equivalence/RSS gate fails",
+    )
+    args = parser.parse_args(argv)
+
+    length = args.length or (LENGTH_QUICK if args.quick else LENGTH_FULL)
+    ooc_slots = args.ooc_slots or (
+        OOC_SLOTS_QUICK if args.quick else OOC_SLOTS_FULL
+    )
+    repeats = args.repeats or (1 if args.quick else 3)
+    report = run_benchmark(length=length, ooc_slots=ooc_slots, repeats=repeats)
+    print_report(report)
+
+    json_path = args.json
+    if json_path is None and not args.quick:
+        json_path = Path(__file__).resolve().parent.parent / "BENCH_columnar.json"
+    if json_path is not None:
+        Path(json_path).write_text(
+            json.dumps(report, indent=2) + "\n", encoding="utf-8"
+        )
+        print(f"report written to {json_path}")
+    if args.check:
+        failures = check_report(report, quick=args.quick)
+        for failure in failures:
+            print(f"FAIL: {failure}", file=sys.stderr)
+        if failures:
+            return 1
+    return 0
+
+
+# -- pytest smoke ------------------------------------------------------------
+
+
+def test_columnar_scans_match_and_speed_up(report):
+    """Equivalence plus a light speedup sanity check on a small workload."""
+    outcome = run_benchmark(length=20_000, ooc_slots=200_000, repeats=1)
+    assert outcome["equivalent_output"]
+    scan = outcome["scan_path"]
+    ooc = outcome["out_of_core"]
+    report(
+        "Columnar scan kernels and out-of-core store (LENGTH=20000)",
+        ["measurement", "seconds"],
+        [
+            ("columnar scan (store)", f"{scan['columnar_store_seconds']:.4f}s"),
+            ("batched cold mine", f"{scan['batched_cold_seconds']:.4f}s"),
+            ("out-of-core mine", f"{ooc['mine_seconds']:.4f}s"),
+        ],
+    )
+    # The vectorized scans answer from the column; even at smoke scale
+    # they must never lose to the cold batched scan path.
+    assert outcome["speedup_scan"] > 1.0
+    # The spilled file must genuinely be out-of-core relative to the
+    # threshold, and mmap'd mining must be letter-exact.
+    assert ooc["letter_identical"]
+    assert ooc["file_to_threshold_ratio"] >= 10.0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

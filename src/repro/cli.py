@@ -77,12 +77,15 @@ def add_mining_args(
     )
     parser.add_argument(
         "--kernel",
-        choices=("batched", "legacy"),
+        choices=("columnar", "batched", "legacy"),
         default="batched",
         help=(
-            "counting kernel: 'batched' answers every candidate level from "
-            "one superset-sum pass; 'legacy' keeps the per-candidate walks "
-            "(identical results; for bisecting regressions)"
+            "counting kernel: 'columnar' runs both scans as vectorized "
+            "numpy ops over the segment-store column (single encode pass; "
+            "falls back to batched past 64 letters); 'batched' answers "
+            "every candidate level from one superset-sum pass; 'legacy' "
+            "keeps the per-candidate walks (identical results; for "
+            "bisecting regressions)"
         ),
     )
     parser.add_argument(
@@ -146,6 +149,26 @@ def _build_parser() -> argparse.ArgumentParser:
         "--json",
         metavar="PATH",
         help="also write the result as JSON (single-period mining only)",
+    )
+    mine.add_argument(
+        "--store-dir",
+        metavar="DIR",
+        help=(
+            "columnar kernel only: spill the encoded segment store to "
+            "this directory once it crosses --spill-mb, and mine it as "
+            "an mmap'd on-disk column in bounded memory (series larger "
+            "than RAM mine at disk bandwidth; see docs/kernels.md)"
+        ),
+    )
+    mine.add_argument(
+        "--spill-mb",
+        type=int,
+        default=64,
+        metavar="MIB",
+        help=(
+            "in-memory threshold before the columnar store spills to "
+            "--store-dir (default 64 MiB; 0 spills unconditionally)"
+        ),
     )
     mine.add_argument(
         "--profile",
@@ -380,6 +403,16 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     stream.add_argument("--max-letters", type=int)
     stream.add_argument(
+        "--kernel",
+        choices=("columnar", "batched", "legacy"),
+        default="batched",
+        help=(
+            "per-window counting kernel (results identical across "
+            "kernels); with --checkpoint-dir the stream stays on the "
+            "default so old checkpoints resume unchanged"
+        ),
+    )
+    stream.add_argument(
         "--tolerance",
         type=float,
         default=0.05,
@@ -481,6 +514,39 @@ def _build_parser() -> argparse.ArgumentParser:
         help="record current findings as the accepted baseline and exit",
     )
     lint.add_argument("--list-rules", action="store_true")
+
+    fuzz = commands.add_parser(
+        "fuzz",
+        help="differentially fuzz the counting kernels against each other",
+        description=(
+            "Coverage-guided differential fuzzing: randomized series are "
+            "mined through every kernel tier (columnar, batched, legacy) "
+            "plus a brute-force oracle, and the store primitives are "
+            "cross-checked against naive recomputation; any divergence "
+            "is a bug.  --self-check injects known kernel bugs and fails "
+            "unless the fuzzer catches every one."
+        ),
+    )
+    fuzz.add_argument(
+        "--budget",
+        type=int,
+        default=200,
+        help="number of fuzz cases to execute (default 200)",
+    )
+    fuzz.add_argument(
+        "--seed", type=int, default=0, help="corpus seed (default 0)"
+    )
+    fuzz.add_argument(
+        "--self-check",
+        action="store_true",
+        help=(
+            "mutation-test the fuzzer itself: inject known columnar bugs "
+            "and require a divergence for each"
+        ),
+    )
+    fuzz.add_argument(
+        "--json", metavar="FILE", help="also write the report as JSON"
+    )
     return parser
 
 
@@ -588,6 +654,27 @@ def _run_mine(args: argparse.Namespace) -> int:
             file=sys.stderr,
         )
         return 2
+    if args.store_dir is not None:
+        if args.kernel != "columnar":
+            print(
+                "--store-dir requires --kernel columnar (the spill file "
+                "is the columnar kernel's mmap'd column)",
+                file=sys.stderr,
+            )
+            return 2
+        if args.period is None:
+            print("--store-dir requires --period", file=sys.stderr)
+            return 2
+        if args.workers > 1 or args.maximal or args.no_encode:
+            print(
+                "--store-dir applies to serial encoded columnar mining "
+                "(not --workers, --maximal or --no-encode)",
+                file=sys.stderr,
+            )
+            return 2
+        if args.spill_mb < 0:
+            print("--spill-mb must be >= 0", file=sys.stderr)
+            return 2
     wants_profile = args.profile or args.profile_json is not None
     if (args.cache_dir or wants_profile) and args.period is None:
         print(
@@ -620,6 +707,14 @@ def _run_mine(args: argparse.Namespace) -> int:
         from repro.kernels.profile import MiningProfile
 
         profile = MiningProfile()
+    store = None
+    if args.store_dir is not None:
+        from repro.kernels.store import StoreOptions
+
+        store = StoreOptions(
+            directory=args.store_dir,
+            spill_bytes=args.spill_mb * 1024 * 1024,
+        )
     if args.period is not None:
         if args.maximal:
             result = miner.mine_maximal(args.period, encode=encode)
@@ -634,6 +729,7 @@ def _run_mine(args: argparse.Namespace) -> int:
                 profile=profile,
                 resilience=resilience,
                 journal_path=args.resume,
+                store=store,
             )
         _print_result(result, args.limit, args.maximal)
         if result.engine is not None:
@@ -849,6 +945,14 @@ def _run_stream(args: argparse.Namespace) -> int:
     if args.resume and not args.checkpoint_dir:
         raise StreamError("--resume requires --checkpoint-dir")
     if args.checkpoint_dir:
+        if args.kernel != "batched":
+            # The durable config is compared for exact equality on
+            # resume; threading a kernel through it would strand every
+            # checkpoint written before the columnar tier existed.
+            raise StreamError(
+                "--checkpoint-dir streams run on the default kernel "
+                "(drop --kernel)"
+            )
         return _run_stream_durable(args)
 
     miner = StreamingMiner(
@@ -859,6 +963,7 @@ def _run_stream(args: argparse.Namespace) -> int:
         retirement=args.strategy,
         max_letters=args.max_letters,
         change_tolerance=args.tolerance,
+        kernel=args.kernel,
     )
 
     out_handle = None
@@ -1063,6 +1168,46 @@ def _run_lint(args: argparse.Namespace) -> int:
     )
 
 
+def _run_fuzz(args: argparse.Namespace) -> int:
+    from repro.devtools.fuzz import fuzz, mutation_check
+
+    if args.budget <= 0:
+        print("--budget must be positive", file=sys.stderr)
+        return 2
+    started = time.perf_counter()
+    report = fuzz(args.budget, seed=args.seed)
+    print(report.summary())
+    for divergence in report.divergences[:10]:
+        described = divergence.describe()
+        print(f"  {described['stage']}: {described['detail']}")
+        print(f"    case: {described['case']}")
+    if args.json:
+        import json
+
+        with open(args.json, "w", encoding="utf-8") as handle:
+            json.dump(report.to_json(), handle, indent=2)
+            handle.write("\n")
+        print(f"report written to {args.json}")
+    exit_code = 0 if report.ok else 1
+    if args.self_check:
+        caught = mutation_check(seed=args.seed)
+        missed = sorted(name for name, hit in caught.items() if not hit)
+        if missed:
+            print(
+                "self-check FAILED; injected bugs not caught: "
+                + ", ".join(missed),
+                file=sys.stderr,
+            )
+            exit_code = 1
+        else:
+            print(
+                f"self-check ok: {len(caught)} injected kernel bugs, "
+                "all caught"
+            )
+    print(f"({time.perf_counter() - started:.2f}s)")
+    return exit_code
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     """CLI entry point; returns the process exit code."""
     parser = _build_parser()
@@ -1078,6 +1223,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         "windows": _run_windows,
         "stream": _run_stream,
         "lint": _run_lint,
+        "fuzz": _run_fuzz,
     }
     try:
         return handlers[args.command](args)

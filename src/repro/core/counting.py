@@ -119,29 +119,36 @@ def count_candidate_masks(
     period: int,
     masks: Iterable[int],
     encoder: SegmentEncoder,
+    store: "object | None" = None,
+    kernel: str = "batched",
 ) -> dict[int, int]:
     """Count candidate bitmasks in one scan — the encoded counting kernel.
 
     ``masks`` are candidate letter sets over ``encoder``'s vocabulary; the
     result maps each distinct mask to its frequency count.
 
-    The scan collapses segments to distinct masks first, then answers the
-    whole candidate set in one batched pass
-    (:func:`repro.kernels.batched.batched_count_masks`) — never the
-    candidates-times-segments inner loop this function started as.
+    The scan encodes the segments into a
+    :class:`~repro.kernels.store.SegmentStore` and answers the whole
+    candidate set through :meth:`SegmentStore.count_masks` — never the
+    candidates-times-segments inner loop this function started as.  The
+    store memoizes its distinct-mask pass, so callers issuing several
+    counting rounds over the same vocabulary (cold verification paths,
+    re-queries) should build one store and pass it back in via ``store``:
+    every round after the first then skips the scan entirely.  ``kernel``
+    selects the verification kernel exactly as in
+    :meth:`SegmentStore.count_masks`.
     """
     # Local import: repro.kernels pulls in higher layers (resilience) and
     # counting sits near the bottom of the package import graph.
-    from repro.kernels.batched import batched_count_masks
+    from repro.kernels.store import SegmentStore
 
     ordered = list(dict.fromkeys(masks))
     if not ordered:
         return {}
-    encode = encoder.encode_segment
-    distinct: Counter = Counter(
-        encode(segment) for segment in series.segments(period)
-    )
-    return batched_count_masks(distinct.items(), ordered)
+    if store is None:
+        store = SegmentStore.from_series(series, period, encoder.vocab)
+    assert isinstance(store, SegmentStore)
+    return store.count_masks(ordered, kernel=kernel)
 
 
 def brute_force_counts(

@@ -12,16 +12,24 @@ from the tree alone (Algorithm 4.2) — no further passes over the data.
 Both scans run on the batched kernels by default (``kernel="batched"``):
 scan 2 encodes into a contiguous :class:`~repro.kernels.store.SegmentStore`
 and the derivation answers every candidate level from one superset-sum
-pass.  A :class:`~repro.kernels.cache.CountCache` removes the scans
-entirely on re-queries of the same series/period (the paper's §4.2
-re-mining scenario): the cached scan-1 letter counts serve any
-``min_conf``, and the cached scan-2 hit table serves any equal-or-higher
-``min_conf`` by projection.  ``kernel="legacy"`` keeps the original
-per-candidate path as the escape hatch and equivalence oracle.
+pass.  ``kernel="columnar"`` goes further: a *single* encode pass interns
+the series into the store (optionally spilling to an mmap'd on-disk file
+via :class:`~repro.kernels.store.StoreOptions`), and both scans then run
+as vectorized numpy ops over the store column — letter counting as one
+unpack-and-sum pass, hit collection as chunked ``np.unique`` projected
+onto the tree vocabulary.  Vocabularies too wide to pack (> 64 letters)
+fall back to the batched path transparently.  A
+:class:`~repro.kernels.cache.CountCache` removes the scans entirely on
+re-queries of the same series/period (the paper's §4.2 re-mining
+scenario): the cached scan-1 letter counts serve any ``min_conf``, and
+the cached scan-2 hit table serves any equal-or-higher ``min_conf`` by
+projection.  ``kernel="legacy"`` keeps the original per-candidate path as
+the escape hatch and equivalence oracle.
 """
 
 from __future__ import annotations
 
+from collections import Counter
 from contextlib import nullcontext
 from typing import TYPE_CHECKING, ContextManager
 
@@ -34,21 +42,23 @@ from repro.core.errors import MiningError
 from repro.core.maxpattern import FrequentOnePatterns, find_frequent_one_patterns
 from repro.core.pattern import Pattern
 from repro.core.result import MiningResult, MiningStats
+from repro.encoding.vocabulary import LetterVocabulary, remap_mask
 from repro.tree.max_subpattern_tree import MaxSubpatternTree
 from repro.timeseries.feature_series import FeatureSeries
 
 if TYPE_CHECKING:
     from repro.kernels.cache import CountCache
     from repro.kernels.profile import MiningProfile
+    from repro.kernels.store import SegmentStore, StoreOptions
 
 #: The selectable counting kernels (mirrors :data:`repro.kernels.KERNELS`).
-_KERNELS = ("batched", "legacy")
+_KERNELS = ("columnar", "batched", "legacy")
 
 
 def _check_kernel(kernel: str) -> None:
     if kernel not in _KERNELS:
         raise MiningError(
-            f"unknown kernel {kernel!r}; use 'batched' or 'legacy'"
+            f"unknown kernel {kernel!r}; use 'columnar', 'batched' or 'legacy'"
         )
 
 
@@ -61,10 +71,86 @@ def _stage(
     return profile.stage(name, items=items)
 
 
+def _project_hits(store: "SegmentStore", target: LetterVocabulary) -> Counter:
+    """The store's distinct masks projected onto ``target``, >= 2-letter only.
+
+    This is the scan-2 "hit" computation run over the already-encoded
+    column: remapping onto the tree vocabulary drops infrequent letters
+    (the project-onto-``C_max`` step) and the popcount filter keeps the
+    masks that actually land in the tree.  Packed stores project every
+    distinct mask at once with the vectorized
+    :func:`~repro.kernels.columnar.remap_counts` sweep; the per-mask
+    Python remap only remains for the wide-vocabulary fallback.
+    """
+    table = store.vocab.remap_table(target)
+    distinct = store.distinct_counts()
+    if store.column() is not None:
+        from repro.kernels import columnar as _columnar
+
+        return _columnar.remap_counts(distinct, table)
+    hits: Counter = Counter()
+    for mask, count in distinct.items():
+        hit = remap_mask(mask, table)
+        if hit.bit_count() >= 2:
+            hits[hit] += count
+    return hits
+
+
+class _ColumnarScan:
+    """Lazily-built state shared by both scans under ``kernel="columnar"``.
+
+    The columnar tier pays for exactly one pass over the raw series: the
+    first scan that needs the data interns it into a packed
+    :class:`~repro.kernels.store.SegmentStore` (spilling to disk when
+    :class:`~repro.kernels.store.StoreOptions` says so), and every later
+    kernel runs over the stored column without touching the series again.
+    :meth:`count_scan` books that single pass in ``stats.scans`` exactly
+    once, whichever scan triggers the build.  A vocabulary too wide to
+    pack (> 64 letters) makes :meth:`store` return ``None`` and the caller
+    falls back to the batched path.
+    """
+
+    __slots__ = ("series", "period", "options", "counted", "_store", "_built")
+
+    def __init__(
+        self,
+        series: FeatureSeries,
+        period: int,
+        options: "StoreOptions | None",
+    ) -> None:
+        self.series = series
+        self.period = period
+        self.options = options
+        self.counted = False
+        self._store: "SegmentStore | None" = None
+        self._built = False
+
+    def store(self) -> "SegmentStore | None":
+        """The interned store, or ``None`` when the vocabulary is too wide."""
+        if not self._built:
+            self._built = True
+            from repro.kernels.store import SegmentStore, WideVocabularyError
+
+            try:
+                self._store = SegmentStore.from_series_interned(
+                    self.series, self.period, options=self.options
+                )
+            except WideVocabularyError:
+                self._store = None
+        return self._store
+
+    def count_scan(self, stats: MiningStats) -> None:
+        """Book the single encode pass, exactly once across both scans."""
+        if not self.counted:
+            stats.scans += 1
+            self.counted = True
+
+
 def _scan1(
     series: FeatureSeries,
     period: int,
     min_conf: float,
+    cstate: "_ColumnarScan | None",
     cache: "CountCache | None",
     cache_key: object,
     profile: "MiningProfile | None",
@@ -72,36 +158,49 @@ def _scan1(
 ) -> FrequentOnePatterns:
     """Scan 1, consulting the count cache for the full letter counts.
 
-    Without a cache this is :func:`find_frequent_one_patterns` verbatim.
-    With one, the *unfiltered* letter counts are fetched or computed and
-    stored, so a future re-query at any ``min_conf`` rebuilds its own F1
-    from the cached counts without a scan.
+    Without a cache or columnar state this is
+    :func:`find_frequent_one_patterns` verbatim.  With a cache, the
+    *unfiltered* letter counts are fetched or computed and stored, so a
+    future re-query at any ``min_conf`` rebuilds its own F1 from the
+    cached counts without a scan.  With columnar state, the counts come
+    from one vectorized pass over the interned store column — the same
+    full counts, so they remain cache-compatible with the other kernels.
     """
-    if cache is None:
+    if cache is None and cstate is None:
         with _stage(profile, "scan1"):
             one_patterns = find_frequent_one_patterns(series, period, min_conf)
         stats.scans += 1
         if profile is not None:
             profile.add_items("scan1", one_patterns.num_periods)
         return one_patterns
-    from repro.kernels.cache import CacheKey
-
-    assert isinstance(cache_key, CacheKey)
     num_periods = series.num_periods(period)
     if num_periods == 0:
         raise MiningError(
             f"series of length {len(series)} has no whole period of {period}"
         )
-    letter_counts = cache.get_letter_counts(cache_key)
+    letter_counts = None
+    if cache is not None:
+        from repro.kernels.cache import CacheKey
+
+        assert isinstance(cache_key, CacheKey)
+        letter_counts = cache.get_letter_counts(cache_key)
+        if letter_counts is not None and profile is not None:
+            profile.count("cache_hits")
     if letter_counts is None:
-        if profile is not None:
+        if cache is not None and profile is not None:
             profile.count("cache_misses")
+        store = cstate.store() if cstate is not None else None
         with _stage(profile, "scan1", items=num_periods):
-            letter_counts = letter_counts_for_segments(series.segments(period))
-        stats.scans += 1
-        cache.put_letter_counts(cache_key, letter_counts)
-    elif profile is not None:
-        profile.count("cache_hits")
+            if store is not None and cstate is not None:
+                letter_counts = store.letter_counts()
+                cstate.count_scan(stats)
+            else:
+                letter_counts = letter_counts_for_segments(
+                    series.segments(period)
+                )
+                stats.scans += 1
+        if cache is not None:
+            cache.put_letter_counts(cache_key, letter_counts)
     threshold = min_count(min_conf, num_periods)
     return FrequentOnePatterns(
         period=period,
@@ -116,6 +215,7 @@ def _scan2(
     one_patterns: FrequentOnePatterns,
     encode: bool,
     kernel: str,
+    cstate: "_ColumnarScan | None",
     cache: "CountCache | None",
     cache_key: object,
     profile: "MiningProfile | None",
@@ -123,7 +223,9 @@ def _scan2(
 ) -> MaxSubpatternTree:
     """Scan 2: the populated max-subpattern tree, from cache when possible.
 
-    The batched kernel encodes the series into a contiguous
+    The columnar kernel reuses (or builds) the interned store and collects
+    hits as a vectorized distinct pass projected onto the tree vocabulary;
+    the batched kernel encodes the series into a contiguous
     :class:`~repro.kernels.store.SegmentStore` and inserts once per
     distinct hit; the legacy kernel keeps the original per-segment
     insertion.  A cache hit rebuilds the tree from the memoized hit table
@@ -145,14 +247,25 @@ def _scan2(
             return tree
         if profile is not None:
             profile.count("cache_misses")
-    if encode and kernel == "batched":
+    store = cstate.store() if cstate is not None else None
+    if store is not None and cstate is not None:
+        with _stage(profile, "scan2", items=one_patterns.num_periods):
+            hits = _project_hits(store, tree.vocab)
+            cstate.count_scan(stats)
+        with _stage(profile, "tree", items=len(hits)):
+            for mask, count in hits.items():
+                tree.insert_mask(mask, count=count)
+        if profile is not None:
+            profile.count("distinct_hits", len(hits))
+    elif encode and kernel in ("batched", "columnar"):
         from repro.kernels.store import SegmentStore
 
         with _stage(profile, "scan2", items=one_patterns.num_periods):
-            store = SegmentStore.from_series(
+            batched_store = SegmentStore.from_series(
                 series, one_patterns.period, tree.vocab
             )
-            hits = store.hit_counter()
+            hits = batched_store.hit_counter()
+        stats.scans += 1
         with _stage(profile, "tree", items=len(hits)):
             for mask, count in hits.items():
                 tree.insert_mask(mask, count=count)
@@ -161,7 +274,7 @@ def _scan2(
     else:
         with _stage(profile, "scan2", items=one_patterns.num_periods):
             tree.insert_all_segments(series, encode=encode)
-    stats.scans += 1
+        stats.scans += 1
     if cache is not None:
         cache.put_hit_table(cache_key, letter_order, tree.stored_hits())
     return tree
@@ -176,6 +289,7 @@ def mine_single_period_hitset(
     kernel: str = "batched",
     cache: "CountCache | None" = None,
     profile: "MiningProfile | None" = None,
+    store: "StoreOptions | None" = None,
 ) -> MiningResult:
     """Find all frequent partial periodic patterns of one period (Alg. 3.2).
 
@@ -200,6 +314,9 @@ def mine_single_period_hitset(
     kernel:
         ``"batched"`` (default) runs scan 2 on the contiguous segment
         store and the derivation on the single-pass superset-sum kernel;
+        ``"columnar"`` interns the series into the store in one pass and
+        runs both scans as vectorized numpy ops over the column (falling
+        back to batched when the vocabulary exceeds 64 letters);
         ``"legacy"`` keeps the original per-candidate paths (escape hatch
         and equivalence oracle).  Results are identical.
     cache:
@@ -210,6 +327,13 @@ def mine_single_period_hitset(
     profile:
         Optional :class:`~repro.kernels.profile.MiningProfile` accumulating
         per-stage wall times and cache counters.
+    store:
+        Optional :class:`~repro.kernels.store.StoreOptions` controlling
+        where the columnar kernel's segment store lives; with a
+        ``directory`` set, stores crossing the spill threshold encode
+        straight to an mmap'd on-disk file so the mine runs in bounded
+        memory.  Only meaningful with ``kernel="columnar"`` (and
+        ``encode=True``); raises otherwise.
 
     Returns
     -------
@@ -220,10 +344,17 @@ def mine_single_period_hitset(
     if max_letters is not None and max_letters < 1:
         raise MiningError(f"max_letters must be >= 1, got {max_letters}")
     _check_kernel(kernel)
+    cstate: _ColumnarScan | None = None
+    if kernel == "columnar" and encode:
+        cstate = _ColumnarScan(series, period, store)
+    elif store is not None:
+        raise MiningError(
+            "store options require kernel='columnar' with encode=True"
+        )
     stats = MiningStats()
     cache_key = cache.key_for(series, period) if cache is not None else None
     one_patterns = _scan1(
-        series, period, min_conf, cache, cache_key, profile, stats
+        series, period, min_conf, cstate, cache, cache_key, profile, stats
     )
     if one_patterns.is_empty:
         return MiningResult(
@@ -236,7 +367,15 @@ def mine_single_period_hitset(
         )
 
     tree = _scan2(
-        series, one_patterns, encode, kernel, cache, cache_key, profile, stats
+        series,
+        one_patterns,
+        encode,
+        kernel,
+        cstate,
+        cache,
+        cache_key,
+        profile,
+        stats,
     )
     stats.tree_nodes = tree.node_count
     stats.hit_set_size = tree.hit_set_size
@@ -285,7 +424,89 @@ def build_hit_tree(
     _check_kernel(kernel)
     one_patterns = find_frequent_one_patterns(series, period, min_conf)
     stats = MiningStats(scans=1)
+    cstate: _ColumnarScan | None = None
+    if kernel == "columnar" and encode:
+        cstate = _ColumnarScan(series, period, None)
     tree = _scan2(
-        series, one_patterns, encode, kernel, None, None, None, stats
+        series, one_patterns, encode, kernel, cstate, None, None, None, stats
     )
     return tree, one_patterns
+
+
+def mine_store(
+    store: "SegmentStore",
+    min_conf: float,
+    max_letters: int | None = None,
+    kernel: str = "columnar",
+    profile: "MiningProfile | None" = None,
+) -> MiningResult:
+    """Mine a prebuilt :class:`~repro.kernels.store.SegmentStore` directly.
+
+    The out-of-core entry point: a store persisted with
+    :meth:`~repro.kernels.store.SegmentStore.to_file` and reopened with
+    :meth:`~repro.kernels.store.SegmentStore.from_file` is an mmap'd
+    column, so this mines series far larger than RAM — both scans stream
+    the column in bounded chunks and only the distinct-mask table and the
+    tree live in memory.  Results are identical to running
+    :func:`mine_single_period_hitset` over the series the store encodes
+    (a tested invariant); the booked scan count is 1 because the encode
+    pass already happened when the store was built.
+    """
+    _check_kernel(kernel)
+    if max_letters is not None and max_letters < 1:
+        raise MiningError(f"max_letters must be >= 1, got {max_letters}")
+    stats = MiningStats()
+    num_periods = len(store)
+    if num_periods == 0:
+        raise MiningError("segment store holds no segments; nothing to mine")
+    with _stage(profile, "scan1", items=num_periods):
+        letter_counts = store.letter_counts()
+    stats.scans += 1
+    threshold = min_count(min_conf, num_periods)
+    one_patterns = FrequentOnePatterns(
+        period=store.period,
+        num_periods=num_periods,
+        threshold=threshold,
+        letters=frequent_letter_set(letter_counts, threshold),
+    )
+    if one_patterns.is_empty:
+        return MiningResult(
+            algorithm="hitset",
+            period=store.period,
+            min_conf=min_conf,
+            num_periods=num_periods,
+            counts={},
+            stats=stats,
+        )
+    tree = MaxSubpatternTree(one_patterns.max_pattern)
+    with _stage(profile, "scan2", items=num_periods):
+        hits = _project_hits(store, tree.vocab)
+    with _stage(profile, "tree", items=len(hits)):
+        for mask, count in hits.items():
+            tree.insert_mask(mask, count=count)
+    if profile is not None:
+        profile.count("distinct_hits", len(hits))
+    stats.tree_nodes = tree.node_count
+    stats.hit_set_size = tree.hit_set_size
+    with _stage(profile, "derive"):
+        derived_counts, candidate_counts = tree.derive_frequent(
+            one_patterns.threshold,
+            one_patterns.letters,
+            max_letters=max_letters,
+            kernel=kernel,
+        )
+    stats.candidate_counts = candidate_counts
+    if profile is not None:
+        profile.add_items("derive", sum(candidate_counts.values()))
+    patterns = {
+        Pattern.from_letters(store.period, letters): count
+        for letters, count in derived_counts.items()
+    }
+    return MiningResult(
+        algorithm="hitset",
+        period=store.period,
+        min_conf=min_conf,
+        num_periods=num_periods,
+        counts=patterns,
+        stats=stats,
+    )

@@ -32,6 +32,7 @@ if TYPE_CHECKING:
     from repro.core.constraints import MiningConstraints
     from repro.kernels.cache import CountCache
     from repro.kernels.profile import MiningProfile
+    from repro.kernels.store import StoreOptions
     from repro.resilience.context import ResilienceContext
 
 #: The single-period algorithms selectable by name.
@@ -91,6 +92,7 @@ class PartialPeriodicMiner:
         profile: MiningProfile | None = None,
         resilience: ResilienceContext | None = None,
         journal_path: str | Path | None = None,
+        store: StoreOptions | None = None,
     ) -> MiningResult:
         """All frequent patterns of one period.
 
@@ -100,9 +102,13 @@ class PartialPeriodicMiner:
         ``encode=False`` routes every path through the legacy letter-set
         kernels (the CLI's ``--no-encode`` escape hatch), and
         ``kernel="legacy"`` the per-candidate counting paths
-        (``--kernel legacy``).  ``cache`` memoizes scan results across
-        queries and ``profile`` collects per-stage timings — both hit-set
-        only; the Apriori path ignores them.
+        (``--kernel legacy``); ``kernel="columnar"`` runs both scans as
+        vectorized ops over the segment-store column, and ``store`` (a
+        :class:`repro.kernels.StoreOptions`, columnar only) spills that
+        column to an mmap'd on-disk file past its threshold so the mine
+        runs in bounded memory (``--store-dir``).  ``cache`` memoizes
+        scan results across queries and ``profile`` collects per-stage
+        timings — both hit-set only; the Apriori path ignores them.
 
         ``resilience`` (a :class:`repro.resilience.ResilienceContext`) and
         ``journal_path`` (checkpoint/resume) always route through the
@@ -120,6 +126,11 @@ class PartialPeriodicMiner:
             if algorithm != "hitset":
                 raise MiningError(
                     "parallel mining supports the 'hitset' algorithm only"
+                )
+            if store is not None:
+                raise MiningError(
+                    "store spill options apply to serial columnar mining; "
+                    "the engine ships shard stores itself"
                 )
             from repro.engine.parallel import ParallelMiner
 
@@ -146,6 +157,7 @@ class PartialPeriodicMiner:
                 kernel=kernel,
                 cache=cache,
                 profile=profile,
+                store=store,
             )
         if algorithm == "apriori":
             return mine_single_period_apriori(

@@ -19,10 +19,13 @@ they guard:
   growth in a streaming path has an eviction or watermark bound);
 * :mod:`.durability` — REP10xx, atomic state-file writes (durable state
   routes through the snapshot helper; append-only logs are the exempt
-  journal/WAL idiom).
+  journal/WAL idiom);
+* :mod:`.columnar` — REP11xx, vectorized scans (no Python loops over the
+  segment store's row buffer outside the wide-vocabulary fallback).
 """
 
 from repro.devtools.rules import (  # noqa: F401  (imports register rules)
+    columnar,
     determinism,
     durability,
     encoding,
@@ -36,6 +39,7 @@ from repro.devtools.rules import (  # noqa: F401  (imports register rules)
 )
 
 __all__ = [
+    "columnar",
     "determinism",
     "durability",
     "encoding",

@@ -159,9 +159,13 @@ class ParallelMiner:
         path (the ``--no-encode`` escape hatch).  Results are identical.
     kernel:
         ``"batched"`` (default) derives the frequent set on the
-        single-pass superset-sum kernel; ``"legacy"`` keeps the original
+        single-pass superset-sum kernel; ``"columnar"`` additionally runs
+        each worker's shard scans as vectorized numpy passes over the
+        shard's store column; ``"legacy"`` keeps the original
         per-candidate walk (the ``--kernel legacy`` escape hatch).
-        Results are identical.
+        Results are identical.  Shard stores that live on disk pickle as
+        their file path — the worker re-maps the file instead of copying
+        the buffer through the task queue.
 
     Examples
     --------

@@ -35,7 +35,7 @@ HitTask = tuple[SegmentShard, tuple[Letter, ...]]
 
 #: Per-period task: shard covering the whole period, threshold, letter
 #: cap, the encode flag (``--no-encode`` escape hatch), and the counting
-#: kernel name (``batched`` / ``legacy``).
+#: kernel name (``columnar`` / ``batched`` / ``legacy``).
 PeriodTask = tuple[SegmentShard, float, "int | None", bool, str]
 
 #: Per-period payload: period, segment count, the worker's sorted C_max
@@ -68,6 +68,10 @@ def collect_shard_hits(task: HitTask) -> Counter:
     vocab = LetterVocabulary(letter_order, period=shard.period)
     # One scan into a contiguous SegmentStore, then one pass over its
     # *distinct* masks — identical totals to counting segment by segment.
+    # For packed vocabularies the store answers through the columnar
+    # kernels (chunked ``np.unique`` + vectorized popcount filter), and a
+    # store whose buffer lives on disk would have arrived here as just a
+    # file path (the store pickles by path and the worker re-maps it).
     store = SegmentStore.from_series(shard.series, shard.period, vocab)
     return store.hit_counter()
 

@@ -1,0 +1,307 @@
+"""Columnar scan kernels — vectorized mask ops over the segment column.
+
+A packed :class:`~repro.kernels.store.SegmentStore` already lays the
+encoded series out as a contiguous ``array('Q')`` buffer (or an mmap'd
+on-disk file).  This module reinterprets that buffer as a numpy ``uint64``
+column — zero-copy via ``np.frombuffer`` / ``np.memmap`` — and runs every
+scan kernel as a bulk array op instead of a Python loop:
+
+* **Scan 1** (letter counting) — unpack the column to a bit matrix in
+  fixed-size chunks and sum each bit lane: one ``popcount``-style pass
+  yields the occurrence count of all 64 letters at once
+  (:func:`letter_bit_totals`).
+* **Scan 2** (hit collection) — ``np.unique`` over the column collapses
+  segments to the distinct-mask multiset (:func:`distinct_counts`); a
+  vectorized ``np.bitwise_count`` filter keeps the >= 2-letter hits
+  (:func:`hit_counter`), and projecting hits onto the tree vocabulary is
+  one shift/OR sweep per kept bit lane (:func:`remap_counts`).
+* **Verification** — candidate counts as a broadcast AND/compare reduction
+  over the distinct-mask table: ``(rows & candidate) == candidate`` for a
+  whole candidate block, then one matvec with the row counts
+  (:func:`count_masks`).
+* **Sparse alphabets** — :class:`LetterBitmapIndex` holds one packed
+  occurrence bitmap per letter; a candidate's count is the popcount of the
+  AND of its letters' bitmaps, and a letter with zero occurrences
+  short-circuits the whole candidate without touching the column.
+
+Every kernel works in bounded chunks (:data:`CHUNK_ROWS`), so the same
+code path serves in-memory columns and mmap'd stores far larger than RAM:
+peak working memory is ``O(CHUNK_ROWS + distinct masks)`` regardless of
+column length.  All kernels are exact — the differential fuzzer
+(:mod:`repro.devtools.fuzz`) and the randomized sweeps in
+``tests/test_columnar.py`` hold them letter-identical to the batched and
+legacy tiers and to brute force.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from collections.abc import Iterable, Sequence
+
+import numpy as np
+
+from repro.encoding.vocabulary import LetterVocabulary
+
+#: Rows (segment masks) processed per chunk by every columnar kernel.
+#: 64Ki rows = 512 KiB of column per chunk — small enough that mmap'd
+#: stores mine in bounded memory, large enough to amortize numpy call
+#: overhead.  Kept a multiple of 8 so per-chunk bit matrices pack into
+#: whole bitmap bytes.
+CHUNK_ROWS = 1 << 16
+
+#: Bit width of a packed segment mask (one ``uint64`` per segment).
+COLUMN_BITS = 64
+
+
+def as_uint64(column: "np.ndarray") -> "np.ndarray":
+    """The column as little-endian ``uint64`` (no copy on native LE data).
+
+    Every kernel below slices raw bytes out of the masks, so the byte
+    order must be pinned; on big-endian hosts this is one byteswapped
+    copy, on the common case it is the input array unchanged.
+    """
+    return np.ascontiguousarray(column, dtype="<u8")
+
+
+def letter_bit_totals(column: "np.ndarray") -> "np.ndarray":
+    """Scan 1 as one vectorized pass: occurrence count of every bit lane.
+
+    Returns a ``(64,)`` int64 vector where entry ``i`` is the number of
+    column rows with bit ``i`` set — the frequency count of letter ``i``.
+    Runs chunk-wise: unpack each chunk's bytes to a ``rows x 64`` bit
+    matrix and column-sum it.
+    """
+    column = as_uint64(column)
+    totals = np.zeros(COLUMN_BITS, np.int64)
+    for start in range(0, len(column), CHUNK_ROWS):
+        chunk = column[start : start + CHUNK_ROWS]
+        bits = np.unpackbits(chunk.view(np.uint8), bitorder="little")
+        totals += bits.reshape(-1, COLUMN_BITS).sum(axis=0, dtype=np.int64)
+    return totals
+
+
+def letter_counts(column: "np.ndarray", vocab: LetterVocabulary) -> Counter:
+    """Scan-1 state: letter -> occurrence count, from the bit totals.
+
+    Letters with zero occurrences are omitted, matching
+    :func:`repro.core.counting.letter_counts_for_segments`.
+    """
+    totals = letter_bit_totals(column)
+    counts: Counter = Counter()
+    for letter_id, letter in enumerate(vocab):
+        total = int(totals[letter_id])
+        if total:
+            counts[letter] = total
+    return counts
+
+
+def distinct_counts(column: "np.ndarray") -> Counter:
+    """Scan-2 state: the distinct-mask multiset, via chunked ``np.unique``.
+
+    Chunking bounds the sort working set on mmap'd columns; per-chunk
+    results merge into one counter keyed by plain Python ints (periodic
+    data has orders of magnitude fewer distinct masks than segments, so
+    the merge touches few keys).
+    """
+    column = as_uint64(column)
+    merged: dict[int, int] = {}
+    for start in range(0, len(column), CHUNK_ROWS):
+        values, counts = np.unique(
+            column[start : start + CHUNK_ROWS], return_counts=True
+        )
+        for value, count in zip(values.tolist(), counts.tolist()):
+            merged[value] = merged.get(value, 0) + count
+    return Counter(merged)
+
+
+def hit_counter(distinct: Counter, min_letters: int = 2) -> Counter:
+    """Distinct masks with at least ``min_letters`` bits — the tree's hits.
+
+    The popcount filter runs vectorized over the distinct keys
+    (``np.bitwise_count``), not per segment.
+    """
+    if not distinct:
+        return Counter()
+    values = np.fromiter(distinct.keys(), np.uint64, count=len(distinct))
+    kept = values[np.bitwise_count(values) >= min_letters]
+    return Counter({int(value): distinct[int(value)] for value in kept})
+
+
+def remap_counts(
+    distinct: Counter, table: Sequence[int], min_letters: int = 2
+) -> Counter:
+    """Project distinct-mask counts onto a target vocabulary, vectorized.
+
+    The scan-2 "hit" computation over an already-encoded column: ``table``
+    is a :meth:`~repro.encoding.vocabulary.LetterVocabulary.remap_table`
+    (source bit -> target bit, ``-1`` drops the letter).  Each kept source
+    bit is shifted to its target lane with one shift/AND/OR over the whole
+    distinct-key vector; projected masks that collide are re-aggregated
+    with ``np.unique`` and a weighted bincount, and the popcount filter
+    keeps the >= ``min_letters`` hits.  Identical results to remapping
+    each mask with :func:`repro.encoding.vocabulary.remap_mask`.
+    """
+    if not distinct:
+        return Counter()
+    keys = np.fromiter(distinct.keys(), np.uint64, count=len(distinct))
+    weights = np.fromiter(distinct.values(), np.int64, count=len(distinct))
+    projected = np.zeros_like(keys)
+    one = np.uint64(1)
+    for source_bit, target_bit in enumerate(table):
+        if target_bit >= 0:
+            projected |= (
+                (keys >> np.uint64(source_bit)) & one
+            ) << np.uint64(target_bit)
+    kept = np.bitwise_count(projected) >= min_letters
+    if not kept.any():
+        return Counter()
+    values, inverse = np.unique(projected[kept], return_inverse=True)
+    totals = np.bincount(
+        inverse, weights=weights[kept], minlength=len(values)
+    ).astype(np.int64)
+    return Counter(
+        dict(zip(values.tolist(), totals.tolist()))
+    )
+
+
+#: Candidate rows per broadcast block in :func:`count_masks`; bounds the
+#: ``candidates x distinct`` boolean matrix at ~``512 * distinct`` bytes.
+_CANDIDATE_BLOCK = 512
+
+
+def count_masks(
+    distinct: Counter, masks: Sequence[int]
+) -> dict[int, int]:
+    """Verification: frequency counts of many candidates in one reduction.
+
+    For each block of candidates ``C`` and the distinct rows ``R`` with
+    counts ``n``: ``covers = (R & C[:, None]) == C[:, None]`` is the
+    subset test for the whole block at once, and ``covers @ n`` the
+    per-candidate totals.  Identical results to
+    :func:`repro.kernels.batched.batched_count_masks`.
+    """
+    if not masks:
+        return {}
+    if not distinct:
+        return {int(mask): 0 for mask in masks}
+    rows = np.fromiter(distinct.keys(), np.uint64, count=len(distinct))
+    row_counts = np.fromiter(
+        distinct.values(), np.int64, count=len(distinct)
+    )
+    candidates = np.fromiter(masks, np.uint64, count=len(masks))
+    out: dict[int, int] = {}
+    for start in range(0, len(candidates), _CANDIDATE_BLOCK):
+        block = candidates[start : start + _CANDIDATE_BLOCK, None]
+        covers = (rows[None, :] & block) == block
+        totals = covers @ row_counts
+        for mask, total in zip(
+            candidates[start : start + _CANDIDATE_BLOCK].tolist(),
+            totals.tolist(),
+        ):
+            out[mask] = total
+    return out
+
+
+class LetterBitmapIndex:
+    """Per-letter occurrence bitmaps — the sparse-alphabet fast path.
+
+    Row ``i`` of :attr:`bitmaps` is a packed bitset over the segments:
+    bit ``j`` set iff segment ``j`` contains letter ``i``.  A candidate's
+    frequency count is then the popcount of the AND of its letters' rows
+    — ``O(segments / 8)`` bytes per letter instead of a pass over the
+    distinct-mask table — and any letter with zero occurrences
+    short-circuits the candidate to 0 without touching a single bitmap.
+
+    Built in one chunked pass over the column (the same bit matrix scan 1
+    unpacks), so constructing the index costs one scan and answers both
+    scan-1 letter totals (:attr:`totals`) and arbitrarily many candidate
+    verifications.
+    """
+
+    __slots__ = ("bitmaps", "totals", "num_segments")
+
+    def __init__(
+        self,
+        bitmaps: "np.ndarray",
+        totals: "np.ndarray",
+        num_segments: int,
+    ):
+        self.bitmaps = bitmaps
+        self.totals = totals
+        self.num_segments = num_segments
+
+    @classmethod
+    def from_column(cls, column: "np.ndarray") -> "LetterBitmapIndex":
+        """Build the index chunk-wise; bounded memory on mmap'd columns."""
+        column = as_uint64(column)
+        num_segments = len(column)
+        chunks: list[np.ndarray] = []
+        for start in range(0, num_segments, CHUNK_ROWS):
+            chunk = column[start : start + CHUNK_ROWS]
+            bits = np.unpackbits(chunk.view(np.uint8), bitorder="little")
+            matrix = bits.reshape(-1, COLUMN_BITS)
+            # Transpose to letter-major and pack each letter's lane; the
+            # chunk size is a multiple of 8 so chunk boundaries land on
+            # whole bitmap bytes.
+            chunks.append(
+                np.packbits(
+                    np.ascontiguousarray(matrix.T), axis=1, bitorder="little"
+                )
+            )
+        if chunks:
+            bitmaps = np.concatenate(chunks, axis=1)
+        else:
+            bitmaps = np.zeros((COLUMN_BITS, 0), np.uint8)
+        totals = np.bitwise_count(bitmaps).sum(axis=1, dtype=np.int64)
+        return cls(bitmaps, totals, num_segments)
+
+    def letter_counts(self, vocab: LetterVocabulary) -> Counter:
+        """Scan-1 state from the index (free once the index exists)."""
+        counts: Counter = Counter()
+        for letter_id, letter in enumerate(vocab):
+            total = int(self.totals[letter_id])
+            if total:
+                counts[letter] = total
+        return counts
+
+    def count_mask(self, mask: int) -> int:
+        """One candidate's frequency count by bitmap intersection."""
+        if mask == 0:
+            return self.num_segments
+        bits = sorted(
+            _iter_bits(mask), key=lambda bit: int(self.totals[bit])
+        )
+        # Rarest letter first: a zero-support letter answers immediately
+        # and the intersection shrinks fastest.
+        if int(self.totals[bits[0]]) == 0:
+            return 0
+        acc = self.bitmaps[bits[0]]
+        for bit in bits[1:]:
+            acc = acc & self.bitmaps[bit]
+        return int(np.bitwise_count(acc).sum())
+
+    def count_masks(self, masks: Iterable[int]) -> dict[int, int]:
+        """Batched candidate counts over the per-letter bitmaps."""
+        return {int(mask): self.count_mask(int(mask)) for mask in masks}
+
+
+def _iter_bits(mask: int) -> Iterable[int]:
+    """Yield the set bit positions of a mask, lowest first."""
+    while mask:
+        low = mask & -mask
+        yield low.bit_length() - 1
+        mask ^= low
+
+
+__all__ = [
+    "CHUNK_ROWS",
+    "COLUMN_BITS",
+    "LetterBitmapIndex",
+    "as_uint64",
+    "count_masks",
+    "distinct_counts",
+    "hit_counter",
+    "letter_bit_totals",
+    "letter_counts",
+    "remap_counts",
+]

@@ -31,6 +31,7 @@ journey — queueing included — surfacing as 504.
 from __future__ import annotations
 
 import asyncio
+import contextlib
 import time
 from collections import OrderedDict
 from concurrent.futures import ThreadPoolExecutor
@@ -232,6 +233,12 @@ class MiningApp:
             if self.shutdown_event.is_set():
                 return self._draining()
             return self._stream_open(request)
+        if path.startswith("/stream/") and path.endswith("/checkpoint"):
+            if method != "POST":
+                self.counters["client_errors"] += 1
+                return 405, error_payload(f"{method} not allowed on {path}")
+            name = path.removeprefix("/stream/").removesuffix("/checkpoint")
+            return await self._stream_checkpoint(name)
         if path.startswith("/stream/") and method in (
             "POST", "GET", "DELETE",
         ):
@@ -554,6 +561,46 @@ class MiningApp:
             "stream": session.name,
             "accepted_slots": len(slots),
             "windows": emitted,
+            "state": session.describe(),
+        }
+
+    async def _stream_checkpoint(self, name: str) -> tuple[int, dict]:
+        """``POST /stream/<name>/checkpoint``: persist session state now.
+
+        One snapshot file holds every open session, so checkpointing any
+        one of them persists all of them (and resets the checkpoint lag)
+        — the named session only anchors the request to a live stream.
+        """
+        try:
+            session = self.streams.get(name)
+        except ServeError as error:
+            self.counters["client_errors"] += 1
+            return 404, error_payload(str(error))
+        if self.shutdown_event.is_set():
+            # The drain's own final persist_streams() is about to run;
+            # racing it with an ad-hoc snapshot helps nobody.
+            return self._draining()
+        if self.config.stream_state_dir is None:
+            self.counters["client_errors"] += 1
+            return 400, error_payload(
+                "stream persistence is not configured; restart the "
+                "server with --stream-state-dir to enable checkpoints"
+            )
+        # One snapshot covers every session, so quiesce them all: locks
+        # are taken in creation order (the only multi-lock acquirer, so
+        # no ordering deadlock) and in-flight feeds drain first.
+        async with contextlib.AsyncExitStack() as stack:
+            for open_session in self.streams.sessions():
+                await stack.enter_async_context(open_session.lock)
+            loop = asyncio.get_running_loop()
+            persisted = await loop.run_in_executor(
+                self._executor, self.persist_streams
+            )
+        self.counters["served"] += 1
+        return 200, {
+            "stream": session.name,
+            "persisted_sessions": persisted,
+            "checkpoint_lag": self.streams.checkpoint_lag(),
             "state": session.describe(),
         }
 

@@ -70,6 +70,11 @@ class StreamingMiner:
     change_tolerance:
         Minimum confidence move for a shared pattern to be reported as
         strengthened/weakened in the per-window change feed.
+    kernel:
+        Counting kernel forwarded to every window's miner
+        (``"columnar"`` / ``"batched"`` / ``"legacy"``); the window
+        partials are scan-free counters either way, so the kernel selects
+        only the derivation pass.  Results are identical across kernels.
 
     Examples
     --------
@@ -83,6 +88,7 @@ class StreamingMiner:
         "_min_conf",
         "_max_letters",
         "_tolerance",
+        "_kernel",
         "_strategy",
         "_pending",
         "_slots_seen",
@@ -101,6 +107,7 @@ class StreamingMiner:
         retirement: str = "decrement",
         max_letters: int | None = None,
         change_tolerance: float = 0.05,
+        kernel: str = "batched",
     ):
         self._spec = WindowSpec(
             period=period,
@@ -108,9 +115,16 @@ class StreamingMiner:
             slide=window if slide is None else slide,
         )
         check_stream_params(min_conf, change_tolerance)
+        from repro.kernels import KERNELS
+
+        if kernel not in KERNELS:
+            raise StreamError(
+                f"unknown kernel {kernel!r}; choose from {KERNELS}"
+            )
         self._min_conf = min_conf
         self._max_letters = max_letters
         self._tolerance = change_tolerance
+        self._kernel = kernel
         self._strategy = make_strategy(retirement, period)
         #: Slots of the currently-incomplete segment (< period of them).
         self._pending: list[frozenset[str]] = []
@@ -193,7 +207,9 @@ class StreamingMiner:
         spec = self._spec
         index = self._windows_emitted
         result = self._strategy.mine(
-            self._min_conf, max_letters=self._max_letters
+            self._min_conf,
+            max_letters=self._max_letters,
+            kernel=self._kernel,
         )
         changes = (
             None
@@ -243,6 +259,7 @@ class StreamingMiner:
             "min_conf": self._min_conf,
             "max_letters": self._max_letters,
             "change_tolerance": self._tolerance,
+            "kernel": self._kernel,
             "strategy": self._strategy.to_state(),
             "pending": [sorted(slot) for slot in self._pending],
             "slots_seen": self._slots_seen,
@@ -272,6 +289,9 @@ class StreamingMiner:
                     else int(state["max_letters"])
                 ),
                 change_tolerance=float(state["change_tolerance"]),
+                # Checkpoints written before the columnar tier carry no
+                # kernel field; they resume on the default.
+                kernel=str(state.get("kernel", "batched")),
             )
             miner._strategy.restore(state["strategy"])
             miner._pending = [
@@ -307,6 +327,7 @@ class StreamingMiner:
             "slide": spec.slide,
             "strategy": self._strategy.name,
             "min_conf": self._min_conf,
+            "kernel": self._kernel,
             "slots_seen": self._slots_seen,
             "windows_emitted": self._windows_emitted,
             "retained_segments": self.retained_segments,

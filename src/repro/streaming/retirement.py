@@ -76,9 +76,17 @@ class RetirementStrategy(ABC):
 
     @abstractmethod
     def mine(
-        self, min_conf: float, max_letters: int | None = None
+        self,
+        min_conf: float,
+        max_letters: int | None = None,
+        kernel: str = "batched",
     ) -> MiningResult:
-        """Frequent patterns of exactly the retained segments."""
+        """Frequent patterns of exactly the retained segments.
+
+        ``kernel`` selects the derivation kernel of the per-window mine
+        (see :meth:`repro.core.incremental.SegmentPartial.mine`); results
+        are identical across kernels.
+        """
 
     def _check_retire(self, count: int) -> None:
         if count < 0:
@@ -143,7 +151,10 @@ class DecrementRetirement(RetirementStrategy):
             self._removed.append(mask)
 
     def mine(
-        self, min_conf: float, max_letters: int | None = None
+        self,
+        min_conf: float,
+        max_letters: int | None = None,
+        kernel: str = "batched",
     ) -> MiningResult:
         f1, _ = self._partial.frequent_one(min_conf)
         f1_letters = frozenset(f1)
@@ -178,6 +189,7 @@ class DecrementRetirement(RetirementStrategy):
             max_letters=max_letters,
             algorithm="streaming-decrement",
             tree=tree,
+            kernel=kernel,
         )
 
     def to_state(self) -> dict[str, Any]:
@@ -239,13 +251,19 @@ class RingRetirement(RetirementStrategy):
             self._ring.popleft()
 
     def mine(
-        self, min_conf: float, max_letters: int | None = None
+        self,
+        min_conf: float,
+        max_letters: int | None = None,
+        kernel: str = "batched",
     ) -> MiningResult:
         folded = SegmentPartial(self._period, vocab=self._vocab)
         for partial in self._ring:
             folded.merge(partial)
         return folded.mine(
-            min_conf, max_letters=max_letters, algorithm="streaming-ring"
+            min_conf,
+            max_letters=max_letters,
+            algorithm="streaming-ring",
+            kernel=kernel,
         )
 
     def to_state(self) -> dict[str, Any]:

@@ -610,8 +610,11 @@ class MaxSubpatternTree:
         ``kernel`` selects the counting strategy: ``"batched"`` (default)
         answers every level from one superset-sum pass over the stored
         hits (:func:`repro.kernels.batched.derive_frequent_masks`);
-        ``"legacy"`` keeps the original per-candidate loop as the escape
-        hatch and equivalence oracle.  Outputs are identical.
+        ``"columnar"`` shares that derivation (the columnar tier differs
+        in the scans, not here — the tree's hit rows are already the
+        distinct-mask collapse); ``"legacy"`` keeps the original
+        per-candidate loop as the escape hatch and equivalence oracle.
+        Outputs are identical.
 
         ``max_letters`` optionally caps the derived pattern size.  The
         complete frequent set is exponential on degenerate inputs (e.g. a
@@ -629,7 +632,7 @@ class MaxSubpatternTree:
         f1_bit_counts = {
             vocab.bit_of(letter): count for letter, count in f1_counts.items()
         }
-        if kernel == "batched":
+        if kernel in ("batched", "columnar"):
             # The memoized full-universe table always covers F1 (F1 letters
             # are C_max letters), so the hit rows are only materialized
             # when no dense table exists.
@@ -650,7 +653,8 @@ class MaxSubpatternTree:
             )
         else:
             raise MiningError(
-                f"unknown kernel {kernel!r}; use 'batched' or 'legacy'"
+                f"unknown kernel {kernel!r}; use 'columnar', 'batched' "
+                "or 'legacy'"
             )
         counts = {
             vocab.decode_mask(mask): count

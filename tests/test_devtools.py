@@ -844,3 +844,55 @@ class TestServeRules:
         assert ("REP801", 6) in findings_of(
             source, module="repro.serve.server"
         )
+
+
+class TestColumnarRules:
+    """REP1101: no Python loops over the segment store's row buffer."""
+
+    def test_for_loop_over_masks_flagged(self):
+        source = """
+        def total(self):
+            acc = 0
+            for mask in self._masks:
+                acc += mask
+            return acc
+        """
+        assert ("REP1101", 4) in findings_of(
+            source, module="repro.kernels.store"
+        )
+
+    def test_comprehension_and_wrapped_iterables_flagged(self):
+        source = """
+        def rows(store):
+            pairs = [(i, m) for i, m in enumerate(store._masks)]
+            total = sum(int(x) for x in store.column())
+            return pairs, total
+        """
+        found = findings_of(source, module="repro.core.hitset")
+        assert found.count(("REP1101", 3)) == 1
+        assert found.count(("REP1101", 4)) == 1
+
+    def test_vectorized_calls_not_flagged(self):
+        source = """
+        def scan(store, masks):
+            counts = store.count_masks(masks, kernel="columnar")
+            return store.letter_counts(), counts
+        """
+        assert findings_of(source, module="repro.core.hitset") == []
+
+    def test_outside_hot_packages_exempt(self):
+        source = """
+        def walk(self):
+            return [mask for mask in self._masks]
+        """
+        assert findings_of(source, module="repro.encoding.codec") == []
+
+    def test_suppression_with_reason_honored(self):
+        source = """
+        def wide(self):
+            return [
+                mask.bit_count()
+                for mask in self._masks  # repro: ignore[REP1101] -- wide-vocab fallback
+            ]
+        """
+        assert findings_of(source, module="repro.kernels.store") == []

@@ -280,7 +280,7 @@ class TestKernelEquivalence:
             mine_single_period_hitset(series, 3, 0.5, kernel="turbo")
 
     def test_kernels_constant_matches_cli_choices(self):
-        assert KERNELS == ("batched", "legacy")
+        assert KERNELS == ("columnar", "batched", "legacy")
 
     def test_multiperiod_kernels_agree(self):
         series = random_series(8, length=72)

@@ -898,6 +898,117 @@ class TestStreamPersistence:
             app.close()
 
 
+class TestStreamCheckpointEndpoint:
+    """POST /stream/<name>/checkpoint: client-driven persistence."""
+
+    def open_and_feed(self, app, symbols="ababab"):
+        status, _ = call(
+            app,
+            make_request(
+                "POST", "/stream",
+                {"name": "s", "period": 2, "window": 4, "slide": 2},
+            ),
+        )
+        assert status == 201
+        status, payload = call(
+            app, make_request("POST", "/stream/s", {"symbols": symbols})
+        )
+        assert status == 200
+        return payload
+
+    def test_checkpoint_persists_and_resets_lag(self, tmp_path):
+        state_dir = str(tmp_path / "state")
+        app = build_app(stream_state_dir=state_dir)
+        try:
+            self.open_and_feed(app)
+            assert app.streams.checkpoint_lag() == 6
+            status, payload = call(
+                app, make_request("POST", "/stream/s/checkpoint")
+            )
+            assert status == 200
+            assert payload["stream"] == "s"
+            assert payload["persisted_sessions"] == 1
+            assert payload["checkpoint_lag"] == 0
+            assert app.stream_state["persisted"] == 1
+        finally:
+            app.close()
+        # The snapshot is immediately rehydratable — no shutdown needed.
+        fresh = build_app(stream_state_dir=state_dir)
+        try:
+            assert fresh.stream_state["rehydrated"] == 1
+            status, payload = call(fresh, make_request("GET", "/stream/s"))
+            assert status == 200
+            assert payload["stream"]["slots_seen"] == 6
+        finally:
+            fresh.close()
+
+    def test_checkpoint_snapshots_every_open_session(self, tmp_path):
+        app = build_app(stream_state_dir=str(tmp_path / "state"))
+        try:
+            self.open_and_feed(app)
+            status, _ = call(
+                app,
+                make_request(
+                    "POST", "/stream",
+                    {"name": "t", "period": 2, "window": 4},
+                ),
+            )
+            assert status == 201
+            status, payload = call(
+                app, make_request("POST", "/stream/s/checkpoint")
+            )
+            assert status == 200
+            assert payload["persisted_sessions"] == 2
+        finally:
+            app.close()
+
+    def test_unknown_session_404(self, tmp_path):
+        app = build_app(stream_state_dir=str(tmp_path / "state"))
+        try:
+            status, _ = call(
+                app, make_request("POST", "/stream/ghost/checkpoint")
+            )
+            assert status == 404
+        finally:
+            app.close()
+
+    def test_without_state_dir_400(self):
+        app = build_app()
+        try:
+            self.open_and_feed(app)
+            status, payload = call(
+                app, make_request("POST", "/stream/s/checkpoint")
+            )
+            assert status == 400
+            assert "--stream-state-dir" in payload["error"]
+        finally:
+            app.close()
+
+    def test_draining_503(self, tmp_path):
+        app = build_app(stream_state_dir=str(tmp_path / "state"))
+        try:
+            self.open_and_feed(app)
+            call(app, make_request("POST", "/shutdown"))
+            status, payload = call(
+                app, make_request("POST", "/stream/s/checkpoint")
+            )
+            assert status == 503
+            assert payload["reason"] == "draining"
+        finally:
+            app.close()
+
+    def test_wrong_method_405(self, tmp_path):
+        app = build_app(stream_state_dir=str(tmp_path / "state"))
+        try:
+            self.open_and_feed(app)
+            status, _ = call(
+                app, make_request("GET", "/stream/s/checkpoint")
+            )
+            assert status == 405
+        finally:
+            app.close()
+
+
 class TestCoalescingEquivalence:
     """The subsystem's central invariant: concurrency changes latency, not
     answers.  N concurrent clients at mixed thresholds must each receive
